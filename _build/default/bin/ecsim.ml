@@ -1,0 +1,299 @@
+(* ecsim: run and inspect eventual-consistency scenarios from the command
+   line.
+
+     ecsim list
+     ecsim run --scenario partition --impl alg5 -n 5 --verbose
+     ecsim check --scenario minority --impl paxos   (exit 1 on violations)
+     ecsim cht --crash 1:14 --rounds 5
+
+   Every run is deterministic in its seed; the property report printed at
+   the end is computed by the same checkers the test suite uses. *)
+
+open Simulator
+open Ec_core
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Scenario catalogue                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type scenario = {
+  sc_name : string;
+  sc_doc : string;
+  sc_setup : n:int -> seed:int -> deadline:int -> Harness.Scenario.setup;
+  sc_default_n : int;
+}
+
+let oracle ?(pre = Detectors.Omega.Self_trust) stabilize_at =
+  Harness.Scenario.Oracle { stabilize_at; pre }
+
+let scenarios =
+  [ { sc_name = "stable";
+      sc_doc = "failure-free, Omega stable from time 0";
+      sc_default_n = 3;
+      sc_setup =
+        (fun ~n ~seed ~deadline ->
+           { (Harness.Scenario.default ~n ~deadline) with seed; omega = oracle 0 }) };
+    { sc_name = "late-omega";
+      sc_doc = "failure-free, Omega stabilizes at deadline/3 (self-trust before)";
+      sc_default_n = 3;
+      sc_setup =
+        (fun ~n ~seed ~deadline ->
+           { (Harness.Scenario.default ~n ~deadline) with
+             seed; omega = oracle (deadline / 3) }) };
+    { sc_name = "partition";
+      sc_doc = "two blocks with per-block leaders, healing at deadline/3";
+      sc_default_n = 5;
+      sc_setup =
+        (fun ~n ~seed ~deadline ->
+           let heal = deadline / 3 in
+           let left = List.filter (fun p -> p < (n + 1) / 2) (Types.all_procs n) in
+           let right = List.filter (fun p -> p >= (n + 1) / 2) (Types.all_procs n) in
+           let spec = { Net.blocks = [ left; right ]; from_time = 5; until_time = heal } in
+           { (Harness.Scenario.default ~n ~deadline) with
+             seed;
+             delay = Net.partitioned spec ~base:(Net.constant 1);
+             omega = oracle ~pre:(Detectors.Omega.Blockwise [ left; right ]) heal }) };
+    { sc_name = "minority";
+      sc_doc = "all but two processes crash at deadline/4 (no correct majority)";
+      sc_default_n = 5;
+      sc_setup =
+        (fun ~n ~seed ~deadline ->
+           let pattern =
+             Failures.of_crashes ~n
+               (List.filter_map
+                  (fun p -> if p >= 2 then Some (p, deadline / 4) else None)
+                  (Types.all_procs n))
+           in
+           { (Harness.Scenario.default ~n ~deadline) with
+             seed; pattern; omega = oracle 0 }) };
+    { sc_name = "elected";
+      sc_doc = "no oracle: heartbeat-based leader election, leader crashes mid-run";
+      sc_default_n = 4;
+      sc_setup =
+        (fun ~n ~seed ~deadline ->
+           { (Harness.Scenario.default ~n ~deadline) with
+             seed;
+             pattern = Failures.of_crashes ~n [ (0, deadline / 2) ];
+             delay = Net.uniform ~min:1 ~max:3;
+             omega = Harness.Scenario.Elected { initial_timeout = 6 } }) };
+  ]
+
+let find_scenario name = List.find_opt (fun s -> s.sc_name = name) scenarios
+
+(* "gossip" is the leaderless negative baseline, run through its own
+   harness entry point rather than the ETOB-implementation catalogue. *)
+type runner = Impl of Harness.Scenario.etob_impl | Gossip
+
+let impls =
+  [ ("alg5", Impl Harness.Scenario.Algorithm_5);
+    ("paxos", Impl Harness.Scenario.Paxos_baseline);
+    ("alg1", Impl Harness.Scenario.Algorithm_1_over_4);
+    ("gossip", Gossip) ]
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let default_posts n deadline =
+  Harness.Scenario.spread_posts ~n ~count:(3 * n) ~from_time:8
+    ~every:(max 2 (deadline / (6 * n)))
+
+let execute ~scenario ~impl ~n ~seed ~deadline ~posts =
+  let setup = scenario.sc_setup ~n ~seed ~deadline in
+  let inputs =
+    if posts > 0 then
+      Harness.Scenario.spread_posts ~n ~count:posts ~from_time:8
+        ~every:(max 2 (deadline / (2 * posts)))
+    else default_posts n deadline
+  in
+  let trace =
+    match impl with
+    | Impl impl -> Harness.Scenario.run_etob ~inputs setup impl
+    | Gossip -> Harness.Scenario.run_gossip_order ~inputs setup
+  in
+  (setup, trace)
+
+let print_report setup trace ~verbose =
+  if verbose then begin
+    print_endline "--- trace ---";
+    List.iter (fun e -> Format.printf "%a@." Trace.pp_entry e) (Trace.entries trace);
+    print_endline "--- end trace ---"
+  end;
+  let run = Properties.etob_run_of_trace setup.Harness.Scenario.pattern trace in
+  let report = Properties.etob_report run in
+  Format.printf "pattern: %a@." Failures.pp setup.Harness.Scenario.pattern;
+  Format.printf "messages sent: %d, delivered: %d, dropped: %d@."
+    (Trace.sent trace) (Trace.delivered trace) (Trace.dropped trace);
+  List.iter
+    (fun p ->
+       Format.printf "final d_p%d (%d msgs): %a@." p
+         (List.length (Properties.final_d run p))
+         App_msg.pp_seq (Properties.final_d run p))
+    (Failures.correct setup.Harness.Scenario.pattern);
+  Format.printf "%a@." Properties.pp_etob_report report;
+  (match Harness.Scenario.omega_stabilization setup with
+   | Some tau -> Format.printf "tau_Omega=%d, measured convergence tau=%d@." tau
+                   (Properties.etob_convergence_time report)
+   | None -> Format.printf "measured convergence tau=%d@."
+               (Properties.etob_convergence_time report));
+  report
+
+(* --- list --- *)
+
+let list_cmd =
+  let doc = "List the available scenarios and implementations." in
+  let run () =
+    print_endline "scenarios:";
+    List.iter (fun s -> Printf.printf "  %-12s %s\n" s.sc_name s.sc_doc) scenarios;
+    print_endline "implementations:";
+    List.iter (fun (name, impl) ->
+        Printf.printf "  %-12s %s\n" name
+          (match impl with
+           | Impl Harness.Scenario.Algorithm_5 ->
+             "ETOB directly from Omega (Algorithm 5)"
+           | Impl Harness.Scenario.Paxos_baseline ->
+             "strong TOB from repeated consensus"
+           | Impl Harness.Scenario.Algorithm_1_over_4 ->
+             "ETOB through the EC transformation (Algorithms 1 + 4)"
+           | Gossip ->
+             "leaderless gossip ordering (no Omega; the negative baseline)"))
+      impls
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- shared options --- *)
+
+let scenario_arg =
+  let doc = "Scenario name (see $(b,ecsim list))." in
+  Arg.(value & opt string "stable" & info [ "scenario"; "s" ] ~docv:"NAME" ~doc)
+
+let impl_arg =
+  let doc = "Broadcast implementation: alg5, paxos, alg1 or gossip." in
+  Arg.(value & opt string "alg5" & info [ "impl"; "i" ] ~docv:"IMPL" ~doc)
+
+let n_arg =
+  let doc = "Number of processes (0 = scenario default)." in
+  Arg.(value & opt int 0 & info [ "n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let deadline_arg =
+  let doc = "Run horizon in ticks." in
+  Arg.(value & opt int 240 & info [ "deadline"; "d" ] ~docv:"TICKS" ~doc)
+
+let posts_arg =
+  let doc = "Number of broadcast messages in the workload (0 = default)." in
+  Arg.(value & opt int 0 & info [ "posts" ] ~docv:"COUNT" ~doc)
+
+let verbose_arg =
+  let doc = "Print the full input/output trace." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let timeline_arg =
+  let doc = "Print an ASCII timeline of the run." in
+  Arg.(value & flag & info [ "timeline"; "t" ] ~doc)
+
+let with_setup f scenario_name impl_name n seed deadline posts verbose =
+  match find_scenario scenario_name, List.assoc_opt impl_name impls with
+  | None, _ -> `Error (false, "unknown scenario " ^ scenario_name)
+  | _, None -> `Error (false, "unknown implementation " ^ impl_name)
+  | Some scenario, Some impl ->
+    let n = if n = 0 then scenario.sc_default_n else n in
+    let setup, trace = execute ~scenario ~impl ~n ~seed ~deadline ~posts in
+    f setup trace ~verbose
+
+(* --- run --- *)
+
+let run_cmd =
+  let doc = "Run a scenario and print the delivered sequences and the property report." in
+  let run scenario impl n seed deadline posts verbose timeline =
+    with_setup (fun setup trace ~verbose ->
+        if timeline then
+          print_string
+            (Harness.Timeline.render ~pattern:setup.Harness.Scenario.pattern trace);
+        ignore (print_report setup trace ~verbose);
+        `Ok ())
+      scenario impl n seed deadline posts verbose
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(ret (const run $ scenario_arg $ impl_arg $ n_arg $ seed_arg
+               $ deadline_arg $ posts_arg $ verbose_arg $ timeline_arg))
+
+(* --- check --- *)
+
+let check_cmd =
+  let doc = "Run a scenario and exit non-zero if any ETOB property is violated." in
+  let run = with_setup (fun setup trace ~verbose ->
+      let report = print_report setup trace ~verbose in
+      if Properties.etob_base_ok report
+      && report.Properties.causal_order.Properties.ok
+      then begin print_endline "CHECK PASSED"; `Ok () end
+      else `Error (false, "property violations found"))
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(ret (const run $ scenario_arg $ impl_arg $ n_arg $ seed_arg
+               $ deadline_arg $ posts_arg $ verbose_arg))
+
+(* --- cht --- *)
+
+let cht_cmd =
+  let doc = "Run the CHT reduction: emulate Omega from an EC black box." in
+  let crash_arg =
+    let doc = "Crash specification, e.g. 1:14 (process 1 crashes at time 14)." in
+    Arg.(value & opt (some string) None & info [ "crash" ] ~docv:"P:T" ~doc)
+  in
+  let rounds_arg =
+    let doc = "Number of emulation rounds." in
+    Arg.(value & opt int 5 & info [ "rounds" ] ~docv:"R" ~doc)
+  in
+  let n_arg =
+    let doc = "Number of processes (2 or 3; the tree grows fast)." in
+    Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let run n crash rounds =
+    let pattern =
+      match crash with
+      | None -> Failures.none ~n
+      | Some spec ->
+        (match String.split_on_char ':' spec with
+         | [ p; t ] ->
+           (match int_of_string_opt p, int_of_string_opt t with
+            | Some p, Some t -> Failures.of_crashes ~n [ (p, t) ]
+            | _ -> Failures.none ~n)
+         | _ -> Failures.none ~n)
+    in
+    let omega =
+      Detectors.Omega.make ~pre:(Detectors.Omega.Fixed (n - 1)) pattern
+        ~stabilize_at:18
+    in
+    let sampler p t = Cht.Fd_value.leader (Detectors.Omega.query omega ~self:p ~now:t) in
+    let dag = Cht.Dag.build ~pattern ~sampler ~period:4 ~gossip:4 ~rounds:(4 + (2 * rounds)) in
+    Format.printf "pattern: %a; adversarial prefix trusts p%d until t=18@."
+      Failures.pp pattern (n - 1);
+    let per_round =
+      Cht.Extraction.emulate ~algo:Cht.Pure.ec_omega ~dag
+        ~budget:Cht.Extraction.default_budget ~rounds ~round_horizon:8 ()
+    in
+    List.iteri
+      (fun r outputs ->
+         Format.printf "round %d: [%s]@." r
+           (String.concat ", " (List.map (fun p -> "p" ^ string_of_int p) outputs)))
+      per_round;
+    match Cht.Extraction.stabilization ~pattern per_round with
+    | Some (r, leader) ->
+      Format.printf "stabilized from round %d on p%d (%s)@." r leader
+        (if Failures.is_correct pattern leader then "correct" else "FAULTY");
+      `Ok ()
+    | None -> `Error (false, "did not stabilize within the emulated rounds")
+  in
+  Cmd.v (Cmd.info "cht" ~doc) Term.(ret (const run $ n_arg $ crash_arg $ rounds_arg))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "simulate eventually consistent replication (PODC 2015 reproduction)" in
+  let info = Cmd.info "ecsim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; check_cmd; cht_cmd ]))

@@ -1,0 +1,1 @@
+examples/cht_extraction.ml: Cht Detectors Failures Format List Simulator String

@@ -1,0 +1,1 @@
+examples/cht_extraction.mli:

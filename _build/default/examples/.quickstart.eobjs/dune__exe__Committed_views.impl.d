@@ -1,0 +1,1 @@
+examples/committed_views.ml: Array Command Committed_replica Detectors Ec_core Engine Format Harness Io List Machines Net Replica Replication Simulator

@@ -1,0 +1,1 @@
+examples/committed_views.mli:

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Command Convergence Engine Failures Format Harness Machines Net Replica Replication Simulator

@@ -1,0 +1,1 @@
+examples/partition_demo.ml: App_msg Detectors Ec_core Format Harness Net Properties Simulator

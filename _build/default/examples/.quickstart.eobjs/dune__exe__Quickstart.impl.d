@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Command Detectors Ec_core Engine Format Harness List Machines Replica Replication Simulator

@@ -1,0 +1,69 @@
+(* Watching the lower bound run: extracting Omega from eventual consensus.
+
+   Theorem 2's necessity direction says that ANY algorithm solving EC with
+   ANY failure detector D can be used to emulate Omega.  This example runs
+   the executable form of that reduction:
+
+     1. sample D into a CHT DAG (here: an Omega history whose adversarial
+        prefix points at p1, which crashes);
+     2. simulate runs of the target EC algorithm (pure Algorithm 4) along
+        DAG paths, building the simulation tree;
+     3. tag vertices with k-valencies, locate a k-bivalent vertex, find the
+        smallest decision gadget (fork / input-fork / hook);
+     4. output the gadget's deciding process — eventually the same correct
+        process at everyone: Omega, emulated.
+
+     dune exec examples/cht_extraction.exe *)
+
+open Simulator
+
+let () =
+  print_endline "cht_extraction: emulating Omega from an EC black box";
+  let pattern = Failures.of_crashes ~n:2 [ (1, 14) ] in
+  let omega =
+    Detectors.Omega.make ~pre:(Detectors.Omega.Fixed 1) pattern ~stabilize_at:18
+  in
+  let sampler p t =
+    Cht.Fd_value.leader (Detectors.Omega.query omega ~self:p ~now:t)
+  in
+  let dag = Cht.Dag.build ~pattern ~sampler ~period:4 ~gossip:4 ~rounds:14 in
+  Format.printf "failure pattern: %a@." Failures.pp pattern;
+  Format.printf "detector: adversarial prefix trusts p1 (faulty!) until t=18@.";
+  Format.printf "sample DAG: %d vertices@." (Cht.Dag.size dag);
+  (* One verbose extraction round over an early window. *)
+  let window = Cht.Dag.window dag ~from_horizon:0 ~to_horizon:16 in
+  let budget = Cht.Extraction.default_budget in
+  let outcome = Cht.Extraction.extract ~algo:Cht.Pure.ec_omega ~dag:window ~budget
+      ~self:0 () in
+  Format.printf "@.early window [0,16] (all samples point at p1):@.";
+  Format.printf "  simulation tree: %d vertices@." outcome.Cht.Extraction.o_tree_size;
+  (match outcome.Cht.Extraction.o_bivalent with
+   | Some (k, node) ->
+     Format.printf "  first bivalent vertex: instance %d, tree node %d@." k node
+   | None -> Format.printf "  no bivalent vertex located@.");
+  (match outcome.Cht.Extraction.o_gadget with
+   | Some g -> Format.printf "  decision gadget: %a@." Cht.Extraction.pp_gadget g
+   | None -> Format.printf "  no gadget found (falling back to self)@.");
+  Format.printf "  emulated Omega output: p%d@." outcome.Cht.Extraction.o_leader;
+  (* The full round loop. *)
+  let per_round =
+    Cht.Extraction.emulate ~algo:Cht.Pure.ec_omega ~dag ~budget ~rounds:5
+      ~round_horizon:8 ()
+  in
+  Format.printf "@.emulation rounds (output at [p0, p1] per round):@.";
+  List.iteri
+    (fun r outputs ->
+       Format.printf "  round %d: [%s]@." r
+         (String.concat ", " (List.map (fun p -> "p" ^ string_of_int p) outputs)))
+    per_round;
+  (match Cht.Extraction.stabilization ~pattern per_round with
+   | Some (r, leader) ->
+     Format.printf
+       "@.stabilized from round %d on p%d, which is %s — Omega emulated.@." r leader
+       (if Failures.is_correct pattern leader then "correct" else "FAULTY (bug!)")
+   | None -> Format.printf "@.did not stabilize within the emulated rounds@.");
+  print_endline "";
+  print_endline "Round 0 is genuinely misled (the only evidence in its window";
+  print_endline "points at p1); as the window slides past p1's crash and the";
+  print_endline "detector's stabilization time, the located gadget's deciding";
+  print_endline "process settles on the correct p0 — the 'eventually' of Omega."

@@ -1,0 +1,1 @@
+lib/broadcast/causal_broadcast.ml: Engine Fmt List Msg Reliable_broadcast Simulator Vector_clock

@@ -1,0 +1,1 @@
+lib/broadcast/causal_broadcast.mli: Engine Msg Simulator Vector_clock

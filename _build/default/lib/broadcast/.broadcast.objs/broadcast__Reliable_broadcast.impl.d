@@ -1,0 +1,1 @@
+lib/broadcast/reliable_broadcast.ml: Engine Fmt Hashtbl Msg Simulator

@@ -1,0 +1,1 @@
+lib/broadcast/vector_clock.ml: Array Fmt Simulator

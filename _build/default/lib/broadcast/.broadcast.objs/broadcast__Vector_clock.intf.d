@@ -1,0 +1,1 @@
+lib/broadcast/vector_clock.mli: Format Simulator

@@ -1,0 +1,1 @@
+lib/cht/dag.ml: Array Failures Fd_value Fmt Hashtbl Int List Option Set Simulator

@@ -1,0 +1,1 @@
+lib/cht/dag.mli: Failures Fd_value Format Simulator

@@ -1,0 +1,1 @@
+lib/cht/dag_protocol.ml: Array Dag Engine Fd_value Fmt Hashtbl List Map Msg Option Simulator

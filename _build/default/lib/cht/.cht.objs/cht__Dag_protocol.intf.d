@@ -1,0 +1,1 @@
+lib/cht/dag_protocol.mli: Dag Engine Failures Fd_value Msg Simulator

@@ -1,0 +1,1 @@
+lib/cht/extraction.ml: Array Dag Failures Fd_value Fmt List Option Pure Schedule Sim_tree Simulator

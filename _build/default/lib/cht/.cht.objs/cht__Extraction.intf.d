@@ -1,0 +1,1 @@
+lib/cht/extraction.mli: Dag Failures Format Pure Sim_tree Simulator

@@ -1,0 +1,1 @@
+lib/cht/fd_value.ml: Fmt List Simulator Stdlib

@@ -1,0 +1,1 @@
+lib/cht/fd_value.mli: Format Simulator

@@ -1,0 +1,1 @@
+lib/cht/pure.ml: Fd_value Fmt List Map Simulator

@@ -1,0 +1,1 @@
+lib/cht/pure.mli: Fd_value Format Simulator

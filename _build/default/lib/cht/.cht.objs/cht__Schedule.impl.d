@@ -1,0 +1,1 @@
+lib/cht/schedule.ml: Array Dag Fd_value Fmt List Pure Simulator

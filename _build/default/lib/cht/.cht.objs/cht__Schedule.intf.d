@@ -1,0 +1,1 @@
+lib/cht/schedule.mli: Dag Format Pure Simulator

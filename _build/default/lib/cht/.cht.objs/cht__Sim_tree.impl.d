@@ -1,0 +1,1 @@
+lib/cht/sim_tree.ml: Array Dag Failures Fmt List Pure Schedule Simulator

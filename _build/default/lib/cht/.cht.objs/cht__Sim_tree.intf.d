@@ -1,0 +1,1 @@
+lib/cht/sim_tree.mli: Dag Format Pure Schedule

@@ -1,0 +1,66 @@
+(** Extracting Omega from the simulation tree (Section 4, Appendix B.6/B.7):
+    bivalent-vertex location, decision gadgets (forks and hooks), and the
+    round-based emulation loop. *)
+
+open Simulator
+open Simulator.Types
+
+type gadget = {
+  g_kind : [ `Fork | `Hook | `Input_fork ];
+  g_instance : int;
+  g_pivot : int;
+  g_zero : int;
+  g_one : int;
+  g_decider : proc_id;
+}
+
+val pp_gadget : Format.formatter -> gadget -> unit
+
+val first_bivalent :
+  'state Sim_tree.t -> max_instance:int -> (int * int * Sim_tree.tag array) option
+(** The first k-bivalent vertex for the smallest k: (k, node id, k-tags). *)
+
+val locate_bivalent_walk :
+  'state Sim_tree.t -> max_instance:int -> (int * int * Sim_tree.tag array) option
+(** The literal walk of the paper's Algorithm 3 (may return [None] when the
+    bounded tree runs out; {!first_bivalent} is the budget-friendly scan the
+    extraction uses). *)
+
+val find_gadget :
+  'state Sim_tree.t -> instance:int -> tags:Sim_tree.tag array -> root:int ->
+  gadget option
+(** The smallest decision gadget in [root]'s subtree w.r.t. the k-tags. *)
+
+type budget = {
+  b_max_depth : int;
+  b_max_nodes : int;
+  b_width : int;
+  b_max_instance : int;
+}
+
+val default_budget : budget
+
+type outcome = {
+  o_leader : proc_id;
+  o_gadget : gadget option;
+  o_tree_size : int;
+  o_bivalent : (int * int) option;
+}
+
+val extract :
+  algo:'state Pure.algo -> dag:Dag.t -> budget:budget -> self:proc_id -> unit ->
+  outcome
+(** One extraction pass from process [self]'s point of view; falls back to
+    [self] (the CHT initial output) while no gadget is found. *)
+
+val emulate :
+  algo:'state Pure.algo -> dag:Dag.t -> budget:budget -> rounds:int ->
+  round_horizon:int -> unit -> proc_id list list
+(** Per round, the extraction output at every process, over a sliding DAG
+    window (the loop of Figure 6, with CHT's valency stabilization realized
+    by the window passing all crashes and detector stabilizations). *)
+
+val stabilization :
+  pattern:Failures.pattern -> proc_id list list -> (int * proc_id) option
+(** The first round from which all correct processes output the same
+    correct process forever after (within the emulated rounds). *)

@@ -1,0 +1,1 @@
+lib/consensus/chandra_toueg.ml: Ec_core Engine Fmt Hashtbl Int Io List Msg Option Simulator

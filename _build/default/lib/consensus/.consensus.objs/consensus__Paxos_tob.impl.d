@@ -1,0 +1,1 @@
+lib/consensus/paxos_tob.ml: App_msg Ec_core Engine Etob_intf Fmt Hashtbl Int List Msg Set Simulator

@@ -1,0 +1,1 @@
+lib/consensus/paxos_tob.mli: App_msg Ec_core Engine Msg Simulator

@@ -1,0 +1,1 @@
+lib/core/app_msg.ml: Fmt List Map Set Simulator

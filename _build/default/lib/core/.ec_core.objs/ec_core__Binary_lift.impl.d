@@ -1,0 +1,1 @@
+lib/core/binary_lift.ml: Array Ec_intf Engine Fmt Hashtbl List Msg Simulator Value

@@ -1,0 +1,1 @@
+lib/core/binary_lift.mli: Ec_intf Engine Msg Simulator Value

@@ -1,0 +1,1 @@
+lib/core/causal_graph.ml: App_msg Fmt List

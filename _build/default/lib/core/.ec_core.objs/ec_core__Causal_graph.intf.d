@@ -1,0 +1,1 @@
+lib/core/causal_graph.mli: App_msg Format

@@ -1,0 +1,1 @@
+lib/core/commit_prefix.ml: App_msg Array Engine Etob_intf Fmt Io List Msg Simulator

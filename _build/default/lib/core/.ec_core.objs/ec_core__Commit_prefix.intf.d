@@ -1,0 +1,1 @@
+lib/core/commit_prefix.mli: App_msg Engine Etob_intf Io Msg Simulator

@@ -1,0 +1,1 @@
+lib/core/ec_driver.ml: Ec_intf Engine Simulator Value

@@ -1,0 +1,1 @@
+lib/core/ec_driver.mli: Ec_intf Engine Simulator Value

@@ -1,0 +1,1 @@
+lib/core/ec_intf.mli: Engine Io Simulator Value

@@ -1,0 +1,1 @@
+lib/core/ec_omega.ml: Array Ec_intf Engine Fmt Hashtbl Msg Simulator Value

@@ -1,0 +1,1 @@
+lib/core/ec_omega.mli: Ec_intf Engine Msg Simulator Value

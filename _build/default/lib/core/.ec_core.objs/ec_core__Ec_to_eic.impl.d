@@ -1,0 +1,1 @@
+lib/core/ec_to_eic.ml: Ec_intf Eic_intf Engine List Simulator Value

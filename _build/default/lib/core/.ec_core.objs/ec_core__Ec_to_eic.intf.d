@@ -1,0 +1,1 @@
+lib/core/ec_to_eic.mli: Ec_intf Eic_intf Engine Simulator Value

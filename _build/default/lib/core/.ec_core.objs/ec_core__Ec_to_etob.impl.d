@@ -1,0 +1,1 @@
+lib/core/ec_to_etob.ml: App_msg Ec_intf Engine Etob_intf Fmt Msg Set Simulator Value

@@ -1,0 +1,1 @@
+lib/core/ec_to_etob.mli: App_msg Ec_intf Engine Etob_intf Msg Simulator

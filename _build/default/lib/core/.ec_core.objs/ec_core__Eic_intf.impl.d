@@ -1,0 +1,1 @@
+lib/core/eic_intf.ml: Engine Fmt Io List Listeners Simulator Value

@@ -1,0 +1,1 @@
+lib/core/eic_intf.mli: Engine Io Simulator Value

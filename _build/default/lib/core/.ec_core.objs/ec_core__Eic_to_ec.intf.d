@@ -1,0 +1,1 @@
+lib/core/eic_to_ec.mli: Ec_intf Eic_intf Engine Simulator

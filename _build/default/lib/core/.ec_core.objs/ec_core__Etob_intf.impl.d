@@ -1,0 +1,1 @@
+lib/core/etob_intf.ml: App_msg Engine Fmt Io List Listeners Simulator

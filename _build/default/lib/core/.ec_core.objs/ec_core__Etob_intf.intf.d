@@ -1,0 +1,1 @@
+lib/core/etob_intf.mli: App_msg Engine Io Simulator

@@ -1,0 +1,1 @@
+lib/core/etob_omega.ml: App_msg Causal_graph Engine Etob_intf Fmt Msg Simulator

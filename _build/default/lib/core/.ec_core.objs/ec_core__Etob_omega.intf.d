@@ -1,0 +1,1 @@
+lib/core/etob_omega.mli: App_msg Causal_graph Engine Etob_intf Msg Simulator

@@ -1,0 +1,1 @@
+lib/core/etob_to_ec.ml: App_msg Ec_intf Engine Etob_intf Printf Simulator String Value

@@ -1,0 +1,1 @@
+lib/core/etob_to_ec.mli: Ec_intf Engine Etob_intf Simulator Value

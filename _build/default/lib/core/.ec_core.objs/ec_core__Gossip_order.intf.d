@@ -1,0 +1,1 @@
+lib/core/gossip_order.mli: App_msg Causal_graph Engine Etob_intf Msg Simulator

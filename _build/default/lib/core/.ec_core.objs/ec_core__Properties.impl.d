@@ -1,0 +1,1 @@
+lib/core/properties.ml: App_msg Array Commit_prefix Ec_intf Eic_intf Etob_intf Failures Fmt Format Hashtbl List Option Simulator Trace Value

@@ -1,0 +1,1 @@
+lib/core/properties.mli: App_msg Failures Format Simulator Trace Value

@@ -1,0 +1,1 @@
+lib/core/value.ml: App_msg Fmt List Option Stdlib String

@@ -1,0 +1,58 @@
+(* Application-level messages broadcast through (E)TOB.
+
+   A message is identified by (origin, sn) — broadcast messages are assumed
+   distinct in the paper, and this identification realizes the assumption.
+   [deps] is the explicit causal-dependency set C(m) of Section 5: ids of
+   messages that causally precede m according to its broadcaster.  [tag] is
+   opaque application content. *)
+
+open Simulator.Types
+
+type id = proc_id * int
+
+type t = {
+  origin : proc_id;
+  sn : int;
+  tag : string;
+  deps : id list;
+}
+
+let make ~origin ~sn ?(tag = "") ?(deps = []) () =
+  if sn < 0 then invalid_arg "App_msg.make: negative sequence number";
+  { origin; sn; tag; deps = List.sort_uniq compare deps }
+
+let id m = (m.origin, m.sn)
+
+let compare_id (a : id) (b : id) = compare a b
+
+(* Messages are equal iff their ids are: content is determined by identity
+   within a run. *)
+let compare a b = compare_id (id a) (id b)
+let equal a b = compare a b = 0
+
+let pp_id ppf (p, sn) = Fmt.pf ppf "%a#%d" pp_proc p sn
+
+let pp ppf m =
+  if m.deps = [] then Fmt.pf ppf "%a" pp_id (id m)
+  else Fmt.pf ppf "%a{<-%a}" pp_id (id m) (Fmt.list ~sep:Fmt.comma pp_id) m.deps
+
+let pp_seq ppf ms = Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ";") pp) ms
+
+module Id_set = Set.Make (struct
+    type nonrec t = id
+    let compare = compare_id
+  end)
+
+module Id_map = Map.Make (struct
+    type nonrec t = id
+    let compare = compare_id
+  end)
+
+let ids_of_seq ms = List.fold_left (fun acc m -> Id_set.add (id m) acc) Id_set.empty ms
+
+(* [is_prefix a b]: sequence [a] is a prefix of sequence [b]. *)
+let rec is_prefix a b =
+  match a, b with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' -> equal x y && is_prefix a' b'

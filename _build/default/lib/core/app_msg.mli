@@ -1,0 +1,36 @@
+(** Application-level messages broadcast through (E)TOB.
+
+    A message is identified by [(origin, sn)], realizing the paper's
+    assumption that broadcast messages are distinct.  [deps] is the explicit
+    causal-dependency set [C(m)] of Section 5. *)
+
+open Simulator.Types
+
+type id = proc_id * int
+
+type t = {
+  origin : proc_id;
+  sn : int;
+  tag : string;  (** opaque application content *)
+  deps : id list;  (** C(m): ids of causal predecessors, sorted, unique *)
+}
+
+val make :
+  origin:proc_id -> sn:int -> ?tag:string -> ?deps:id list -> unit -> t
+
+val id : t -> id
+val compare_id : id -> id -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp_id : Format.formatter -> id -> unit
+val pp : Format.formatter -> t -> unit
+val pp_seq : Format.formatter -> t list -> unit
+
+module Id_set : Set.S with type elt = id
+module Id_map : Map.S with type key = id
+
+val ids_of_seq : t list -> Id_set.t
+
+val is_prefix : t list -> t list -> bool
+(** [is_prefix a b]: sequence [a] is a prefix of sequence [b]. *)

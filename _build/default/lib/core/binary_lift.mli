@@ -1,0 +1,20 @@
+(** Multivalued eventual consensus from binary eventual consensus — the
+    lift the paper invokes in Section 3 ("straightforward to transform the
+    binary version of EC into a multivalued one [23]").  One binary EC
+    instance per proposer slot, consumed in the same global order at every
+    process; candidates travel by reliable broadcast. *)
+
+open Simulator
+open Simulator.Types
+
+type Msg.payload +=
+  | Candidate of { instance : int; proposer : proc_id; value : Value.t }
+
+type t
+
+val create : Engine.ctx -> binary:Ec_intf.service -> t * Engine.node
+(** Build the lift over a black-box {e binary} EC service (e.g. Algorithm 4
+    restricted to [Flag] values, with layer ["ec-inner"]); the lift itself
+    exposes a multivalued {!Ec_intf.service} on the default layer. *)
+
+val service : t -> Ec_intf.service

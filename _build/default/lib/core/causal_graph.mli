@@ -1,0 +1,45 @@
+(** The causality graph [CG_i] of Algorithm 5 with the paper's three
+    operations: [UpdateCG] ({!add}), [UnionCG] ({!union}) and
+    [UpdatePromote] ({!linearize}). *)
+
+type t
+
+val empty : t
+val size : t -> int
+val mem : t -> App_msg.id -> bool
+val find : t -> App_msg.id -> App_msg.t option
+
+val messages : t -> App_msg.t list
+(** All nodes, in id order. *)
+
+val preds : t -> App_msg.id -> App_msg.Id_set.t
+(** Direct causal predecessors recorded for a node (possibly including ids
+    not present in the graph). *)
+
+val add : t -> App_msg.t -> t
+(** [UpdateCG(m, C(m))]: add node [m] and edges from each of its
+    dependencies.  Idempotent. *)
+
+val union : t -> t -> t
+(** [UnionCG]: union of nodes and edges. *)
+
+val edges : t -> (App_msg.id * App_msg.id) list
+(** All recorded edges [(m1, m2)] with [m2] present ([m1] may be absent). *)
+
+val default_tie_break : App_msg.t -> App_msg.t -> int
+
+exception Cycle of App_msg.id list
+
+val linearize :
+  ?tie_break:(App_msg.t -> App_msg.t -> int) -> t -> prefix:App_msg.t list ->
+  App_msg.t list
+(** [UpdatePromote]: a sequence [s] such that [prefix] is a prefix of [s],
+    [s] contains every message of the graph exactly once, and for every edge
+    [(m1, m2)] with both present, [m1] appears before [m2].  Deterministic
+    given [tie_break].  Raises {!Cycle} on a cyclic dependency relation
+    (impossible for genuine causality). *)
+
+val is_valid_linearization : t -> prefix:App_msg.t list -> App_msg.t list -> bool
+(** Checks the three UpdatePromote conditions; tie-break independent. *)
+
+val pp : Format.formatter -> t -> unit

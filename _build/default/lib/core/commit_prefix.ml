@@ -1,0 +1,116 @@
+(* Committed-prefix indications on top of ETOB (Section 7 of the paper).
+
+   "Such systems sometimes produce indications when a prefix of operations
+   on the replicated service is committed, i.e., is not subject to further
+   changes.  A prefix of operations can be committed, e.g., in sufficiently
+   long periods of synchrony, when a majority of correct processes elect
+   the same leader and all incoming and outgoing messages of the leader to
+   the correct majority are delivered within some fixed bound.  We believe
+   that such indications could easily be implemented, during the stable
+   periods, on top of ETOB."
+
+   This component implements exactly that:
+
+   - every process, on each revision of its output d_i, acknowledges the
+     adopted sequence to the process it currently trusts;
+   - a process that trusts itself counts, for each sequence length, how
+     many distinct processes (itself included) currently hold that prefix
+     of its promotion sequence; when a majority does, it marks the prefix
+     committed and announces it;
+   - processes record the longest announced committed prefix coming from
+     their current leader.
+
+   As the paper says, the indication is guaranteed *during stable periods*:
+   once a majority of correct processes permanently trust one correct
+   leader, every commitment extends the previous ones, because the leader's
+   promotion sequence is prefix-monotone and acknowledgments only ever
+   concern its prefixes.  During unstable periods the component simply
+   (and safely) refrains: commitments require a majority of *current*
+   acknowledgments naming this very leader, so two concurrently trusted
+   leaders would need overlapping majorities trusting each at the same
+   acknowledgment round.  The checkers in [Properties] measure, rather than
+   assume, that announced commitments are never rolled back in a given run;
+   the tests exercise both the guarantee under stability and the abstention
+   under minority. *)
+
+open Simulator
+open Simulator.Types
+
+type Msg.payload +=
+  | Commit_ack of { seq : App_msg.t list }
+  | Commit_mark of { seq : App_msg.t list }
+
+type Io.output += Committed of App_msg.t list
+
+type t = {
+  ctx : Engine.ctx;
+  omega : unit -> proc_id;
+  etob : Etob_intf.service;
+  promotion : unit -> App_msg.t list;  (* the leader-side sequence we certify *)
+  majority : int;
+  acked : int array;  (* per process, length of our prefix it last acked *)
+  mutable committed : App_msg.t list;
+  mutable marks_sent : int;
+}
+
+let committed t = t.committed
+
+let record t seq =
+  t.committed <- seq;
+  t.ctx.Engine.output (Committed seq)
+
+(* Leader side: the k-th largest acknowledged length (k = majority) is the
+   committed watermark. *)
+let try_commit t =
+  t.acked.(t.ctx.Engine.self) <- List.length (t.promotion ());
+  let lengths = Array.copy t.acked in
+  Array.sort (fun a b -> compare b a) lengths;
+  let watermark = lengths.(t.majority - 1) in
+  if watermark > List.length t.committed then begin
+    let seq = List.filteri (fun i _ -> i < watermark) (t.promotion ()) in
+    record t seq;
+    t.marks_sent <- t.marks_sent + 1;
+    t.ctx.Engine.broadcast (Commit_mark { seq })
+  end
+
+let create (ctx : Engine.ctx) ~omega ~etob ~promotion =
+  let t =
+    { ctx; omega; etob; promotion;
+      majority = (ctx.Engine.n / 2) + 1;
+      acked = Array.make ctx.Engine.n 0;
+      committed = [];
+      marks_sent = 0 }
+  in
+  (* Acknowledge every adoption to the process we currently trust. *)
+  etob.Etob_intf.on_deliver (fun seq ->
+      let leader = omega () in
+      if leader <> ctx.Engine.self then
+        ctx.Engine.send leader (Commit_ack { seq }));
+  let on_message ~src payload =
+    match payload with
+    | Commit_ack { seq } ->
+      (* Count the ack only while we trust ourselves and the acked sequence
+         is (still) a prefix of our promotion: acknowledgments for another
+         leader's sequence do not certify ours. *)
+      if omega () = ctx.Engine.self && App_msg.is_prefix seq (t.promotion ()) then begin
+        t.acked.(src) <- max t.acked.(src) (List.length seq);
+        try_commit t
+      end
+    | Commit_mark { seq } ->
+      if omega () = src && List.length seq > List.length t.committed then
+        record t seq
+    | _ -> ()
+  in
+  let on_timer () = if omega () = ctx.Engine.self then try_commit t in
+  (t, { Engine.on_message; on_timer; on_input = (fun _ -> ()) })
+
+let marks_sent t = t.marks_sent
+
+let () =
+  Msg.register_payload_pp (fun ppf -> function
+    | Commit_ack { seq } -> Fmt.pf ppf "commit-ack(%a)" App_msg.pp_seq seq; true
+    | Commit_mark { seq } -> Fmt.pf ppf "commit-mark(%a)" App_msg.pp_seq seq; true
+    | _ -> false);
+  Io.register_output_pp (fun ppf -> function
+    | Committed seq -> Fmt.pf ppf "committed:%a" App_msg.pp_seq seq; true
+    | _ -> false)

@@ -1,0 +1,32 @@
+(** Committed-prefix indications on top of ETOB — the extension sketched in
+    Section 7 of the paper: during stable periods (a majority of correct
+    processes trusting one correct leader), a growing prefix of the
+    delivered sequence is marked as not subject to further change. *)
+
+open Simulator
+open Simulator.Types
+
+type Msg.payload +=
+  | Commit_ack of { seq : App_msg.t list }
+  | Commit_mark of { seq : App_msg.t list }
+
+type Io.output += Committed of App_msg.t list
+(** Recorded whenever the locally known committed prefix grows. *)
+
+type t
+
+val create :
+  Engine.ctx ->
+  omega:(unit -> proc_id) ->
+  etob:Etob_intf.service ->
+  promotion:(unit -> App_msg.t list) ->
+  t * Engine.node
+(** Stack onto an Algorithm-5 process.  [promotion] exposes the local
+    promotion sequence (see {!Etob_omega.promotion}); only a process that
+    currently trusts itself certifies commitments, from a majority of
+    current acknowledgments of its own prefixes. *)
+
+val committed : t -> App_msg.t list
+(** The longest locally known committed prefix. *)
+
+val marks_sent : t -> int

@@ -1,0 +1,12 @@
+(** Algorithm 6 (Appendix A): the transformation from EC to eventual
+    irrevocable consensus. *)
+
+open Simulator
+
+type t
+
+val create : Engine.ctx -> ec:Ec_intf.service -> t * Engine.node
+val service : t -> Eic_intf.service
+
+val decision_sequence : t -> Value.t list
+(** The paper's [decision_i]. *)

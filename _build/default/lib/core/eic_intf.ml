@@ -1,0 +1,64 @@
+(* The eventual irrevocable consensus (EIC) abstraction (Appendix A).
+
+   EIC relaxes EC-Integrity instead of EC-Agreement: a process may respond
+   several times to proposeEIC_l (revoking earlier responses), but only for
+   finitely many instances; the response "at time t" is the last response
+   before t.  Appendix A proves EIC equivalent to EC (Theorem 3). *)
+
+open Simulator
+
+type Io.input += Propose_eic of { instance : int; value : Value.t }
+
+type Io.output +=
+  | Proposed_eic of { instance : int; value : Value.t }
+  | Decide_eic of { instance : int; value : Value.t }
+      (* May be emitted several times for one instance: each later emission
+         revokes the earlier ones. *)
+
+type decision = { instance : int; value : Value.t }
+
+type service = {
+  propose : instance:int -> Value.t -> unit;
+  on_decide : (decision -> unit) -> unit;
+  decided : unit -> decision list;  (* all responses, latest first *)
+}
+
+type backend = {
+  ctx : Engine.ctx;
+  listeners : decision Listeners.t;
+  mutable decisions : decision list;
+}
+
+let backend ctx = { ctx; listeners = Listeners.create (); decisions = [] }
+
+let ctx_of backend = backend.ctx
+
+let record_proposal backend ~instance value =
+  backend.ctx.Engine.output (Proposed_eic { instance; value })
+
+let record_decision backend ~instance value =
+  let d = { instance; value } in
+  backend.decisions <- d :: backend.decisions;
+  backend.ctx.Engine.output (Decide_eic { instance; value });
+  Listeners.fire backend.listeners d
+
+(* The current (i.e. last) response for an instance, if any. *)
+let last_decision backend ~instance =
+  List.find_opt (fun d -> d.instance = instance) backend.decisions
+
+let service_of backend ~propose =
+  { propose;
+    on_decide = Listeners.register backend.listeners;
+    decided = (fun () -> backend.decisions) }
+
+let () =
+  Io.register_input_pp (fun ppf -> function
+    | Propose_eic { instance; value } ->
+      Fmt.pf ppf "proposeEIC_%d(%a)" instance Value.pp value; true
+    | _ -> false);
+  Io.register_output_pp (fun ppf -> function
+    | Proposed_eic { instance; value } ->
+      Fmt.pf ppf "proposedEIC_%d(%a)" instance Value.pp value; true
+    | Decide_eic { instance; value } ->
+      Fmt.pf ppf "decideEIC_%d(%a)" instance Value.pp value; true
+    | _ -> false)

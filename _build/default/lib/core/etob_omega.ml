@@ -1,0 +1,106 @@
+(* Algorithm 5 of the paper (protocol "ET OB"): eventual total order
+   broadcast directly from Omega, in any environment (Lemma 3).
+
+   - On broadcastETOB(m, C(m)): add m to the local causality graph and send
+     update(CG_i) to all (including self).
+   - On update(CG_j): merge the graphs and extend the local promotion
+     sequence (UpdatePromote) to a causal linearization of the merged graph
+     keeping the previous promotion as a prefix.
+   - On a local timeout, a process that trusts itself sends
+     promote(promote_i) to all.
+   - On promote(promote_j) from p_j: adopt the sequence iff Omega currently
+     trusts p_j.
+
+   Headline properties (Section 5): delivery takes two communication steps
+   under a stable leader (update in, promote out); if Omega is stable from
+   the start the protocol implements full TOB; and TOB-Causal-Order holds
+   at all times, even while Omega outputs different leaders at different
+   processes (partitions). *)
+
+open Simulator
+open Simulator.Types
+
+type Msg.payload +=
+  | Update of Causal_graph.t
+  | Promote_seq of App_msg.t list
+
+type t = {
+  backend : Etob_intf.backend;
+  omega : unit -> proc_id;
+  tie_break : App_msg.t -> App_msg.t -> int;
+  stale_guard : bool;
+  mutable cg : Causal_graph.t;      (* CG_i *)
+  mutable promote : App_msg.t list; (* promote_i *)
+  mutable updates_handled : int;
+  mutable promotes_sent : int;
+  mutable promotes_adopted : int;
+}
+
+let broadcast t m =
+  (* The dependencies C(m) travel inside m itself; the full graph travels in
+     the update so receivers always hold every dependency of every node. *)
+  Etob_intf.record_broadcast t.backend m;
+  t.cg <- Causal_graph.add t.cg m;
+  (Etob_intf.ctx_of t.backend).Engine.broadcast (Update t.cg)
+
+let create ?(tie_break = Causal_graph.default_tie_break) ?(stale_guard = true)
+    (ctx : Engine.ctx) ~omega =
+  let t =
+    { backend = Etob_intf.backend ctx;
+      omega;
+      tie_break;
+      stale_guard;
+      cg = Causal_graph.empty;
+      promote = [];
+      updates_handled = 0;
+      promotes_sent = 0;
+      promotes_adopted = 0 }
+  in
+  let on_message ~src payload =
+    match payload with
+    | Update cg_j ->
+      t.cg <- Causal_graph.union t.cg cg_j;
+      t.promote <- Causal_graph.linearize ~tie_break:t.tie_break t.cg ~prefix:t.promote;
+      t.updates_handled <- t.updates_handled + 1
+    | Promote_seq promote_j ->
+      (* Adopt only from the currently trusted leader, and ignore stale
+         promotions: UpdatePromote makes one leader's promotions totally
+         ordered by the prefix relation, so an incoming sequence that is a
+         proper prefix of the current output is an older promotion arriving
+         out of order (the links of Section 2 are reliable but not FIFO).
+         Without this guard a reordered pair of promotes would revise d_i
+         backwards even under a stable leader, violating claim (P2). *)
+      if omega () = src
+      && promote_j <> Etob_intf.current_of t.backend
+      && not (t.stale_guard
+              && App_msg.is_prefix promote_j (Etob_intf.current_of t.backend))
+      then begin
+        t.promotes_adopted <- t.promotes_adopted + 1;
+        Etob_intf.set_delivered t.backend promote_j
+      end
+    | _ -> ()
+  in
+  let on_timer () =
+    if omega () = ctx.Engine.self then begin
+      t.promotes_sent <- t.promotes_sent + 1;
+      ctx.Engine.broadcast (Promote_seq t.promote)
+    end
+  in
+  let on_input = function
+    | Etob_intf.Broadcast_etob m -> broadcast t m
+    | _ -> ()
+  in
+  let node = { Engine.on_message; on_timer; on_input } in
+  (t, node)
+
+let service t = Etob_intf.service_of t.backend ~broadcast:(fun m -> broadcast t m)
+
+let graph t = t.cg
+let promotion t = t.promote
+let stats t = (t.updates_handled, t.promotes_sent, t.promotes_adopted)
+
+let () =
+  Msg.register_payload_pp (fun ppf -> function
+    | Update cg -> Fmt.pf ppf "update(%a)" Causal_graph.pp cg; true
+    | Promote_seq seq -> Fmt.pf ppf "promote(%a)" App_msg.pp_seq seq; true
+    | _ -> false)

@@ -1,0 +1,36 @@
+(** Algorithm 5 of the paper: eventual total order broadcast directly from
+    Omega, in any environment (Lemma 3).  Two communication steps per
+    delivery under a stable leader; full TOB if Omega is stable from the
+    start; causal order at all times. *)
+
+open Simulator
+open Simulator.Types
+
+type Msg.payload +=
+  | Update of Causal_graph.t
+  | Promote_seq of App_msg.t list
+
+type t
+
+val create :
+  ?tie_break:(App_msg.t -> App_msg.t -> int) ->
+  ?stale_guard:bool ->
+  Engine.ctx ->
+  omega:(unit -> proc_id) ->
+  t * Engine.node
+(** [tie_break] selects among the valid UpdatePromote linearizations; any
+    choice is correct (ablated in the benchmarks).  [stale_guard] (default
+    true) ignores a promote that is a proper prefix of the current output —
+    an older promotion reordered by the (non-FIFO) links; disabling it is
+    only for the ablation that shows claim (P2) needs it. *)
+
+val service : t -> Etob_intf.service
+
+val graph : t -> Causal_graph.t
+(** The current causality graph [CG_i]. *)
+
+val promotion : t -> App_msg.t list
+(** The current promotion sequence [promote_i]. *)
+
+val stats : t -> int * int * int
+(** (updates handled, promotes sent, promotes adopted). *)

@@ -1,0 +1,1 @@
+lib/detectors/omega.ml: Engine Failures Fmt List Simulator

@@ -1,0 +1,1 @@
+lib/detectors/omega.mli: Engine Failures Format Simulator

@@ -1,0 +1,1 @@
+lib/detectors/omega_election.ml: Array Engine Fmt List Msg Simulator

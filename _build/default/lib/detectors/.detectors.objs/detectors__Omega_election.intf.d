@@ -1,0 +1,1 @@
+lib/detectors/omega_election.mli: Engine Msg Simulator

@@ -1,0 +1,1 @@
+lib/detectors/sigma.ml: Engine Failures Fmt List Simulator

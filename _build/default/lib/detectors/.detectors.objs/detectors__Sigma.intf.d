@@ -1,0 +1,1 @@
+lib/detectors/sigma.mli: Engine Failures Format Simulator

@@ -1,0 +1,1 @@
+lib/detectors/suspicions.ml: Engine Failures List Simulator

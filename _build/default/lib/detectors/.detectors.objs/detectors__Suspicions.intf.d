@@ -1,0 +1,1 @@
+lib/detectors/suspicions.mli: Engine Failures Simulator

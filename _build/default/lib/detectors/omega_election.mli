@@ -1,0 +1,24 @@
+(** A message-passing emulation of Omega: heartbeats, adaptive timeouts, and
+    trust in the smallest unsuspected process.  Converges in any run whose
+    delays are eventually bounded (partial synchrony). *)
+
+open Simulator
+open Simulator.Types
+
+type Msg.payload += Heartbeat
+
+type t
+
+val create : Engine.ctx -> initial_timeout:int -> t * Engine.node
+(** [create ctx ~initial_timeout] is the election state together with the
+    protocol component to stack into the process's node.  Query {!leader}
+    at any point for the current trusted process. *)
+
+val leader : t -> proc_id
+(** The smallest currently unsuspected process (self if all suspected). *)
+
+val suspects : t -> proc_id list
+
+val false_suspicions : t -> int
+(** How many times a suspicion was retracted (each retraction doubles the
+    per-process timeout). *)

@@ -1,0 +1,26 @@
+(** The quorum failure detector Sigma.
+
+    Sigma outputs a set of processes at each process such that any two sets
+    output at any times intersect, and eventually every set output at a
+    correct process contains only correct processes.  Per the paper, Sigma
+    is exactly the computational gap between strong and eventual
+    consistency. *)
+
+open Simulator
+open Simulator.Types
+
+type t
+
+val make : Failures.pattern -> stabilize_at:time -> t
+(** Raises [Invalid_argument] if the pattern has no correct process. *)
+
+val anchor : t -> proc_id
+(** The correct process contained in every quorum this history ever
+    outputs (the witness of the intersection property). *)
+
+val query : t -> self:proc_id -> now:time -> proc_id list
+(** The quorum output at [self] at time [now]; sorted, duplicate-free. *)
+
+val module_of : t -> Engine.ctx -> unit -> proc_id list
+
+val pp : Format.formatter -> t -> unit

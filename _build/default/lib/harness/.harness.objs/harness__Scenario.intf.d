@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Detectors Ec_core Engine Etob_intf Failures Io Net Properties Simulator Trace Value

@@ -1,0 +1,1 @@
+lib/harness/timeline.ml: Array Buffer Commit_prefix Ec_core Ec_intf Eic_intf Etob_intf Failures List Printf Simulator String Trace

@@ -1,0 +1,114 @@
+(** Scenario harness: wires protocols, detectors, workloads and the engine
+    together, so tests, benchmarks and examples all build their runs the
+    same way. *)
+
+open Simulator
+open Simulator.Types
+open Ec_core
+
+type omega_source =
+  | Oracle of { stabilize_at : time; pre : Detectors.Omega.pre_behaviour }
+      (** The paper's model: Omega as a history oracle. *)
+  | Elected of { initial_timeout : int }
+      (** The heartbeat-based emulation of a running system. *)
+
+type setup = {
+  n : int;
+  seed : int;
+  deadline : time;
+  timer_period : int;  (** the paper's Delta_t *)
+  delay : Net.delay_fn;
+  pattern : Failures.pattern;
+  omega : omega_source;
+}
+
+val default : n:int -> deadline:time -> setup
+(** Failure-free, unit delays, oracle Omega stable from time 0. *)
+
+val engine_config : setup -> Engine.config
+
+val omega_module :
+  setup -> Engine.ctx -> (unit -> proc_id) * Engine.node
+(** Per-process Omega module: query closure plus maintaining component. *)
+
+val omega_stabilization : setup -> time option
+(** The configured tau_Omega, or [None] for the emulation. *)
+
+(** {2 Workloads} *)
+
+type Io.input += Post of string
+(** Ask the process to broadcast a fresh message with genuine causal
+    dependencies (allocated through the ETOB service). *)
+
+val post_driver : Etob_intf.service -> Engine.node
+
+val spread_posts :
+  n:int -> count:int -> from_time:time -> every:int ->
+  (time * proc_id * Io.input) list
+(** Round-robin senders posting one message every [every] ticks. *)
+
+(** {2 Protocol stacks} *)
+
+type etob_impl =
+  | Algorithm_5  (** the paper's direct ETOB from Omega *)
+  | Paxos_baseline  (** strong TOB from repeated consensus *)
+  | Algorithm_1_over_4  (** the EC-to-ETOB transformation over Algorithm 4 *)
+
+val etob_node :
+  setup -> etob_impl -> Engine.ctx -> Engine.node * Etob_intf.service
+
+val run_etob :
+  ?inputs:(time * proc_id * Io.input) list -> setup -> etob_impl -> Trace.t
+
+val etob_report : setup -> Trace.t -> Properties.etob_report
+
+val run_gossip_order :
+  ?inputs:(time * proc_id * Io.input) list -> setup -> Trace.t
+(** The leaderless gossip-ordering baseline (no Omega): converges only when
+    broadcasts stop — the E13 negative control. *)
+
+val run_etob_with_commits :
+  ?inputs:(time * proc_id * Io.input) list -> setup -> Trace.t
+(** Algorithm 5 plus the Section 7 committed-prefix indications. *)
+
+val run_ec_omega :
+  ?inputs:(time * proc_id * Io.input) list ->
+  setup ->
+  propose_value:(proc_id -> instance:int -> Value.t) ->
+  max_instance:int ->
+  Trace.t
+(** Bare Algorithm 4 with the self-driving proposer. *)
+
+val run_ec_lifted :
+  ?inputs:(time * proc_id * Io.input) list ->
+  setup ->
+  propose_value:(proc_id -> instance:int -> Value.t) ->
+  max_instance:int ->
+  Trace.t
+(** Multivalued EC through the binary lift over binary Algorithm 4 (inner
+    layer "ec-inner"). *)
+
+val run_ec_via_etob :
+  ?inputs:(time * proc_id * Io.input) list ->
+  setup ->
+  etob_impl ->
+  propose_value:(proc_id -> instance:int -> Value.t) ->
+  max_instance:int ->
+  Trace.t
+(** EC through Algorithm 2 over the given ETOB implementation. *)
+
+val run_eic_over_ec :
+  ?inputs:(time * proc_id * Io.input) list ->
+  setup ->
+  propose_value:(proc_id -> instance:int -> Value.t) ->
+  max_instance:int ->
+  Trace.t
+(** EIC through Algorithm 6 over Algorithm 4 (inner EC layer "ec-inner"). *)
+
+val run_ec_via_eic :
+  ?inputs:(time * proc_id * Io.input) list ->
+  setup ->
+  propose_value:(proc_id -> instance:int -> Value.t) ->
+  max_instance:int ->
+  Trace.t
+(** EC through Algorithm 7 over (Algorithm 6 over Algorithm 4). *)

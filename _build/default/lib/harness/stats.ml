@@ -1,0 +1,38 @@
+(* Small descriptive statistics over integer samples (latencies, counts),
+   shared by the benchmark tables. *)
+
+type t = {
+  count : int;
+  mean : float;
+  min : int;
+  max : int;
+  p50 : int;
+  p95 : int;
+}
+
+let percentile sorted p =
+  match sorted with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | _ ->
+    let len = List.length sorted in
+    let rank = int_of_float (ceil (p *. float_of_int len)) - 1 in
+    List.nth sorted (max 0 (min (len - 1) rank))
+
+let of_list samples =
+  match samples with
+  | [] -> None
+  | _ ->
+    let sorted = List.sort compare samples in
+    let count = List.length samples in
+    let sum = List.fold_left ( + ) 0 samples in
+    Some
+      { count;
+        mean = float_of_int sum /. float_of_int count;
+        min = List.hd sorted;
+        max = List.nth sorted (count - 1);
+        p50 = percentile sorted 0.5;
+        p95 = percentile sorted 0.95 }
+
+let pp ppf t =
+  Fmt.pf ppf "n=%d mean=%.1f min=%d p50=%d p95=%d max=%d" t.count t.mean t.min
+    t.p50 t.p95 t.max

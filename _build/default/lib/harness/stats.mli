@@ -1,0 +1,19 @@
+(** Descriptive statistics over integer samples, for benchmark tables. *)
+
+type t = {
+  count : int;
+  mean : float;
+  min : int;
+  max : int;
+  p50 : int;
+  p95 : int;
+}
+
+val of_list : int list -> t option
+(** [None] on an empty sample list. *)
+
+val percentile : int list -> float -> int
+(** [percentile sorted p] with [sorted] ascending and [p] in (0, 1].
+    Raises [Invalid_argument] on an empty list. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+(* ASCII timelines: one swimlane per process, one column per time bucket.
+
+   Renders the externally visible life of a run — broadcasts, revisions of
+   the delivered sequence, commitments, decisions, crashes — so scenarios
+   can be eyeballed from the CLI (`ecsim run --timeline`) and the examples.
+
+   Cell legend (later events in a bucket overwrite earlier, more specific
+   overwrite less):
+
+     .  alive, nothing visible        B  broadcast issued here
+     d  delivered sequence revised    C  committed prefix grew
+     D  EC decision returned          X  crashed (from here on: blank)      *)
+
+open Simulator
+open Simulator.Types
+open Ec_core
+
+type cell = Blank | Quiet | Broadcast | Deliver | Commit | Decide | Crash
+
+let rank = function
+  | Blank -> 0 | Quiet -> 1 | Deliver -> 2 | Commit -> 3 | Broadcast -> 4
+  | Decide -> 5 | Crash -> 6
+
+let glyph = function
+  | Blank -> ' ' | Quiet -> '.' | Broadcast -> 'B' | Deliver -> 'd'
+  | Commit -> 'C' | Decide -> 'D' | Crash -> 'X'
+
+let cell_of_output = function
+  | Etob_intf.Etob_broadcast _ -> Some Broadcast
+  | Etob_intf.Etob_deliver _ -> Some Deliver
+  | Commit_prefix.Committed _ -> Some Commit
+  | Ec_intf.Decide_ec _ -> Some Decide
+  | Eic_intf.Decide_eic _ -> Some Decide
+  | _ -> None
+
+let render ?(width = 72) ~pattern trace =
+  let horizon = max 1 (Trace.last_time trace) in
+  let columns = min width horizon in
+  let bucket t = min (columns - 1) (t * columns / (horizon + 1)) in
+  let n = Failures.n pattern in
+  let grid = Array.make_matrix n columns Quiet in
+  (* Blank out post-crash cells, mark the crash bucket. *)
+  List.iter
+    (fun p ->
+       match Failures.crash_time pattern p with
+       | None -> ()
+       | Some tc ->
+         let b = bucket tc in
+         grid.(p).(b) <- Crash;
+         let rec blank c =
+           if c < columns then begin grid.(p).(c) <- Blank; blank (c + 1) end
+         in
+         blank (b + 1))
+    (all_procs n);
+  let put p t cell =
+    let b = bucket t in
+    if rank cell > rank grid.(p).(b) && grid.(p).(b) <> Blank && grid.(p).(b) <> Crash
+    then grid.(p).(b) <- cell
+  in
+  List.iter
+    (fun (t, p, o) ->
+       match cell_of_output o with Some c -> put p t c | None -> ())
+    (Trace.outputs trace);
+  let buf = Buffer.create ((n + 2) * (columns + 8)) in
+  Buffer.add_string buf
+    (Printf.sprintf "t=0%s t=%d\n" (String.make (max 1 (columns - 4)) ' ') horizon);
+  List.iter
+    (fun p ->
+       Buffer.add_string buf (Printf.sprintf "p%-2d " p);
+       Array.iter (fun c -> Buffer.add_char buf (glyph c)) grid.(p);
+       Buffer.add_char buf '\n')
+    (all_procs n);
+  Buffer.add_string buf
+    "    (B broadcast, d deliver-revision, C commit, D decide, X crash)\n";
+  Buffer.contents buf

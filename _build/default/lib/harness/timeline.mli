@@ -1,0 +1,7 @@
+(** ASCII timelines of runs: one swimlane per process, with broadcasts,
+    delivery revisions, commitments, decisions and crashes. *)
+
+open Simulator
+
+val render : ?width:int -> pattern:Failures.pattern -> Trace.t -> string
+(** A multi-line rendering, [width] columns of time buckets (default 72). *)

@@ -1,0 +1,1 @@
+lib/replication/command.ml: Fmt Option Printf String

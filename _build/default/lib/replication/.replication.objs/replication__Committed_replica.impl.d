@@ -1,0 +1,1 @@
+lib/replication/committed_replica.ml: Array Command Ec_core Engine Fmt Io List Machines Replica Simulator

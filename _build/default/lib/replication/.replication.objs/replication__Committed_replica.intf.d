@@ -1,0 +1,1 @@
+lib/replication/committed_replica.mli: Command Ec_core Engine Failures Io Machines Simulator Trace

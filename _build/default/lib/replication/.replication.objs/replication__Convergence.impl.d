@@ -1,0 +1,1 @@
+lib/replication/convergence.ml: Array Failures List Replica Simulator Trace

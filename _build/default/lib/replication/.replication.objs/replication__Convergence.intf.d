@@ -1,0 +1,1 @@
+lib/replication/convergence.mli: Failures Simulator Trace

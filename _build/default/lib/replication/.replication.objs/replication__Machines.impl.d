@@ -1,0 +1,1 @@
+lib/replication/machines.ml: Command List Map String

@@ -1,0 +1,1 @@
+lib/replication/machines.mli: Command Map

@@ -1,0 +1,1 @@
+lib/replication/replica.ml: Command Ec_core Engine Fmt Io List Machines Simulator

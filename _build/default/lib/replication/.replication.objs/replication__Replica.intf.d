@@ -1,0 +1,1 @@
+lib/replication/replica.mli: Command Ec_core Engine Io Machines Simulator

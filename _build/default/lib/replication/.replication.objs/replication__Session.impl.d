@@ -1,0 +1,1 @@
+lib/replication/session.ml: Command Engine Fmt Io List Option Printf Simulator Trace

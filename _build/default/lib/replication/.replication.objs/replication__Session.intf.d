@@ -1,0 +1,1 @@
+lib/replication/session.mli: Command Engine Format Io Simulator Trace

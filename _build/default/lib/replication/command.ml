@@ -1,0 +1,48 @@
+(* Commands of the replicated service.
+
+   Commands are the application messages of the title's "replicated
+   service": clients broadcast them through (E)TOB and replicas apply the
+   delivered sequence to a deterministic state machine.  A command is
+   serialized into the broadcast message's tag; keys and values must not
+   contain ':' (checked at construction). *)
+
+type t =
+  | Incr of int
+  | Put of string * string
+  | Del of string
+  | Enqueue of string
+  | Dequeue
+  | Set_reg of string
+
+let check_atom what s =
+  if String.contains s ':' then
+    invalid_arg (Printf.sprintf "Command: %s must not contain ':' (%S)" what s)
+
+let incr amount = Incr amount
+let put key value = check_atom "key" key; check_atom "value" value; Put (key, value)
+let del key = check_atom "key" key; Del key
+let enqueue item = check_atom "item" item; Enqueue item
+let dequeue = Dequeue
+let set_reg value = check_atom "value" value; Set_reg value
+
+let to_tag = function
+  | Incr n -> Printf.sprintf "incr:%d" n
+  | Put (k, v) -> Printf.sprintf "put:%s:%s" k v
+  | Del k -> Printf.sprintf "del:%s" k
+  | Enqueue x -> Printf.sprintf "enq:%s" x
+  | Dequeue -> "deq"
+  | Set_reg v -> Printf.sprintf "set:%s" v
+
+let of_tag tag =
+  match String.split_on_char ':' tag with
+  | [ "incr"; n ] -> Option.map (fun n -> Incr n) (int_of_string_opt n)
+  | [ "put"; k; v ] -> Some (Put (k, v))
+  | [ "del"; k ] -> Some (Del k)
+  | [ "enq"; x ] -> Some (Enqueue x)
+  | [ "deq" ] -> Some Dequeue
+  | [ "set"; v ] -> Some (Set_reg v)
+  | _ -> None
+
+let equal a b = a = b
+
+let pp ppf c = Fmt.string ppf (to_tag c)

@@ -1,0 +1,26 @@
+(** Commands of the replicated service, serialized into broadcast message
+    tags. *)
+
+type t =
+  | Incr of int
+  | Put of string * string
+  | Del of string
+  | Enqueue of string
+  | Dequeue
+  | Set_reg of string
+
+val incr : int -> t
+val put : string -> string -> t
+(** Raises [Invalid_argument] if key or value contains [':']. *)
+
+val del : string -> t
+val enqueue : string -> t
+val dequeue : t
+val set_reg : string -> t
+
+val to_tag : t -> string
+val of_tag : string -> t option
+(** [of_tag (to_tag c) = Some c]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

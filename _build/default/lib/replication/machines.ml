@@ -1,0 +1,89 @@
+(* Deterministic sequential state machines.
+
+   State machine replication (Section 1) requires a deterministic machine:
+   replicas that apply the same command sequence reach the same state.  The
+   [digest] is a canonical rendering used by the convergence checkers —
+   equal digests iff equal states. *)
+
+module type MACHINE = sig
+  type state
+
+  val name : string
+  val init : state
+  val apply : state -> Command.t -> state
+  val digest : state -> string
+end
+
+module Counter : MACHINE with type state = int = struct
+  type state = int
+
+  let name = "counter"
+  let init = 0
+
+  let apply state = function
+    | Command.Incr n -> state + n
+    | Command.Put _ | Command.Del _ | Command.Enqueue _ | Command.Dequeue
+    | Command.Set_reg _ -> state
+
+  let digest = string_of_int
+end
+
+module Register : MACHINE with type state = string option = struct
+  type state = string option
+
+  let name = "register"
+  let init = None
+
+  let apply state = function
+    | Command.Set_reg v -> Some v
+    | Command.Incr _ | Command.Put _ | Command.Del _ | Command.Enqueue _
+    | Command.Dequeue -> state
+
+  let digest = function None -> "<none>" | Some v -> v
+end
+
+module String_map = Map.Make (String)
+
+module Kv : MACHINE with type state = string String_map.t = struct
+  type state = string String_map.t
+
+  let name = "kv"
+  let init = String_map.empty
+
+  let apply state = function
+    | Command.Put (k, v) -> String_map.add k v state
+    | Command.Del k -> String_map.remove k state
+    | Command.Incr _ | Command.Enqueue _ | Command.Dequeue | Command.Set_reg _ ->
+      state
+
+  let digest state =
+    String_map.bindings state
+    |> List.map (fun (k, v) -> k ^ "=" ^ v)
+    |> String.concat ","
+end
+
+module Fifo : MACHINE with type state = string list * string list = struct
+  (* A functional queue: (front, reversed back). *)
+  type state = string list * string list
+
+  let name = "fifo"
+  let init = ([], [])
+
+  let apply (front, back) = function
+    | Command.Enqueue x -> (front, x :: back)
+    | Command.Dequeue ->
+      (match front with
+       | _ :: rest -> (rest, back)
+       | [] ->
+         (match List.rev back with
+          | _ :: rest -> (rest, [])
+          | [] -> ([], [])))
+    | Command.Incr _ | Command.Put _ | Command.Del _ | Command.Set_reg _ ->
+      (front, back)
+
+  let digest (front, back) = String.concat "|" (front @ List.rev back)
+end
+
+(* Shared by tests: replay a full command sequence from the initial state. *)
+let replay (type s) (module M : MACHINE with type state = s) commands =
+  List.fold_left M.apply M.init commands

@@ -1,0 +1,26 @@
+(** Deterministic sequential state machines for state machine replication. *)
+
+module type MACHINE = sig
+  type state
+
+  val name : string
+  val init : state
+
+  val apply : state -> Command.t -> state
+  (** Deterministic; commands not understood by the machine are no-ops. *)
+
+  val digest : state -> string
+  (** Canonical rendering: equal digests iff equal states. *)
+end
+
+module Counter : MACHINE with type state = int
+module Register : MACHINE with type state = string option
+
+module String_map : Map.S with type key = string
+
+module Kv : MACHINE with type state = string String_map.t
+module Fifo : MACHINE with type state = string list * string list
+
+val replay :
+  (module MACHINE with type state = 's) -> Command.t list -> 's
+(** Apply a whole command sequence from the initial state. *)

@@ -1,0 +1,22 @@
+(** A replica: a deterministic state machine driven by an (E)TOB service.
+    Over ETOB this is the paper's eventually consistent replicated service;
+    over the strong TOB baseline, a classical replicated state machine. *)
+
+open Simulator
+
+type Io.input += Submit of Command.t
+(** Client request routed to this replica. *)
+
+type Io.output += Applied of { machine : string; count : int; digest : string }
+(** Recorded every time the replica re-applies the delivered sequence. *)
+
+module Make (M : Machines.MACHINE) : sig
+  type t
+
+  val create : Engine.ctx -> etob:Ec_core.Etob_intf.service -> t * Engine.node
+
+  val submit : t -> Command.t -> unit
+  val state : t -> M.state
+  val log : t -> Command.t list
+  val digest : t -> string
+end

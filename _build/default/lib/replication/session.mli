@@ -1,0 +1,38 @@
+(** Client sessions and the classical session guarantees (read-your-writes,
+    monotonic reads), counted over a run for any replica view — the
+    client-visible face of eventual consistency (experiment E14). *)
+
+open Simulator
+open Simulator.Types
+
+type Io.input += Session_step
+(** Drive one session step: read every view, then write the next value. *)
+
+type Io.output +=
+  | Session_write of { session : int; value : int }
+  | Session_read of { session : int; view : string; value : int option }
+
+type view = { v_name : string; v_lookup : unit -> string option }
+(** A named way to read the session's key at the local replica. *)
+
+type t
+
+val key_of : int -> string
+(** The per-session key ("s<id>"). *)
+
+val create :
+  Engine.ctx ->
+  session:int ->
+  views:view list ->
+  submit:(Command.t -> unit) ->
+  t * Engine.node
+
+type tally = {
+  reads : int;
+  ryw_violations : int;
+  mr_violations : int;
+  last_violation : time;
+}
+
+val tally_of_trace : Trace.t -> session:int -> view:string -> tally
+val pp_tally : Format.formatter -> tally -> unit

@@ -1,0 +1,1 @@
+lib/simulator/engine.ml: Array Failures Io List Msg Net Pqueue Rng Trace Types

@@ -1,0 +1,1 @@
+lib/simulator/engine.mli: Failures Io Msg Net Rng Trace Types

@@ -1,0 +1,1 @@
+lib/simulator/failures.ml: Array Fmt List Printf Rng Types

@@ -1,0 +1,1 @@
+lib/simulator/failures.mli: Format Rng Types

@@ -1,0 +1,1 @@
+lib/simulator/io.ml: Fmt Format

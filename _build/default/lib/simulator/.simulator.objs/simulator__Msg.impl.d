@@ -1,0 +1,1 @@
+lib/simulator/msg.ml: Fmt Format Types

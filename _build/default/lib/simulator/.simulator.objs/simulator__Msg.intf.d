@@ -1,0 +1,1 @@
+lib/simulator/msg.mli: Format Types

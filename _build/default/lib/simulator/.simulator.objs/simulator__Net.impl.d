@@ -1,0 +1,1 @@
+lib/simulator/net.ml: Hashtbl List Rng Types

@@ -1,0 +1,1 @@
+lib/simulator/net.mli: Rng Types

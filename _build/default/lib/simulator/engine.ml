@@ -1,0 +1,168 @@
+(* The discrete-event simulation engine.
+
+   This is the executable form of the computational model of Section 2: each
+   process is a deterministic automaton whose steps are triggered by message
+   deliveries, periodic local timeouts (the paper's "on local timeout"
+   clauses) and external inputs.  A step runs atomically: it may consult a
+   failure detector (protocols capture a detector closure at construction
+   time), update local state, send messages and produce outputs.
+
+   Admissibility (Section 2): every correct process takes infinitely many
+   steps, and every message sent to a correct process is eventually
+   received.  The engine realizes both on any finite horizon: timers fire
+   forever at every alive process, and every send is assigned a finite
+   delay, so only the configured deadline truncates the run. *)
+
+open Types
+
+type ctx = {
+  self : proc_id;
+  n : int;
+  now : unit -> time;
+  send : proc_id -> Msg.payload -> unit;
+  broadcast : Msg.payload -> unit;
+  output : Io.output -> unit;
+  rng : Rng.t;
+}
+
+type node = {
+  on_message : src:proc_id -> Msg.payload -> unit;
+  on_timer : unit -> unit;
+  on_input : Io.input -> unit;
+}
+
+let idle_node =
+  { on_message = (fun ~src:_ _ -> ()); on_timer = (fun () -> ()); on_input = (fun _ -> ()) }
+
+(* Run two protocol components side by side on the same process.  Both see
+   every event; components ignore payloads and inputs that are not theirs. *)
+let combine a b =
+  { on_message = (fun ~src payload -> a.on_message ~src payload; b.on_message ~src payload);
+    on_timer = (fun () -> a.on_timer (); b.on_timer ());
+    on_input = (fun input -> a.on_input input; b.on_input input) }
+
+let stack nodes = List.fold_left combine idle_node nodes
+
+type event =
+  | Deliver of Msg.envelope
+  | Timer of proc_id
+  | External_input of proc_id * Io.input
+
+type config = {
+  n : int;
+  pattern : Failures.pattern;
+  delay : Net.delay_fn;
+  timer_period : int;
+  seed : int;
+  deadline : time;
+}
+
+let default_config ~n ~deadline =
+  { n;
+    pattern = Failures.none ~n;
+    delay = Net.constant 1;
+    timer_period = 2;
+    seed = 42;
+    deadline }
+
+let check_config config =
+  if config.n < 2 then invalid_arg "Engine.run: n must be >= 2";
+  if Failures.n config.pattern <> config.n then
+    invalid_arg "Engine.run: pattern size does not match n";
+  if config.timer_period < 1 then invalid_arg "Engine.run: timer_period must be >= 1";
+  if config.deadline < 1 then invalid_arg "Engine.run: deadline must be >= 1"
+
+type state = {
+  config : config;
+  trace : Trace.t;
+  net_rng : Rng.t;
+  mutable queue : event Pqueue.t;
+  mutable clock : time;
+  mutable next_uid : int;
+}
+
+let schedule state ~at event =
+  state.queue <- Pqueue.insert state.queue ~prio:at event
+
+let alive state p = Failures.is_alive state.config.pattern p state.clock
+
+let make_ctx state p =
+  let send dst payload =
+    Trace.count_sent state.trace;
+    let now = state.clock in
+    let delay = Net.delay_of state.config.delay ~src:p ~dst ~now ~rng:state.net_rng in
+    let uid = state.next_uid in
+    state.next_uid <- uid + 1;
+    schedule state ~at:(now + delay)
+      (Deliver { Msg.src = p; dst; payload; sent_at = now; uid })
+  in
+  { self = p;
+    n = state.config.n;
+    now = (fun () -> state.clock);
+    send;
+    broadcast = (fun payload -> List.iter (fun q -> send q payload) (all_procs state.config.n));
+    output = (fun o -> Trace.record_output state.trace ~time:state.clock ~proc:p o);
+    rng = Rng.create (state.config.seed lxor (0x5157 * (p + 1)));
+  }
+
+let run_with config ~make_node ~inputs =
+  check_config config;
+  let state =
+    { config;
+      trace = Trace.create ~n:config.n;
+      net_rng = Rng.create (config.seed lxor 0x6e65);
+      queue = Pqueue.empty;
+      clock = 0;
+      next_uid = 0 }
+  in
+  let pairs =
+    Array.init config.n (fun p -> make_node (make_ctx state p))
+  in
+  let nodes = Array.map fst pairs in
+  (* Stagger first timer fires so processes are not in lockstep. *)
+  List.iter
+    (fun p -> schedule state ~at:(1 + (p mod config.timer_period)) (Timer p))
+    (all_procs config.n);
+  List.iter
+    (fun (t, p, input) ->
+       if t < 0 then invalid_arg "Engine.run: negative input time";
+       schedule state ~at:t (External_input (p, input)))
+    inputs;
+  let rec loop () =
+    match Pqueue.pop state.queue with
+    | None -> ()
+    | Some ((at, event), rest) ->
+      state.queue <- rest;
+      if at <= config.deadline then begin
+        state.clock <- at;
+        (match event with
+         | Deliver env ->
+           if alive state env.Msg.dst then begin
+             Trace.count_delivered state.trace;
+             Trace.count_step state.trace;
+             nodes.(env.Msg.dst).on_message ~src:env.Msg.src env.Msg.payload
+           end
+           else Trace.count_dropped state.trace
+         | Timer p ->
+           if alive state p then begin
+             Trace.count_step state.trace;
+             nodes.(p).on_timer ();
+             schedule state ~at:(at + config.timer_period) (Timer p)
+           end
+         | External_input (p, input) ->
+           if alive state p then begin
+             Trace.record_input state.trace ~time:at ~proc:p input;
+             Trace.count_step state.trace;
+             nodes.(p).on_input input
+           end);
+        loop ()
+      end
+  in
+  loop ();
+  (state.trace, Array.map snd pairs)
+
+let run config ~make_node ~inputs =
+  let trace, _ =
+    run_with config ~make_node:(fun ctx -> (make_node ctx, ())) ~inputs
+  in
+  trace

@@ -1,0 +1,64 @@
+(** The discrete-event simulation engine: the executable form of the paper's
+    computational model (Section 2).
+
+    Each process is a deterministic automaton whose steps are triggered by
+    message deliveries, periodic local timeouts and external inputs.  Every
+    run is a pure function of its {!config}: the same configuration always
+    produces the same trace. *)
+
+open Types
+
+type ctx = {
+  self : proc_id;
+  n : int;
+  now : unit -> time;  (** current global time — for oracles, not protocols *)
+  send : proc_id -> Msg.payload -> unit;
+  broadcast : Msg.payload -> unit;  (** send to every process, including self *)
+  output : Io.output -> unit;  (** record an output-history event *)
+  rng : Rng.t;  (** per-process deterministic randomness *)
+}
+(** Capabilities handed to a process at construction time. *)
+
+type node = {
+  on_message : src:proc_id -> Msg.payload -> unit;
+  on_timer : unit -> unit;
+  on_input : Io.input -> unit;
+}
+(** A protocol component.  Components must ignore payloads and inputs they do
+    not recognize, so several components can share one process. *)
+
+val idle_node : node
+
+val combine : node -> node -> node
+(** Run two components side by side; both see every event. *)
+
+val stack : node list -> node
+
+type config = {
+  n : int;
+  pattern : Failures.pattern;
+  delay : Net.delay_fn;
+  timer_period : int;  (** the paper's local-timeout period, Delta_t *)
+  seed : int;
+  deadline : time;  (** run horizon; only truncation, never unfairness *)
+}
+
+val default_config : n:int -> deadline:time -> config
+(** Failure-free, unit delays, timer period 2, seed 42. *)
+
+val run :
+  config ->
+  make_node:(ctx -> node) ->
+  inputs:(time * proc_id * Io.input) list ->
+  Trace.t
+(** Run to the deadline and return the trace.  Crashed processes take no
+    steps from their crash time on; messages addressed to them are dropped;
+    all other messages are delivered after their model delay. *)
+
+val run_with :
+  config ->
+  make_node:(ctx -> node * 'a) ->
+  inputs:(time * proc_id * Io.input) list ->
+  Trace.t * 'a array
+(** Like {!run} but also returns one caller-chosen handle per process
+    (typically a view on the protocol's internal state). *)

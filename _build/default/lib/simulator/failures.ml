@@ -1,0 +1,92 @@
+(* Failure patterns and environments (Section 2 of the paper).
+
+   A failure pattern is a function F : N -> 2^Pi giving the set of processes
+   crashed by each time; processes never recover.  We represent it compactly
+   as an optional crash time per process.  An environment is a set of failure
+   patterns; we represent environments as predicates plus generators. *)
+
+open Types
+
+type pattern = { n : int; crash_time : time option array }
+
+let none ~n =
+  if n < 2 then invalid_arg "Failures.none: need n >= 2";
+  { n; crash_time = Array.make n None }
+
+let crash_at pattern p t =
+  if not (is_valid_proc ~n:pattern.n p) then invalid_arg "Failures.crash_at: bad proc";
+  if t < 0 then invalid_arg "Failures.crash_at: negative time";
+  let crash_time = Array.copy pattern.crash_time in
+  (* Keep the earliest crash time if crashed twice. *)
+  (match crash_time.(p) with
+   | Some t0 when t0 <= t -> ()
+   | _ -> crash_time.(p) <- Some t);
+  { pattern with crash_time }
+
+let of_crashes ~n crashes =
+  List.fold_left (fun acc (p, t) -> crash_at acc p t) (none ~n) crashes
+
+let n pattern = pattern.n
+
+let crash_time pattern p = pattern.crash_time.(p)
+
+let is_faulty pattern p = crash_time pattern p <> None
+let is_correct pattern p = crash_time pattern p = None
+
+let is_alive pattern p t =
+  match crash_time pattern p with None -> true | Some tc -> t < tc
+
+let crashed_by pattern t =
+  List.filter (fun p -> not (is_alive pattern p t)) (all_procs pattern.n)
+
+let correct pattern = List.filter (is_correct pattern) (all_procs pattern.n)
+let faulty pattern = List.filter (is_faulty pattern) (all_procs pattern.n)
+
+let correct_count pattern = List.length (correct pattern)
+
+let has_correct_majority pattern = 2 * correct_count pattern > pattern.n
+
+let min_correct pattern =
+  match correct pattern with
+  | [] -> None
+  | p :: _ -> Some p (* all_procs is ascending, so the head is the minimum *)
+
+(* Environments, i.e. admissible sets of failure patterns. *)
+type environment = {
+  name : string;
+  admits : pattern -> bool;
+}
+
+let any_environment =
+  { name = "any"; admits = (fun pattern -> correct_count pattern >= 1) }
+
+let majority_environment =
+  { name = "majority-correct"; admits = has_correct_majority }
+
+let t_resilient t =
+  { name = Printf.sprintf "%d-resilient" t;
+    admits = (fun pattern -> List.length (faulty pattern) <= t) }
+
+let admits env pattern = env.admits pattern
+
+(* Deterministic random pattern generation for tests and sweeps.
+   [max_faulty] bounds the number of crashes; crash times fall in
+   [0, horizon]. *)
+let random ~rng ~n ~max_faulty ~horizon =
+  if max_faulty >= n then invalid_arg "Failures.random: at least one correct process required";
+  let faulty_count = Rng.int rng (max_faulty + 1) in
+  let victims =
+    let shuffled = Rng.shuffle rng (all_procs n) in
+    List.filteri (fun i _ -> i < faulty_count) shuffled
+  in
+  List.fold_left
+    (fun acc p -> crash_at acc p (Rng.int rng (horizon + 1)))
+    (none ~n) victims
+
+let pp ppf pattern =
+  let pp_one ppf p =
+    match crash_time pattern p with
+    | None -> Fmt.pf ppf "%a:ok" pp_proc p
+    | Some t -> Fmt.pf ppf "%a:crash@%d" pp_proc p t
+  in
+  Fmt.pf ppf "{%a}" (Fmt.list ~sep:Fmt.comma pp_one) (all_procs pattern.n)

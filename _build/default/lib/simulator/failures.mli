@@ -1,0 +1,61 @@
+(** Failure patterns and environments (Section 2 of the paper).
+
+    A failure pattern is a function [F : N -> 2^Pi] giving the set of
+    processes crashed by each time; processes never recover.  An environment
+    is a set of failure patterns. *)
+
+open Types
+
+type pattern
+
+val none : n:int -> pattern
+(** The failure-free pattern over [n >= 2] processes. *)
+
+val crash_at : pattern -> proc_id -> time -> pattern
+(** [crash_at f p t] crashes [p] at time [t] (keeps the earlier time if [p]
+    was already crashed). *)
+
+val of_crashes : n:int -> (proc_id * time) list -> pattern
+
+val n : pattern -> int
+val crash_time : pattern -> proc_id -> time option
+
+val is_faulty : pattern -> proc_id -> bool
+(** [p] eventually crashes in this pattern. *)
+
+val is_correct : pattern -> proc_id -> bool
+
+val is_alive : pattern -> proc_id -> time -> bool
+(** [is_alive f p t] holds iff [p] has not crashed by time [t]. *)
+
+val crashed_by : pattern -> time -> proc_id list
+(** [F(t)]: processes crashed by time [t]. *)
+
+val correct : pattern -> proc_id list
+(** [correct(F)], ascending. *)
+
+val faulty : pattern -> proc_id list
+(** [faulty(F)], ascending. *)
+
+val correct_count : pattern -> int
+val has_correct_majority : pattern -> bool
+
+val min_correct : pattern -> proc_id option
+(** The smallest-id correct process (the canonical eventual leader). *)
+
+type environment = { name : string; admits : pattern -> bool }
+
+val any_environment : environment
+(** Any pattern with at least one correct process — the paper's "any
+    environment". *)
+
+val majority_environment : environment
+val t_resilient : int -> environment
+val admits : environment -> pattern -> bool
+
+val random :
+  rng:Rng.t -> n:int -> max_faulty:int -> horizon:time -> pattern
+(** A deterministic random pattern with at most [max_faulty < n] crashes, all
+    at times within [0, horizon]. *)
+
+val pp : Format.formatter -> pattern -> unit

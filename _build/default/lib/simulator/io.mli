@@ -1,0 +1,21 @@
+(** Inputs and outputs exchanged between a process and the external world.
+
+    A problem, in the sense of Section 2 of the paper, is a set of pairs
+    [(H_I, H_O)] of input and output histories.  Each abstraction extends
+    the two variant types below with its own operations (e.g.
+    [broadcastETOB], [proposeEC]) and responses (e.g. [DecideEC]). *)
+
+type input = ..
+type output = ..
+
+type input += Tick_input | String_input of string
+type output += String_output of string
+
+val register_input_pp : (Format.formatter -> input -> bool) -> unit
+(** Register a printer for an extension of {!input}.  The printer returns
+    [true] if it handled the value. *)
+
+val register_output_pp : (Format.formatter -> output -> bool) -> unit
+
+val pp_input : Format.formatter -> input -> unit
+val pp_output : Format.formatter -> output -> unit

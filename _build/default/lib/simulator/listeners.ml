@@ -1,0 +1,13 @@
+(* A tiny observer registry: protocol services expose "on_event" hooks so
+   transformations can stack on top of each other (Algorithm 1 listens to EC
+   decisions, Algorithm 2 listens to ETOB deliveries, ...). *)
+
+type 'a t = { mutable callbacks : ('a -> unit) list }
+
+let create () = { callbacks = [] }
+
+let register t f = t.callbacks <- t.callbacks @ [ f ]
+
+let fire t x = List.iter (fun f -> f x) t.callbacks
+
+let count t = List.length t.callbacks

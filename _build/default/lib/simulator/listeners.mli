@@ -1,0 +1,13 @@
+(** A tiny observer registry: services expose hooks so protocol
+    transformations can stack (Algorithm 1 listens to EC decisions,
+    Algorithm 2 to ETOB deliveries, ...). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val register : 'a t -> ('a -> unit) -> unit
+(** Callbacks fire in registration order. *)
+
+val fire : 'a t -> 'a -> unit
+val count : 'a t -> int

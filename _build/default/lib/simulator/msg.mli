@@ -1,0 +1,25 @@
+(** Network messages with an extensible payload type.
+
+    Each protocol library defines its own payload constructors; the engine
+    treats payloads opaquely.  Protocol components ignore payloads they do
+    not recognize, which allows stacking several protocols on one node. *)
+
+open Types
+
+type payload = ..
+
+type envelope = {
+  src : proc_id;
+  dst : proc_id;
+  payload : payload;
+  sent_at : time;
+  uid : int;
+}
+(** A message in transit. [uid] is unique within a run. *)
+
+val register_payload_pp : (Format.formatter -> payload -> bool) -> unit
+(** Register a printer for an extension of {!payload}; it returns [true] if
+    it handled the value. *)
+
+val pp_payload : Format.formatter -> payload -> unit
+val pp_envelope : Format.formatter -> envelope -> unit

@@ -1,0 +1,100 @@
+(* Network delay models.
+
+   The paper assumes reliable links between every pair of processes in an
+   asynchronous system: messages sent to correct processes are eventually
+   received, but with no bound on delay.  A delay model assigns every send a
+   finite positive delay, so eventual delivery holds by construction;
+   asynchrony and partitions are modelled as (finitely) large delays. *)
+
+open Types
+
+type delay_fn = src:proc_id -> dst:proc_id -> now:time -> rng:Rng.t -> int
+
+let constant d : delay_fn =
+  if d < 1 then invalid_arg "Net.constant: delay must be >= 1";
+  fun ~src:_ ~dst:_ ~now:_ ~rng:_ -> d
+
+let uniform ~min ~max : delay_fn =
+  if min < 1 || max < min then invalid_arg "Net.uniform: need 1 <= min <= max";
+  fun ~src:_ ~dst:_ ~now:_ ~rng -> Rng.in_range rng ~min ~max
+
+(* Local delivery (self messages) in one tick, remote per [remote]. *)
+let local_fast ~remote : delay_fn =
+  fun ~src ~dst ~now ~rng -> if src = dst then 1 else remote ~src ~dst ~now ~rng
+
+(* A partition separates the processes into blocks during [from, until).
+   Messages crossing blocks during the partition are delayed until just
+   after the partition heals (plus their base delay), which models a
+   partition in an asynchronous system with reliable links: nothing is lost,
+   everything is late. *)
+type partition_spec = {
+  blocks : proc_id list list;
+  from_time : time;
+  until_time : time;
+}
+
+let block_of spec p =
+  let rec find i = function
+    | [] -> None
+    | b :: rest -> if List.mem p b then Some i else find (i + 1) rest
+  in
+  find 0 spec.blocks
+
+let same_block spec p q =
+  match block_of spec p, block_of spec q with
+  | Some i, Some j -> i = j
+  | _, _ -> true (* processes outside every block are unaffected *)
+
+let partitioned spec ~(base : delay_fn) : delay_fn =
+  if spec.until_time < spec.from_time then
+    invalid_arg "Net.partitioned: until_time < from_time";
+  fun ~src ~dst ~now ~rng ->
+    let d = base ~src ~dst ~now ~rng in
+    if now >= spec.from_time && now < spec.until_time && not (same_block spec src dst)
+    then spec.until_time - now + d
+    else d
+
+(* An asynchrony burst: during [from, until), delays are inflated by
+   [factor].  Used to exercise the "no bound on delay between steps"
+   clause without a structured partition. *)
+let slow_period ~from_time ~until_time ~factor ~(base : delay_fn) : delay_fn =
+  if factor < 1 then invalid_arg "Net.slow_period: factor must be >= 1";
+  fun ~src ~dst ~now ~rng ->
+    let d = base ~src ~dst ~now ~rng in
+    if now >= from_time && now < until_time then d * factor else d
+
+(* Partial synchrony with a global stabilization time (Dwork-Lynch-
+   Stockmeyer): before [gst], delays are chaotic up to [chaos_max]; from
+   [gst] on, every delay is bounded by [bound].  This is the environment
+   in which timeout-based Omega emulations are actually justified — fully
+   asynchronous runs admit no Omega implementation at all, which is why
+   the paper treats Omega as an oracle. *)
+let partial_synchrony ~gst ~bound ~chaos_max : delay_fn =
+  if bound < 1 || chaos_max < bound then
+    invalid_arg "Net.partial_synchrony: need 1 <= bound <= chaos_max";
+  fun ~src:_ ~dst:_ ~now ~rng ->
+    if now >= gst then 1 + Rng.int rng bound
+    else 1 + Rng.int rng chaos_max
+
+(* A stateful FIFO wrapper: per ordered pair (src, dst), a message never
+   overtakes an earlier one — its delivery time is clamped to strictly
+   after the previous message's.  The paper's links are reliable but not
+   FIFO; this wrapper lets experiments isolate how much of a protocol's
+   behaviour depends on ordering (e.g. the stale-promote guard of
+   Algorithm 5 becomes unnecessary under FIFO). *)
+let fifo ~(base : delay_fn) () : delay_fn =
+  let last_arrival : (proc_id * proc_id, time) Hashtbl.t = Hashtbl.create 64 in
+  fun ~src ~dst ~now ~rng ->
+    let d = base ~src ~dst ~now ~rng in
+    let arrival = now + max 1 d in
+    let arrival =
+      match Hashtbl.find_opt last_arrival (src, dst) with
+      | Some prev when arrival <= prev -> prev + 1
+      | Some _ | None -> arrival
+    in
+    Hashtbl.replace last_arrival (src, dst) arrival;
+    arrival - now
+
+let delay_of (f : delay_fn) ~src ~dst ~now ~rng =
+  let d = f ~src ~dst ~now ~rng in
+  if d < 1 then 1 else d

@@ -1,0 +1,54 @@
+(** Network delay models.
+
+    The paper assumes reliable links in an asynchronous system: every
+    message sent to a correct process is eventually received, with no bound
+    on delay.  A delay model assigns every send a finite positive delay, so
+    eventual delivery holds by construction; asynchrony and partitions are
+    modelled as (finitely) large delays. *)
+
+open Types
+
+type delay_fn = src:proc_id -> dst:proc_id -> now:time -> rng:Rng.t -> int
+(** Delay, in ticks, applied to a message sent now from [src] to [dst]. *)
+
+val constant : int -> delay_fn
+(** Every message takes exactly [d >= 1] ticks: one "communication step". *)
+
+val uniform : min:int -> max:int -> delay_fn
+(** Uniformly random delay in [\[min, max\]], [1 <= min <= max]. *)
+
+val local_fast : remote:delay_fn -> delay_fn
+(** Self-addressed messages take one tick; others follow [remote]. *)
+
+type partition_spec = {
+  blocks : proc_id list list;
+  from_time : time;
+  until_time : time;
+}
+(** A partition into [blocks] during [\[from_time, until_time)). *)
+
+val block_of : partition_spec -> proc_id -> int option
+val same_block : partition_spec -> proc_id -> proc_id -> bool
+
+val partitioned : partition_spec -> base:delay_fn -> delay_fn
+(** Cross-block messages sent during the partition are delivered only after
+    it heals (plus their base delay); nothing is lost. *)
+
+val slow_period :
+  from_time:time -> until_time:time -> factor:int -> base:delay_fn -> delay_fn
+(** Inflate delays by [factor] during a window — an asynchrony burst. *)
+
+val partial_synchrony : gst:time -> bound:int -> chaos_max:int -> delay_fn
+(** Dwork–Lynch–Stockmeyer partial synchrony: chaotic delays up to
+    [chaos_max] before the global stabilization time [gst], all delays
+    within [bound] afterwards. *)
+
+val fifo : base:delay_fn -> unit -> delay_fn
+(** A stateful wrapper making each ordered link FIFO: no message overtakes
+    an earlier one.  The paper's links are reliable but not FIFO; use this
+    to isolate ordering-dependence in experiments.  Stateful: create a
+    fresh wrapper for every run, never share one across runs. *)
+
+val delay_of :
+  delay_fn -> src:proc_id -> dst:proc_id -> now:time -> rng:Rng.t -> int
+(** Evaluate a model, clamping the result to at least 1 tick. *)

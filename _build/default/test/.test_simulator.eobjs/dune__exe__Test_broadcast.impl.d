@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Broadcast Causal_broadcast Engine Failures Io List Msg Net Printf QCheck QCheck_alcotest Reliable_broadcast Simulator String Trace Vector_clock

@@ -1,0 +1,1 @@
+test/test_cht.ml: Alcotest Array Cht Dag Dag_protocol Detectors Engine Extraction Failures Fd_value List Printf Pure QCheck QCheck_alcotest Schedule Sim_tree Simulator

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest App_msg Consensus Detectors Ec_core Engine Etob_intf Failures Format Harness List Net Printf Properties QCheck QCheck_alcotest Rng Simulator Trace Value

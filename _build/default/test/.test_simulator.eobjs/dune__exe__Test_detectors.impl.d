@@ -1,0 +1,1 @@
+test/test_detectors.ml: Alcotest Array Detectors Engine Failures Format List Net QCheck QCheck_alcotest Rng Simulator

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest App_msg Detectors Ec_core Engine Failures Format Harness List Net Properties QCheck QCheck_alcotest Simulator String Trace

@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Engine Failures Format Io List Listeners Msg Net Pqueue QCheck QCheck_alcotest Rng Simulator Trace

@@ -1,0 +1,229 @@
+(* Tests for the broadcast substrates: vector clocks (order-theoretic laws),
+   reliable broadcast (validity/agreement/integrity) and causal broadcast
+   (causal delivery). *)
+
+open Simulator
+open Simulator.Types
+open Broadcast
+
+(* ------------------------------------------------------------------ *)
+(* Vector clocks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let vc_of = Vector_clock.of_list
+
+let test_vc_basics () =
+  let z = Vector_clock.zero ~n:3 in
+  Alcotest.(check (list int)) "zero" [ 0; 0; 0 ] (Vector_clock.to_list z);
+  let t = Vector_clock.tick z 1 in
+  Alcotest.(check (list int)) "tick" [ 0; 1; 0 ] (Vector_clock.to_list t);
+  Alcotest.(check (list int)) "tick pure" [ 0; 0; 0 ] (Vector_clock.to_list z);
+  Alcotest.(check int) "get" 1 (Vector_clock.get t 1);
+  Alcotest.(check int) "sum" 1 (Vector_clock.sum t)
+
+let test_vc_order () =
+  let a = vc_of [ 1; 0; 0 ] and b = vc_of [ 1; 1; 0 ] and c = vc_of [ 0; 2; 0 ] in
+  Alcotest.(check bool) "a <= b" true (Vector_clock.leq a b);
+  Alcotest.(check bool) "a < b" true (Vector_clock.lt a b);
+  Alcotest.(check bool) "b not <= a" false (Vector_clock.leq b a);
+  Alcotest.(check bool) "a || c" true (Vector_clock.concurrent a c);
+  Alcotest.(check bool) "merge is lub" true
+    (Vector_clock.equal (Vector_clock.merge a c) (vc_of [ 1; 2; 0 ]))
+
+let vc_gen =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+    QCheck.Gen.(list_size (return 3) (int_range 0 5))
+
+let prop_vc_partial_order =
+  QCheck.Test.make ~name:"vector_clock: leq is a partial order" ~count:300
+    (QCheck.triple vc_gen vc_gen vc_gen)
+    (fun (a, b, c) ->
+       let a = vc_of a and b = vc_of b and c = vc_of c in
+       let leq = Vector_clock.leq in
+       leq a a
+       && (not (leq a b && leq b a) || Vector_clock.equal a b)
+       && (not (leq a b && leq b c) || leq a c))
+
+let prop_vc_merge_lub =
+  QCheck.Test.make ~name:"vector_clock: merge is the least upper bound" ~count:300
+    (QCheck.triple vc_gen vc_gen vc_gen)
+    (fun (a, b, c) ->
+       let a = vc_of a and b = vc_of b and c = vc_of c in
+       let m = Vector_clock.merge a b in
+       Vector_clock.leq a m && Vector_clock.leq b m
+       && (not (Vector_clock.leq a c && Vector_clock.leq b c) || Vector_clock.leq m c))
+
+let prop_vc_merge_commutative_idempotent =
+  QCheck.Test.make ~name:"vector_clock: merge commutative and idempotent" ~count:300
+    (QCheck.pair vc_gen vc_gen)
+    (fun (a, b) ->
+       let a = vc_of a and b = vc_of b in
+       Vector_clock.equal (Vector_clock.merge a b) (Vector_clock.merge b a)
+       && Vector_clock.equal (Vector_clock.merge a a) a)
+
+(* ------------------------------------------------------------------ *)
+(* Reliable broadcast                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type Msg.payload += Word of string
+type Io.output += Delivered_word of proc_id * int * string
+
+(* Each process rb-broadcasts one word at its first timer tick. *)
+let rb_node words (ctx : Engine.ctx) =
+  let deliver ~origin ~sn payload =
+    match payload with
+    | Word w -> ctx.Engine.output (Delivered_word (origin, sn, w))
+    | _ -> ()
+  in
+  let rb, rb_component = Reliable_broadcast.create ctx ~deliver in
+  let fired = ref false in
+  let sender =
+    { Engine.idle_node with
+      on_timer =
+        (fun () ->
+           if not !fired then begin
+             fired := true;
+             match List.nth_opt words ctx.Engine.self with
+             | Some w -> Reliable_broadcast.broadcast rb (Word w)
+             | None -> ()
+           end) }
+  in
+  Engine.stack [ rb_component; sender ]
+
+let rb_deliveries trace p =
+  List.filter_map
+    (fun (_, q, o) ->
+       match o with
+       | Delivered_word (origin, sn, w) when q = p -> Some (origin, sn, w)
+       | _ -> None)
+    (Trace.outputs trace)
+
+let test_rb_validity_and_agreement () =
+  let words = [ "a"; "b"; "c" ] in
+  let config = Engine.default_config ~n:3 ~deadline:40 in
+  let trace = Engine.run config ~make_node:(rb_node words) ~inputs:[] in
+  List.iter
+    (fun p ->
+       let got = List.sort compare (rb_deliveries trace p) in
+       Alcotest.(check (list (triple int int string))) "all delivered once"
+         [ (0, 0, "a"); (1, 0, "b"); (2, 0, "c") ] got)
+    [ 0; 1; 2 ]
+
+let test_rb_no_duplication_under_relay () =
+  (* Random delays cause relays to race; each (origin, sn) still delivers
+     exactly once. *)
+  let config = { (Engine.default_config ~n:4 ~deadline:80) with
+                 delay = Net.uniform ~min:1 ~max:7; seed = 9 } in
+  let trace = Engine.run config ~make_node:(rb_node [ "w"; "x"; "y"; "z" ]) ~inputs:[] in
+  List.iter
+    (fun p ->
+       let got = rb_deliveries trace p in
+       Alcotest.(check int) "four" 4 (List.length got);
+       Alcotest.(check int) "unique" 4
+         (List.length (List.sort_uniq compare got)))
+    [ 0; 1; 2; 3 ]
+
+let test_rb_agreement_with_crashed_origin () =
+  (* p0 broadcasts at t=1 and crashes at t=2: with unit delays everyone has
+     the message by then, and relaying preserves agreement among the rest. *)
+  let pattern = Failures.of_crashes ~n:3 [ (0, 2) ] in
+  let config = { (Engine.default_config ~n:3 ~deadline:40) with pattern } in
+  let trace = Engine.run config ~make_node:(rb_node [ "a" ]) ~inputs:[] in
+  List.iter
+    (fun p ->
+       Alcotest.(check (list (triple int int string))) "survivors deliver"
+         [ (0, 0, "a") ] (rb_deliveries trace p))
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Causal broadcast                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type Io.output += Delivered_causal of proc_id * string
+
+(* p0 broadcasts "hello"; on delivering it, p1 broadcasts "re:hello".
+   Causal delivery requires "hello" before "re:hello" everywhere. *)
+let cb_node (ctx : Engine.ctx) =
+  let cb_ref = ref None in
+  let deliver ~origin ~vc:_ payload =
+    match payload with
+    | Word w ->
+      ctx.Engine.output (Delivered_causal (origin, w));
+      (match !cb_ref with
+       | Some cb when ctx.Engine.self = 1 && w = "hello" ->
+         Causal_broadcast.broadcast cb (Word "re:hello")
+       | _ -> ())
+    | _ -> ()
+  in
+  let cb, component = Causal_broadcast.create ctx ~deliver in
+  cb_ref := Some cb;
+  let fired = ref false in
+  let sender =
+    { Engine.idle_node with
+      on_timer =
+        (fun () ->
+           if ctx.Engine.self = 0 && not !fired then begin
+             fired := true;
+             Causal_broadcast.broadcast cb (Word "hello")
+           end) }
+  in
+  Engine.stack [ component; sender ]
+
+let causal_deliveries trace p =
+  List.filter_map
+    (fun (_, q, o) ->
+       match o with Delivered_causal (o', w) when q = p -> Some (o', w) | _ -> None)
+    (Trace.outputs trace)
+
+let test_cb_causal_order_holds () =
+  (* Make p1's reply race ahead of the original with adversarial delays:
+     the holdback queue must still deliver "hello" first everywhere. *)
+  let config = { (Engine.default_config ~n:3 ~deadline:100) with
+                 delay = Net.uniform ~min:1 ~max:9; seed = 77 } in
+  let trace = Engine.run config ~make_node:cb_node ~inputs:[] in
+  List.iter
+    (fun p ->
+       match causal_deliveries trace p with
+       | [ (0, "hello"); (1, "re:hello") ] -> ()
+       | got ->
+         Alcotest.failf "p%d delivered %s" p
+           (String.concat "," (List.map snd got)))
+    [ 0; 1; 2 ]
+
+let test_cb_all_seeds () =
+  (* The causal order must hold for every seed, not by luck. *)
+  let rec go seed =
+    if seed < 30 then begin
+      let config = { (Engine.default_config ~n:3 ~deadline:120) with
+                     delay = Net.uniform ~min:1 ~max:11; seed } in
+      let trace = Engine.run config ~make_node:cb_node ~inputs:[] in
+      List.iter
+        (fun p ->
+           Alcotest.(check (list (pair int string)))
+             (Printf.sprintf "seed %d p%d" seed p)
+             [ (0, "hello"); (1, "re:hello") ]
+             (causal_deliveries trace p))
+        [ 0; 1; 2 ];
+      go (seed + 1)
+    end
+  in
+  go 0
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest
+      [ prop_vc_partial_order; prop_vc_merge_lub; prop_vc_merge_commutative_idempotent ]
+  in
+  Alcotest.run "broadcast"
+    [ ("vector_clock",
+       [ Alcotest.test_case "basics" `Quick test_vc_basics;
+         Alcotest.test_case "order" `Quick test_vc_order ]
+       @ qc);
+      ("reliable_broadcast",
+       [ Alcotest.test_case "validity and agreement" `Quick test_rb_validity_and_agreement;
+         Alcotest.test_case "no duplication" `Quick test_rb_no_duplication_under_relay;
+         Alcotest.test_case "crashed origin" `Quick test_rb_agreement_with_crashed_origin ]);
+      ("causal_broadcast",
+       [ Alcotest.test_case "causal order" `Quick test_cb_causal_order_holds;
+         Alcotest.test_case "causal order, many seeds" `Quick test_cb_all_seeds ]);
+    ]

@@ -1,0 +1,508 @@
+(* Tests for the CHT reduction machinery (Section 4 + Appendix B): sample
+   DAGs, the pure Algorithm-4 automaton, simulation trees, k-tags,
+   bivalence, decision gadgets and the Omega-extraction loop. *)
+
+open Simulator
+open Cht
+
+let omega_sampler omega p t = Fd_value.leader (Detectors.Omega.query omega ~self:p ~now:t)
+
+let ep_sampler ep p t = Fd_value.suspects (Detectors.Suspicions.query_ep ep ~self:p ~now:t)
+
+let build_dag ?(n = 2) ?(rounds = 8) ?(period = 4) ?(gossip = 4)
+    ?(pattern = None) ?(omega_stabilize = 12) ?(pre = Detectors.Omega.Self_trust) () =
+  let pattern = match pattern with Some p -> p | None -> Failures.none ~n in
+  let omega = Detectors.Omega.make ~pre pattern ~stabilize_at:omega_stabilize in
+  let sampler = omega_sampler omega in
+  (Dag.build ~pattern ~sampler ~period ~gossip ~rounds, pattern, sampler)
+
+(* ------------------------------------------------------------------ *)
+(* DAG properties (Appendix B.2)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_dag_properties () =
+  let dag, _, sampler = build_dag () in
+  Alcotest.(check bool) "sampling" true (Dag.check_sampling dag ~sampler);
+  Alcotest.(check bool) "order" true (Dag.check_order dag);
+  Alcotest.(check bool) "transitive" true (Dag.check_transitive dag);
+  Alcotest.(check bool) "fairness" true (Dag.check_fairness dag ~rounds:8 ~period:4)
+
+let test_dag_crashed_stop_sampling () =
+  let pattern = Failures.of_crashes ~n:3 [ (2, 10) ] in
+  let dag, _, _ =
+    build_dag ~n:3 ~pattern:(Some pattern) ~rounds:10 ()
+  in
+  let late_faulty =
+    List.filter (fun v -> v.Dag.v_proc = 2 && v.Dag.v_time >= 10) (Dag.vertices dag)
+  in
+  Alcotest.(check int) "no samples after crash" 0 (List.length late_faulty);
+  Alcotest.(check bool) "still transitive" true (Dag.check_transitive dag)
+
+let test_dag_prefix () =
+  let dag, _, _ = build_dag ~rounds:10 () in
+  let prefix = Dag.prefix dag ~horizon:20 in
+  Alcotest.(check bool) "prefix smaller" true (Dag.size prefix < Dag.size dag);
+  List.iter
+    (fun v -> Alcotest.(check bool) "within horizon" true (v.Dag.v_time <= 20))
+    (Dag.vertices prefix)
+
+let test_dag_extensions_bounded () =
+  let dag, _, _ = build_dag ~n:2 ~rounds:8 () in
+  let exts = Dag.extensions dag ~last:None ~used:[] ~width:2 in
+  (* At most width per process. *)
+  List.iter
+    (fun p ->
+       let count = List.length (List.filter (fun v -> v.Dag.v_proc = p) exts) in
+       Alcotest.(check bool) "at most width" true (count <= 2))
+    [ 0; 1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pure Algorithm 4                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-drive the pure automaton on a stable-leader history: both processes
+   propose, the leader's promote is delivered, both decide the leader's
+   value. *)
+let test_pure_ec_decides_leader_value () =
+  let n = 2 in
+  let algo = Pure.ec_omega in
+  let cfg = Schedule.initial algo ~n in
+  let lead = Fd_value.leader 0 in
+  (* p0 invokes instance 1 with value true. *)
+  let s0 = cfg.Schedule.states.(0) in
+  Alcotest.(check (option int)) "p0 due to invoke 1" (Some 1)
+    (algo.Pure.a_pending_invocation s0);
+  let s0', sends0, dec0 =
+    algo.Pure.a_step ~n ~self:0 s0 ~recv:None ~fd:lead ~invoke:(Some (1, true))
+  in
+  Alcotest.(check int) "p0 sends to all" 2 (List.length sends0);
+  Alcotest.(check int) "no decision yet" 0 (List.length dec0);
+  (* p0 receives its own promote and decides (it trusts itself). *)
+  let promote = List.assoc 0 sends0 in
+  let _, _, dec0' =
+    algo.Pure.a_step ~n ~self:0 s0' ~recv:(Some (0, promote)) ~fd:lead ~invoke:None
+  in
+  Alcotest.(check (list (pair int bool))) "p0 decides true" [ (1, true) ] dec0';
+  (* p1 invokes with false but receives the leader's promote and decides
+     the leader's value true. *)
+  let s1 = cfg.Schedule.states.(1) in
+  let s1', _, _ =
+    algo.Pure.a_step ~n ~self:1 s1 ~recv:None ~fd:lead ~invoke:(Some (1, false))
+  in
+  let _, _, dec1 =
+    algo.Pure.a_step ~n ~self:1 s1' ~recv:(Some (0, promote)) ~fd:lead ~invoke:None
+  in
+  Alcotest.(check (list (pair int bool))) "p1 decides leader's true" [ (1, true) ] dec1
+
+let test_pure_ec_rejects_out_of_order () =
+  let n = 2 in
+  let algo = Pure.ec_omega in
+  let cfg = Schedule.initial algo ~n in
+  Alcotest.check_raises "skip instance"
+    (Invalid_argument "Pure.ec_step: out-of-order invocation")
+    (fun () ->
+       ignore
+         (algo.Pure.a_step ~n ~self:0 cfg.Schedule.states.(0) ~recv:None
+            ~fd:(Fd_value.leader 0) ~invoke:(Some (2, true))))
+
+(* ------------------------------------------------------------------ *)
+(* Simulation tree                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_tree_grows_and_tags () =
+  let dag, _, _ = build_dag ~n:2 ~rounds:6 ~omega_stabilize:0 () in
+  let tree = Sim_tree.create ~dag ~algo:Pure.ec_omega ~width:2 () in
+  Sim_tree.expand tree ~max_depth:6 ~max_nodes:20_000;
+  Alcotest.(check bool) "tree grew" true (Sim_tree.size tree > 10);
+  let tags = Sim_tree.tags tree ~instance:1 in
+  (* Invocation values branch, so with a stable leader the root must see
+     both 0-deciding and 1-deciding descendants: the root is 1-bivalent. *)
+  Alcotest.(check bool) "root bivalent for instance 1" true
+    (Sim_tree.is_bivalent tags.(0))
+
+let test_tree_depth_respected () =
+  let dag, _, _ = build_dag ~n:2 ~rounds:6 () in
+  let tree = Sim_tree.create ~dag ~algo:Pure.ec_omega ~width:1 () in
+  Sim_tree.expand tree ~max_depth:3 ~max_nodes:100_000;
+  let max_depth = ref 0 in
+  for id = 0 to Sim_tree.size tree - 1 do
+    max_depth := max !max_depth (Sim_tree.depth tree id)
+  done;
+  Alcotest.(check int) "depth bound" 3 !max_depth
+
+(* Structural qcheck properties of tags over randomized scenarios. *)
+let random_tree_gen =
+  QCheck.make ~print:(fun (seed, stab) -> Printf.sprintf "seed=%d stab=%d" seed stab)
+    QCheck.Gen.(pair (int_bound 1000) (int_range 0 24))
+
+let with_random_tree (seed, stab) f =
+  let pattern = Failures.none ~n:2 in
+  let pre =
+    if seed mod 2 = 0 then Detectors.Omega.Self_trust
+    else Detectors.Omega.Seeded seed
+  in
+  let omega = Detectors.Omega.make ~pre pattern ~stabilize_at:stab in
+  let dag =
+    Dag.build ~pattern ~sampler:(omega_sampler omega) ~period:4 ~gossip:4 ~rounds:7
+  in
+  let tree = Sim_tree.create ~dag ~algo:Pure.ec_omega ~width:2 () in
+  Sim_tree.expand tree ~max_depth:7 ~max_nodes:20_000;
+  f tree
+
+(* A parent's k-tag contains every child's k-tag (valencies only grow
+   towards the root), and invalidity propagates upward. *)
+let prop_tags_monotone_towards_root =
+  QCheck.Test.make ~name:"sim_tree: k-tags contain children's k-tags" ~count:40
+    random_tree_gen
+    (fun input ->
+       with_random_tree input (fun tree ->
+           let tags = Sim_tree.tags tree ~instance:1 in
+           let ok = ref true in
+           for id = 0 to Sim_tree.size tree - 1 do
+             List.iter
+               (fun child ->
+                  let tp = tags.(id) and tc = tags.(child) in
+                  if not
+                      (List.for_all (fun v -> List.mem v tp.Sim_tree.tg_values)
+                         tc.Sim_tree.tg_values
+                       && ((not tc.Sim_tree.tg_invalid) || tp.Sim_tree.tg_invalid))
+                  then ok := false)
+               (Sim_tree.children tree id)
+           done;
+           !ok))
+
+(* Extraction is a pure function of the DAG: same DAG, same outcome. *)
+let prop_extraction_deterministic =
+  QCheck.Test.make ~name:"extraction: deterministic in the DAG" ~count:20
+    random_tree_gen
+    (fun (seed, stab) ->
+       let pattern = Failures.none ~n:2 in
+       let omega =
+         Detectors.Omega.make ~pre:(Detectors.Omega.Seeded seed) pattern
+           ~stabilize_at:stab
+       in
+       let dag =
+         Dag.build ~pattern ~sampler:(omega_sampler omega) ~period:4 ~gossip:4
+           ~rounds:8
+       in
+       let budget = Extraction.default_budget in
+       let o1 = Extraction.extract ~algo:Pure.ec_omega ~dag ~budget ~self:0 () in
+       let o2 = Extraction.extract ~algo:Pure.ec_omega ~dag ~budget ~self:0 () in
+       o1.Extraction.o_leader = o2.Extraction.o_leader
+       && o1.Extraction.o_tree_size = o2.Extraction.o_tree_size
+       && o1.Extraction.o_bivalent = o2.Extraction.o_bivalent)
+
+(* ------------------------------------------------------------------ *)
+(* Decision gadgets on a custom automaton                              *)
+(* ------------------------------------------------------------------ *)
+
+(* "fd echo": only p0 decides, and it decides instance 1 with the value
+   "my current sample designates p0" at its first step after invoking.
+   With mixed samples this manufactures a textbook detector fork: the same
+   p0 state, two different sampled values, opposite immediate decisions. *)
+type echo_state = { e_invoked : bool; e_decided : bool }
+
+let fd_echo : echo_state Pure.algo =
+  { Pure.a_name = "fd-echo";
+    a_init = (fun ~n:_ _ -> { e_invoked = false; e_decided = false });
+    a_pending_invocation = (fun s -> if s.e_invoked then None else Some 1);
+    a_step =
+      (fun ~n ~self s ~recv:_ ~fd ~invoke ->
+         match invoke with
+         | Some _ -> ({ s with e_invoked = true }, [], [])
+         | None ->
+           if self = 0 && s.e_invoked && not s.e_decided then
+             ({ s with e_decided = true }, [],
+              [ (1, Fd_value.trusted ~n ~self fd = 0) ])
+           else (s, [], [])) }
+
+let test_detector_fork_found () =
+  (* Samples alternate Leader 0 / Leader 1 before stabilization, so p0 has
+     two reachable samples with different values from the same state. *)
+  let pattern = Failures.none ~n:2 in
+  let omega =
+    Detectors.Omega.make ~pre:(Detectors.Omega.Rotating 4) pattern ~stabilize_at:1000
+  in
+  let dag =
+    Dag.build ~pattern ~sampler:(omega_sampler omega) ~period:4 ~gossip:4 ~rounds:6
+  in
+  let tree = Sim_tree.create ~dag ~algo:fd_echo ~width:2 () in
+  Sim_tree.expand tree ~max_depth:6 ~max_nodes:20_000;
+  match Extraction.first_bivalent tree ~max_instance:1 with
+  | None -> Alcotest.fail "no bivalent vertex"
+  | Some (instance, pivot, tags) ->
+    (match Extraction.find_gadget tree ~instance ~tags ~root:pivot with
+     | Some g ->
+       Alcotest.(check bool) "gadget is a detector fork" true
+         (g.Extraction.g_kind = `Fork);
+       Alcotest.(check int) "decider is the echoing process" 0
+         g.Extraction.g_decider
+     | None -> Alcotest.fail "no gadget found")
+
+let test_lambda_steps_double_branching () =
+  let dag, _, _ = build_dag ~n:2 ~rounds:6 ~omega_stabilize:0 () in
+  let strict = Sim_tree.create ~dag ~algo:Pure.ec_omega ~width:2 () in
+  let lax = Sim_tree.create ~allow_lambda:true ~dag ~algo:Pure.ec_omega ~width:2 () in
+  Sim_tree.expand strict ~max_depth:5 ~max_nodes:100_000;
+  Sim_tree.expand lax ~max_depth:5 ~max_nodes:100_000;
+  Alcotest.(check bool) "lambda steps add schedules" true
+    (Sim_tree.size lax > Sim_tree.size strict)
+
+(* ------------------------------------------------------------------ *)
+(* Extraction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let budget = Extraction.default_budget
+
+let test_extract_finds_bivalence () =
+  (* Pre-stabilization self-trust makes decisions depend on the sampled
+     leader: bivalence must be located. *)
+  let dag, _, _ = build_dag ~n:2 ~rounds:8 ~omega_stabilize:12 () in
+  let outcome = Extraction.extract ~algo:Pure.ec_omega ~dag ~budget ~self:1 () in
+  Alcotest.(check bool) "bivalent vertex located" true (outcome.Extraction.o_bivalent <> None)
+
+let test_algorithm3_walk_locates_bivalence () =
+  (* The literal Algorithm-3 walk agrees with the scan: it locates a
+     k-bivalent vertex (possibly a different one) whose tag really contains
+     both values. *)
+  let dag, _, _ = build_dag ~n:2 ~rounds:8 ~omega_stabilize:12 () in
+  let tree = Sim_tree.create ~dag ~algo:Pure.ec_omega ~width:2 () in
+  Sim_tree.expand tree ~max_depth:9 ~max_nodes:60_000;
+  (match Extraction.locate_bivalent_walk tree ~max_instance:2 with
+   | Some (k, node, tags) ->
+     Alcotest.(check bool) "walk found bivalent" true (Sim_tree.is_bivalent tags.(node));
+     Alcotest.(check bool) "instance in range" true (k >= 1 && k <= 2)
+   | None -> Alcotest.fail "walk failed on a tree where the scan succeeds");
+  match Extraction.first_bivalent tree ~max_instance:2 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "scan failed"
+
+let test_extract_gadget_decider_correct_when_all_correct () =
+  let dag, pattern, _ = build_dag ~n:2 ~rounds:8 ~omega_stabilize:12 () in
+  let outcome = Extraction.extract ~algo:Pure.ec_omega ~dag ~budget ~self:0 () in
+  (match outcome.Extraction.o_gadget with
+   | Some g ->
+     Alcotest.(check bool) "decider is correct process" true
+       (Failures.is_correct pattern g.Extraction.g_decider)
+   | None -> ());
+  Alcotest.(check bool) "leader is a valid process" true
+    (outcome.Extraction.o_leader >= 0 && outcome.Extraction.o_leader < 2)
+
+let test_emulation_stabilizes_failure_free () =
+  let dag, pattern, _ =
+    build_dag ~n:2 ~rounds:12 ~omega_stabilize:16 ()
+  in
+  let per_round =
+    Extraction.emulate ~algo:Pure.ec_omega ~dag ~budget ~rounds:4 ~round_horizon:14 ()
+  in
+  match Extraction.stabilization ~pattern per_round with
+  | Some (_, leader) ->
+    Alcotest.(check bool) "stabilized on correct" true
+      (Failures.is_correct pattern leader)
+  | None -> Alcotest.fail "emulation did not stabilize"
+
+let test_emulation_with_crash () =
+  let pattern = Failures.of_crashes ~n:2 [ (1, 14) ] in
+  let dag, _, _ =
+    build_dag ~n:2 ~pattern:(Some pattern) ~rounds:12 ~omega_stabilize:16 ()
+  in
+  let per_round =
+    Extraction.emulate ~algo:Pure.ec_omega ~dag ~budget ~rounds:4 ~round_horizon:14 ()
+  in
+  match Extraction.stabilization ~pattern per_round with
+  | Some (_, leader) ->
+    Alcotest.(check int) "stabilized on the surviving process" 0 leader
+  | None -> Alcotest.fail "emulation did not stabilize"
+
+let test_emulation_misled_then_corrected () =
+  (* An adversarial prefix pointing at the (faulty) p1 must mislead the
+     early extraction rounds and be corrected once the sliding window is
+     past the stabilization time — the "eventually" of Omega at work. *)
+  let pattern = Failures.of_crashes ~n:2 [ (1, 14) ] in
+  let omega =
+    Detectors.Omega.make ~pre:(Detectors.Omega.Fixed 1) pattern ~stabilize_at:18
+  in
+  let sampler p t = Fd_value.leader (Detectors.Omega.query omega ~self:p ~now:t) in
+  let dag = Dag.build ~pattern ~sampler ~period:4 ~gossip:4 ~rounds:14 in
+  let per_round =
+    Extraction.emulate ~algo:Pure.ec_omega ~dag ~budget ~rounds:5 ~round_horizon:8 ()
+  in
+  (match per_round with
+   | first :: _ ->
+     Alcotest.(check (list int)) "round 0 misled towards the faulty process"
+       [ 1; 1 ] first
+   | [] -> Alcotest.fail "no rounds");
+  match Extraction.stabilization ~pattern per_round with
+  | Some (r, leader) ->
+    Alcotest.(check int) "corrected to the correct process" 0 leader;
+    Alcotest.(check bool) "after at least one round" true (r >= 1)
+  | None -> Alcotest.fail "never stabilized"
+
+let test_emulation_three_processes () =
+  let pattern = Failures.of_crashes ~n:3 [ (2, 14) ] in
+  let omega =
+    Detectors.Omega.make ~pre:(Detectors.Omega.Fixed 2) pattern ~stabilize_at:18
+  in
+  let dag =
+    Dag.build ~pattern ~sampler:(omega_sampler omega) ~period:4 ~gossip:4 ~rounds:12
+  in
+  let per_round =
+    Extraction.emulate ~algo:Pure.ec_omega ~dag ~budget ~rounds:4 ~round_horizon:8 ()
+  in
+  match Extraction.stabilization ~pattern per_round with
+  | Some (_, leader) ->
+    Alcotest.(check bool) "n=3: stabilized on a correct process" true
+      (Failures.is_correct pattern leader)
+  | None -> Alcotest.fail "n=3 emulation did not stabilize"
+
+let test_extraction_with_ep_detector () =
+  (* The reduction works for any detector D implementing EC: run it with
+     <>P samples feeding the trusted-leader automaton. *)
+  let n = 2 in
+  let pattern = Failures.none ~n in
+  let ep = Detectors.Suspicions.eventually_perfect pattern ~stabilize_at:12 in
+  let dag =
+    Dag.build ~pattern ~sampler:(ep_sampler ep) ~period:4 ~gossip:4 ~rounds:10
+  in
+  let per_round =
+    Extraction.emulate ~algo:Pure.ec_trusted ~dag ~budget ~rounds:3 ~round_horizon:16 ()
+  in
+  match Extraction.stabilization ~pattern per_round with
+  | Some (_, leader) ->
+    Alcotest.(check bool) "stabilized on correct" true
+      (Failures.is_correct pattern leader)
+  | None -> Alcotest.fail "emulation with <>P did not stabilize"
+
+(* ------------------------------------------------------------------ *)
+(* The communication task as a real protocol (Figure 1)                *)
+(* ------------------------------------------------------------------ *)
+
+let run_dag_protocol ?(n = 2) ?(deadline = 80) ?(timer_period = 3)
+    ?pattern ?(stabilize = 18) ?(pre = Detectors.Omega.Fixed 1) () =
+  let pattern = match pattern with Some p -> p | None -> Failures.none ~n in
+  let omega = Detectors.Omega.make ~pre pattern ~stabilize_at:stabilize in
+  let config = { (Engine.default_config ~n ~deadline) with pattern; timer_period } in
+  let make_node ctx =
+    let sample () =
+      Fd_value.leader
+        (Detectors.Omega.query omega ~self:ctx.Engine.self ~now:(ctx.Engine.now ()))
+    in
+    let t, node = Dag_protocol.create ctx ~sample in
+    (node, t)
+  in
+  let _, states = Engine.run_with config ~make_node ~inputs:[] in
+  (pattern, states)
+
+let test_dag_protocol_grows_and_converges () =
+  let pattern, states = run_dag_protocol () in
+  Array.iter
+    (fun t ->
+       Alcotest.(check bool) "grew" true (Dag_protocol.size t > 10);
+       Alcotest.(check bool) "same-creator order" true
+         (Dag_protocol.check_same_creator_order t))
+    states;
+  (* Correct processes' local DAGs agree on common vertices. *)
+  List.iter
+    (fun p ->
+       List.iter
+         (fun q ->
+            Alcotest.(check bool) "local DAGs agree" true
+              (Dag_protocol.agrees_with states.(p) states.(q)))
+         (Failures.correct pattern))
+    (Failures.correct pattern)
+
+let test_dag_protocol_transitive () =
+  (* O(V^3): keep the run short. *)
+  let _, states = run_dag_protocol ~deadline:30 () in
+  Array.iter
+    (fun t ->
+       Alcotest.(check bool) "transitive" true (Dag_protocol.check_transitive t))
+    states
+
+let test_dag_protocol_crash_stops_contributions () =
+  let pattern = Failures.of_crashes ~n:2 [ (1, 20) ] in
+  let _, states = run_dag_protocol ~pattern ~deadline:80 () in
+  (* p0's local DAG has no p1 vertex sampled after the crash. *)
+  let dag = Dag_protocol.export states.(0) ~pattern in
+  List.iter
+    (fun v ->
+       if v.Dag.v_proc = 1 then
+         Alcotest.(check bool) "sampled while alive" true (v.Dag.v_time < 20))
+    (Dag.vertices dag)
+
+let test_extraction_from_protocol_dags () =
+  (* The full Figure 6 loop over the PROTOCOL-built local DAGs: each
+     correct process extracts from its own G_p, on a sliding window; all
+     stabilize on the same correct process despite the adversarial prefix
+     pointing at the faulty p1. *)
+  let pattern = Failures.of_crashes ~n:2 [ (1, 20) ] in
+  let _, states = run_dag_protocol ~pattern ~deadline:140 ~stabilize:24 () in
+  let budget = Extraction.default_budget in
+  let outputs_per_round r =
+    List.map
+      (fun p ->
+         let local = Dag_protocol.export states.(p) ~pattern in
+         let visible =
+           Dag.window local ~from_horizon:(r * 20) ~to_horizon:((r * 20) + 40)
+         in
+         (Extraction.extract ~algo:Pure.ec_omega ~dag:visible ~budget ~self:p ())
+           .Extraction.o_leader)
+      (Failures.correct pattern)
+  in
+  let rounds = List.init 4 outputs_per_round in
+  (* The last rounds' windows are fully post-crash, post-stabilization. *)
+  match List.rev rounds with
+  | last :: _ ->
+    List.iter
+      (fun leader ->
+         Alcotest.(check bool) "extracted a correct process" true
+           (Failures.is_correct pattern leader))
+      last
+  | [] -> Alcotest.fail "no rounds"
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest
+      [ prop_tags_monotone_towards_root; prop_extraction_deterministic ]
+  in
+  Alcotest.run "cht"
+    [ ("dag",
+       [ Alcotest.test_case "B.2 properties" `Quick test_dag_properties;
+         Alcotest.test_case "crashed processes stop sampling" `Quick
+           test_dag_crashed_stop_sampling;
+         Alcotest.test_case "prefix" `Quick test_dag_prefix;
+         Alcotest.test_case "bounded extensions" `Quick test_dag_extensions_bounded ]);
+      ("pure",
+       [ Alcotest.test_case "decides leader value" `Quick
+           test_pure_ec_decides_leader_value;
+         Alcotest.test_case "rejects out-of-order" `Quick
+           test_pure_ec_rejects_out_of_order ]);
+      ("sim_tree",
+       [ Alcotest.test_case "grows and tags" `Quick test_tree_grows_and_tags;
+         Alcotest.test_case "depth bound" `Quick test_tree_depth_respected;
+         Alcotest.test_case "lambda steps add schedules" `Quick
+           test_lambda_steps_double_branching ]);
+      ("gadgets",
+       [ Alcotest.test_case "detector fork found" `Quick test_detector_fork_found ]);
+      ("dag_protocol (figure 1)",
+       [ Alcotest.test_case "grows and converges" `Quick
+           test_dag_protocol_grows_and_converges;
+         Alcotest.test_case "transitive" `Quick test_dag_protocol_transitive;
+         Alcotest.test_case "crash stops contributions" `Quick
+           test_dag_protocol_crash_stops_contributions;
+         Alcotest.test_case "extraction from protocol DAGs" `Quick
+           test_extraction_from_protocol_dags ]);
+      ("extraction",
+       [ Alcotest.test_case "finds bivalence" `Quick test_extract_finds_bivalence;
+         Alcotest.test_case "algorithm 3 walk" `Quick
+           test_algorithm3_walk_locates_bivalence;
+         Alcotest.test_case "gadget decider correct" `Quick
+           test_extract_gadget_decider_correct_when_all_correct;
+         Alcotest.test_case "emulation stabilizes" `Quick
+           test_emulation_stabilizes_failure_free;
+         Alcotest.test_case "emulation with crash" `Quick test_emulation_with_crash;
+         Alcotest.test_case "misled then corrected" `Quick
+           test_emulation_misled_then_corrected;
+         Alcotest.test_case "works with <>P" `Quick test_extraction_with_ep_detector;
+         Alcotest.test_case "three processes" `Quick test_emulation_three_processes ]);
+      ("structure", qc);
+    ]

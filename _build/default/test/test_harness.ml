@@ -1,0 +1,158 @@
+(* Tests for the scenario harness and its statistics helpers: the shared
+   wiring used by every other suite deserves its own checks. *)
+
+open Simulator
+open Ec_core
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_basic () =
+  match Harness.Stats.of_list [ 5; 1; 9; 3; 7 ] with
+  | None -> Alcotest.fail "stats"
+  | Some s ->
+    Alcotest.(check int) "count" 5 s.Harness.Stats.count;
+    Alcotest.(check (float 0.001)) "mean" 5.0 s.Harness.Stats.mean;
+    Alcotest.(check int) "min" 1 s.Harness.Stats.min;
+    Alcotest.(check int) "max" 9 s.Harness.Stats.max;
+    Alcotest.(check int) "p50" 5 s.Harness.Stats.p50
+
+let test_stats_empty () =
+  Alcotest.(check bool) "empty" true (Harness.Stats.of_list [] = None)
+
+let test_stats_percentile_edges () =
+  let sorted = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  Alcotest.(check int) "p10" 1 (Harness.Stats.percentile sorted 0.1);
+  Alcotest.(check int) "p95" 10 (Harness.Stats.percentile sorted 0.95);
+  Alcotest.(check int) "p100" 10 (Harness.Stats.percentile sorted 1.0)
+
+let prop_stats_bounds =
+  QCheck.Test.make ~name:"stats: mean and percentiles within [min, max]"
+    ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (int_bound 1000))
+    (fun samples ->
+       match Harness.Stats.of_list samples with
+       | None -> samples = []
+       | Some s ->
+         let open Harness.Stats in
+         float_of_int s.min <= s.mean
+         && s.mean <= float_of_int s.max
+         && s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario harness                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_spread_posts_shape () =
+  let posts = Harness.Scenario.spread_posts ~n:3 ~count:7 ~from_time:10 ~every:5 in
+  Alcotest.(check int) "count" 7 (List.length posts);
+  List.iteri
+    (fun i (t, p, input) ->
+       Alcotest.(check int) "time" (10 + (i * 5)) t;
+       Alcotest.(check int) "round robin" (i mod 3) p;
+       match input with
+       | Harness.Scenario.Post _ -> ()
+       | _ -> Alcotest.fail "not a post")
+    posts
+
+let test_engine_config_reflects_setup () =
+  let setup = { (Harness.Scenario.default ~n:4 ~deadline:99) with
+                seed = 7; timer_period = 5 } in
+  let config = Harness.Scenario.engine_config setup in
+  Alcotest.(check int) "n" 4 config.Engine.n;
+  Alcotest.(check int) "deadline" 99 config.Engine.deadline;
+  Alcotest.(check int) "seed" 7 config.Engine.seed;
+  Alcotest.(check int) "timer" 5 config.Engine.timer_period
+
+let test_omega_stabilization_reporting () =
+  let s_oracle = { (Harness.Scenario.default ~n:3 ~deadline:10) with
+                   omega = Harness.Scenario.Oracle
+                       { stabilize_at = 17; pre = Detectors.Omega.Self_trust } } in
+  let s_elected = { s_oracle with
+                    omega = Harness.Scenario.Elected { initial_timeout = 4 } } in
+  Alcotest.(check (option int)) "oracle" (Some 17)
+    (Harness.Scenario.omega_stabilization s_oracle);
+  Alcotest.(check (option int)) "elected" None
+    (Harness.Scenario.omega_stabilization s_elected)
+
+(* The three ETOB stacks are interchangeable behind the same service: the
+   same workload passes the same base checks on each. *)
+let test_all_impls_same_interface () =
+  List.iter
+    (fun impl ->
+       let setup = { (Harness.Scenario.default ~n:3 ~deadline:300) with
+                     omega = Harness.Scenario.Oracle
+                         { stabilize_at = 0; pre = Detectors.Omega.Self_trust } } in
+       let inputs = Harness.Scenario.spread_posts ~n:3 ~count:6 ~from_time:5 ~every:4 in
+       let trace = Harness.Scenario.run_etob ~inputs setup impl in
+       let report = Harness.Scenario.etob_report setup trace in
+       Alcotest.(check bool) "base ok" true (Properties.etob_base_ok report))
+    [ Harness.Scenario.Algorithm_5; Harness.Scenario.Paxos_baseline;
+      Harness.Scenario.Algorithm_1_over_4 ]
+
+(* Determinism across the whole harness: identical setups, identical
+   traces. *)
+let test_harness_deterministic () =
+  let mk () =
+    let setup = { (Harness.Scenario.default ~n:4 ~deadline:200) with
+                  seed = 11;
+                  delay = Net.uniform ~min:1 ~max:5;
+                  omega = Harness.Scenario.Elected { initial_timeout = 5 } } in
+    let inputs = Harness.Scenario.spread_posts ~n:4 ~count:8 ~from_time:5 ~every:4 in
+    Harness.Scenario.run_etob ~inputs setup Harness.Scenario.Algorithm_5
+  in
+  let t1 = mk () and t2 = mk () in
+  Alcotest.(check int) "same sends" (Trace.sent t1) (Trace.sent t2);
+  Alcotest.(check int) "same steps" (Trace.steps t1) (Trace.steps t2);
+  let digest t =
+    Format.asprintf "%a" App_msg.pp_seq
+      (Properties.final_d (Properties.etob_run_of_trace (Failures.none ~n:4) t) 0)
+  in
+  Alcotest.(check string) "same final sequence" (digest t1) (digest t2)
+
+(* ------------------------------------------------------------------ *)
+(* Timeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeline_renders () =
+  (* The crash sits inside the active window (the rendered horizon is the
+     last recorded event), so blanked cells follow it. *)
+  let pattern = Failures.of_crashes ~n:3 [ (2, 30) ] in
+  let setup = { (Harness.Scenario.default ~n:3 ~deadline:200) with
+                pattern;
+                omega = Harness.Scenario.Oracle
+                    { stabilize_at = 0; pre = Detectors.Omega.Self_trust } } in
+  let inputs = Harness.Scenario.spread_posts ~n:3 ~count:4 ~from_time:10 ~every:10 in
+  let trace = Harness.Scenario.run_etob ~inputs setup Harness.Scenario.Algorithm_5 in
+  let rendered = Harness.Timeline.render ~width:40 ~pattern trace in
+  let lines = String.split_on_char '\n' rendered in
+  (* Header + 3 lanes + legend (+ trailing empty). *)
+  Alcotest.(check bool) "enough lines" true (List.length lines >= 5);
+  Alcotest.(check bool) "has broadcast marks" true (String.contains rendered 'B');
+  Alcotest.(check bool) "has delivery marks" true (String.contains rendered 'd');
+  Alcotest.(check bool) "has crash mark" true (String.contains rendered 'X');
+  (* The crashed lane goes blank after the crash: its line ends in spaces. *)
+  let p2_line = List.nth lines 3 in
+  Alcotest.(check bool) "blank after crash" true
+    (String.length p2_line > 0 && p2_line.[String.length p2_line - 1] = ' ')
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest [ prop_stats_bounds ] in
+  Alcotest.run "harness"
+    [ ("stats",
+       [ Alcotest.test_case "basic" `Quick test_stats_basic;
+         Alcotest.test_case "empty" `Quick test_stats_empty;
+         Alcotest.test_case "percentile edges" `Quick test_stats_percentile_edges ]
+       @ qc);
+      ("scenario",
+       [ Alcotest.test_case "spread_posts shape" `Quick test_spread_posts_shape;
+         Alcotest.test_case "engine config" `Quick test_engine_config_reflects_setup;
+         Alcotest.test_case "omega stabilization" `Quick
+           test_omega_stabilization_reporting;
+         Alcotest.test_case "impls interchangeable" `Quick
+           test_all_impls_same_interface;
+         Alcotest.test_case "deterministic" `Quick test_harness_deterministic ]);
+      ("timeline",
+       [ Alcotest.test_case "renders" `Quick test_timeline_renders ]);
+    ]

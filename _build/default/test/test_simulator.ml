@@ -1,0 +1,454 @@
+(* Tests for the simulation substrate: priority queue, RNG, failure
+   patterns, network models, trace recording and the engine's execution
+   semantics (the paper's Section 2 model). *)
+
+open Simulator
+open Simulator.Types
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pqueue_orders () =
+  let q = List.fold_left (fun q (p, v) -> Pqueue.insert q ~prio:p v)
+      Pqueue.empty [ (3, "c"); (1, "a"); (2, "b") ]
+  in
+  Alcotest.(check (list (pair int string))) "pop order"
+    [ (1, "a"); (2, "b"); (3, "c") ] (Pqueue.to_sorted_list q)
+
+let test_pqueue_fifo_among_ties () =
+  let q = List.fold_left (fun q v -> Pqueue.insert q ~prio:7 v)
+      Pqueue.empty [ "first"; "second"; "third" ]
+  in
+  Alcotest.(check (list (pair int string))) "stable"
+    [ (7, "first"); (7, "second"); (7, "third") ] (Pqueue.to_sorted_list q)
+
+let test_pqueue_size_and_peek () =
+  let q = Pqueue.insert (Pqueue.insert Pqueue.empty ~prio:5 "x") ~prio:2 "y" in
+  Alcotest.(check int) "size" 2 (Pqueue.size q);
+  Alcotest.(check (option int)) "peek" (Some 2) (Pqueue.peek_prio q);
+  Alcotest.(check bool) "not empty" false (Pqueue.is_empty q)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue: pop order is a stable sort" ~count:300
+    QCheck.(list (pair (int_bound 50) small_int))
+    (fun items ->
+       let q = List.fold_left (fun q (p, v) -> Pqueue.insert q ~prio:p v)
+           Pqueue.empty items
+       in
+       let popped = Pqueue.to_sorted_list q in
+       let expected = List.stable_sort (fun (a, _) (b, _) -> compare a b) items in
+       popped = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 99 and b = Rng.create 99 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" xs ys
+
+let test_rng_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 500 do
+    let x = Rng.in_range rng ~min:3 ~max:9 in
+    Alcotest.(check bool) "in range" true (3 <= x && x <= 9)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 11 in
+  let xs = List.init 30 (fun i -> i) in
+  let ys = Rng.shuffle rng xs in
+  Alcotest.(check (list int)) "same multiset" xs (List.sort compare ys)
+
+let test_rng_rejects_bad_bound () =
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+(* ------------------------------------------------------------------ *)
+(* Failures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_failures_basics () =
+  let f = Failures.of_crashes ~n:5 [ (1, 10); (3, 20) ] in
+  Alcotest.(check (list int)) "correct" [ 0; 2; 4 ] (Failures.correct f);
+  Alcotest.(check (list int)) "faulty" [ 1; 3 ] (Failures.faulty f);
+  Alcotest.(check bool) "alive before crash" true (Failures.is_alive f 1 9);
+  Alcotest.(check bool) "dead at crash" false (Failures.is_alive f 1 10);
+  Alcotest.(check bool) "majority" true (Failures.has_correct_majority f);
+  Alcotest.(check (option int)) "min correct" (Some 0) (Failures.min_correct f)
+
+let test_failures_crashed_by_monotone () =
+  let f = Failures.of_crashes ~n:4 [ (0, 5); (2, 15) ] in
+  Alcotest.(check (list int)) "F(4)" [] (Failures.crashed_by f 4);
+  Alcotest.(check (list int)) "F(10)" [ 0 ] (Failures.crashed_by f 10);
+  Alcotest.(check (list int)) "F(20)" [ 0; 2 ] (Failures.crashed_by f 20)
+
+let test_failures_double_crash_keeps_earliest () =
+  let f = Failures.crash_at (Failures.of_crashes ~n:3 [ (1, 5) ]) 1 30 in
+  Alcotest.(check (option int)) "earliest kept" (Some 5) (Failures.crash_time f 1)
+
+let test_environments () =
+  let minority = Failures.of_crashes ~n:5 [ (0, 1); (1, 1); (2, 1) ] in
+  Alcotest.(check bool) "any admits" true
+    (Failures.admits Failures.any_environment minority);
+  Alcotest.(check bool) "majority rejects" false
+    (Failures.admits Failures.majority_environment minority);
+  Alcotest.(check bool) "3-resilient admits" true
+    (Failures.admits (Failures.t_resilient 3) minority);
+  Alcotest.(check bool) "2-resilient rejects" false
+    (Failures.admits (Failures.t_resilient 2) minority)
+
+let prop_random_pattern_has_correct =
+  QCheck.Test.make ~name:"failures: random pattern keeps a correct process"
+    ~count:200 QCheck.(pair small_int small_int)
+    (fun (seed, extra) ->
+       let n = 2 + (extra mod 6) in
+       let rng = Rng.create seed in
+       let f = Failures.random ~rng ~n ~max_faulty:(n - 1) ~horizon:50 in
+       Failures.correct_count f >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Net                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rng = Rng.create 3
+
+let test_net_constant () =
+  Alcotest.(check int) "constant" 4
+    (Net.delay_of (Net.constant 4) ~src:0 ~dst:1 ~now:10 ~rng)
+
+let test_net_uniform_bounds () =
+  let d = Net.uniform ~min:2 ~max:6 in
+  for now = 0 to 200 do
+    let x = Net.delay_of d ~src:0 ~dst:1 ~now ~rng in
+    Alcotest.(check bool) "bounds" true (2 <= x && x <= 6)
+  done
+
+let test_net_partition_delays_cross_block () =
+  let spec = { Net.blocks = [ [ 0; 1 ]; [ 2 ] ]; from_time = 10; until_time = 30 } in
+  let d = Net.partitioned spec ~base:(Net.constant 1) in
+  Alcotest.(check int) "same block" 1 (Net.delay_of d ~src:0 ~dst:1 ~now:15 ~rng);
+  let cross = Net.delay_of d ~src:0 ~dst:2 ~now:15 ~rng in
+  Alcotest.(check bool) "cross delayed past heal" true (15 + cross >= 30);
+  Alcotest.(check int) "before" 1 (Net.delay_of d ~src:0 ~dst:2 ~now:5 ~rng);
+  Alcotest.(check int) "after" 1 (Net.delay_of d ~src:0 ~dst:2 ~now:30 ~rng)
+
+let test_net_slow_period () =
+  let d = Net.slow_period ~from_time:10 ~until_time:20 ~factor:5 ~base:(Net.constant 2) in
+  Alcotest.(check int) "inside" 10 (Net.delay_of d ~src:0 ~dst:1 ~now:12 ~rng);
+  Alcotest.(check int) "outside" 2 (Net.delay_of d ~src:0 ~dst:1 ~now:25 ~rng)
+
+let test_net_fifo_no_overtaking () =
+  let d = Net.fifo ~base:(Net.uniform ~min:1 ~max:9) () in
+  let rng = Rng.create 4 in
+  let rec go now last_arrival remaining =
+    if remaining > 0 then begin
+      let delay = Net.delay_of d ~src:0 ~dst:1 ~now ~rng in
+      let arrival = now + delay in
+      Alcotest.(check bool) "no overtaking" true (arrival > last_arrival);
+      go (now + 1) arrival (remaining - 1)
+    end
+  in
+  go 0 (-1) 200
+
+let test_net_fifo_per_link () =
+  (* Ordering is per ordered pair: the reverse direction is independent. *)
+  let d = Net.fifo ~base:(Net.constant 5) () in
+  let rng = Rng.create 4 in
+  ignore (Net.delay_of d ~src:0 ~dst:1 ~now:0 ~rng);
+  (* A later message on the same link gets pushed after the first... *)
+  let fwd = Net.delay_of d ~src:0 ~dst:1 ~now:4 ~rng in
+  Alcotest.(check bool) "same link clamped" true (4 + fwd > 5);
+  (* ...but the reverse link is unaffected. *)
+  Alcotest.(check int) "reverse link free" 5 (Net.delay_of d ~src:1 ~dst:0 ~now:4 ~rng)
+
+let test_net_local_fast () =
+  let d = Net.local_fast ~remote:(Net.constant 7) in
+  Alcotest.(check int) "self" 1 (Net.delay_of d ~src:2 ~dst:2 ~now:0 ~rng);
+  Alcotest.(check int) "remote" 7 (Net.delay_of d ~src:2 ~dst:0 ~now:0 ~rng)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type Msg.payload += Ping of int
+type Io.output += Got of int * proc_id
+
+(* Every process pings everyone once; receivers record what they got. *)
+let ping_node (ctx : Engine.ctx) =
+  let fired = ref false in
+  { Engine.on_message =
+      (fun ~src payload ->
+         match payload with
+         | Ping k -> ctx.Engine.output (Got (k, src))
+         | _ -> ());
+    on_timer =
+      (fun () ->
+         if not !fired then begin
+           fired := true;
+           ctx.Engine.broadcast (Ping ctx.Engine.self)
+         end);
+    on_input = (fun _ -> ()) }
+
+let got_events trace =
+  List.filter_map
+    (fun (t, p, o) -> match o with Got (k, src) -> Some (t, p, k, src) | _ -> None)
+    (Trace.outputs trace)
+
+let test_engine_delivers_everything () =
+  let config = Engine.default_config ~n:3 ~deadline:30 in
+  let trace = Engine.run config ~make_node:ping_node ~inputs:[] in
+  (* 3 broadcasts x 3 receivers. *)
+  Alcotest.(check int) "9 deliveries" 9 (List.length (got_events trace))
+
+let test_engine_deterministic () =
+  let config = { (Engine.default_config ~n:4 ~deadline:50) with
+                 delay = Net.uniform ~min:1 ~max:5; seed = 123 } in
+  let t1 = Engine.run config ~make_node:ping_node ~inputs:[] in
+  let t2 = Engine.run config ~make_node:ping_node ~inputs:[] in
+  Alcotest.(check int) "same events" (List.length (got_events t1))
+    (List.length (got_events t2));
+  Alcotest.(check bool) "identical" true (got_events t1 = got_events t2)
+
+let test_engine_seed_changes_run () =
+  let mk seed = { (Engine.default_config ~n:4 ~deadline:50) with
+                  delay = Net.uniform ~min:1 ~max:9; seed } in
+  let t1 = Engine.run (mk 1) ~make_node:ping_node ~inputs:[] in
+  let t2 = Engine.run (mk 2) ~make_node:ping_node ~inputs:[] in
+  Alcotest.(check bool) "timings differ" true (got_events t1 <> got_events t2)
+
+let test_engine_crashed_take_no_steps () =
+  let pattern = Failures.of_crashes ~n:3 [ (2, 1) ] in
+  let config = { (Engine.default_config ~n:3 ~deadline:30) with pattern } in
+  let trace = Engine.run config ~make_node:ping_node ~inputs:[] in
+  (* p2 crashes at t=1, before its first timer: it never pings, and pings
+     addressed to it are dropped: 2 broadcasts x 2 alive receivers. *)
+  let events = got_events trace in
+  Alcotest.(check int) "4 deliveries" 4 (List.length events);
+  List.iter
+    (fun (_, p, k, _) ->
+       Alcotest.(check bool) "no step by crashed" true (p <> 2 && k <> 2))
+    events;
+  Alcotest.(check bool) "drops counted" true (Trace.dropped trace > 0)
+
+let test_engine_message_to_crashed_dropped_at_delivery () =
+  (* p1 crashes at t=3; a ping sent at t=1 with delay 5 must be dropped. *)
+  let pattern = Failures.of_crashes ~n:2 [ (1, 3) ] in
+  let config = { (Engine.default_config ~n:2 ~deadline:30) with
+                 pattern; delay = Net.constant 5 } in
+  let trace = Engine.run config ~make_node:ping_node ~inputs:[] in
+  List.iter
+    (fun (_, p, _, _) -> Alcotest.(check int) "only p0 delivers" 0 p)
+    (got_events trace)
+
+let test_engine_timer_cadence () =
+  let ticks = ref [] in
+  let make_node (ctx : Engine.ctx) =
+    { Engine.on_message = (fun ~src:_ _ -> ());
+      on_timer =
+        (fun () -> if ctx.Engine.self = 0 then ticks := ctx.Engine.now () :: !ticks);
+      on_input = (fun _ -> ()) }
+  in
+  let config = { (Engine.default_config ~n:2 ~deadline:20) with timer_period = 5 } in
+  ignore (Engine.run config ~make_node ~inputs:[]);
+  Alcotest.(check (list int)) "period 5 from stagger 1" [ 1; 6; 11; 16 ]
+    (List.rev !ticks)
+
+let test_engine_inputs_delivered_in_time () =
+  let seen = ref [] in
+  let make_node (ctx : Engine.ctx) =
+    { Engine.on_message = (fun ~src:_ _ -> ());
+      on_timer = (fun () -> ());
+      on_input = (fun i ->
+          match i with
+          | Io.String_input s -> seen := (ctx.Engine.now (), ctx.Engine.self, s) :: !seen
+          | _ -> ()) }
+  in
+  let inputs = [ (4, 1, Io.String_input "a"); (9, 0, Io.String_input "b") ] in
+  let config = Engine.default_config ~n:2 ~deadline:20 in
+  let trace = Engine.run config ~make_node ~inputs in
+  Alcotest.(check (list (triple int int string))) "inputs seen"
+    [ (4, 1, "a"); (9, 0, "b") ] (List.rev !seen);
+  Alcotest.(check int) "inputs recorded in trace" 2 (List.length (Trace.inputs trace))
+
+let test_engine_inputs_to_crashed_are_dropped () =
+  let seen = ref 0 in
+  let pattern = Failures.of_crashes ~n:2 [ (1, 5) ] in
+  let make_node (_ : Engine.ctx) =
+    { Engine.idle_node with on_input = (fun _ -> incr seen) }
+  in
+  let config = { (Engine.default_config ~n:2 ~deadline:30) with pattern } in
+  let inputs =
+    [ (3, 1, Io.String_input "before-crash"); (10, 1, Io.String_input "after-crash");
+      (10, 0, Io.String_input "alive") ]
+  in
+  let trace = Engine.run config ~make_node ~inputs in
+  Alcotest.(check int) "two inputs processed" 2 !seen;
+  (* Only processed inputs enter the input history. *)
+  Alcotest.(check int) "two inputs recorded" 2 (List.length (Trace.inputs trace))
+
+let test_engine_combine_both_components_see_events () =
+  let a_count = ref 0 and b_count = ref 0 in
+  let make_node (ctx : Engine.ctx) =
+    let base = ping_node ctx in
+    let counter_a =
+      { Engine.idle_node with on_message = (fun ~src:_ _ -> incr a_count) }
+    in
+    let counter_b =
+      { Engine.idle_node with on_message = (fun ~src:_ _ -> incr b_count) }
+    in
+    Engine.stack [ base; counter_a; counter_b ]
+  in
+  let config = Engine.default_config ~n:2 ~deadline:20 in
+  ignore (Engine.run config ~make_node ~inputs:[]);
+  Alcotest.(check bool) "a saw messages" true (!a_count > 0);
+  Alcotest.(check int) "same view" !a_count !b_count
+
+let test_engine_deadline_truncates () =
+  let config = { (Engine.default_config ~n:2 ~deadline:10) with timer_period = 3 } in
+  let trace = Engine.run config ~make_node:ping_node ~inputs:[] in
+  Alcotest.(check bool) "no event after deadline" true (Trace.last_time trace <= 10)
+
+let test_engine_rejects_bad_config () =
+  (* n = 1 is rejected at pattern construction already. *)
+  Alcotest.check_raises "n too small" (Invalid_argument "Failures.none: need n >= 2")
+    (fun () -> ignore (Engine.default_config ~n:1 ~deadline:10));
+  let config = { (Engine.default_config ~n:2 ~deadline:10) with timer_period = 0 } in
+  Alcotest.check_raises "bad period"
+    (Invalid_argument "Engine.run: timer_period must be >= 1")
+    (fun () -> ignore (Engine.run config ~make_node:ping_node ~inputs:[]))
+
+(* ------------------------------------------------------------------ *)
+(* Trace utilities and listeners                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_accessors () =
+  let trace = Trace.create ~n:2 in
+  Trace.record_input trace ~time:3 ~proc:0 (Io.String_input "in");
+  Trace.record_output trace ~time:5 ~proc:1 (Io.String_output "out");
+  Trace.record_output trace ~time:7 ~proc:0 (Io.String_output "out2");
+  Alcotest.(check int) "entries" 3 (List.length (Trace.entries trace));
+  Alcotest.(check int) "outputs" 2 (List.length (Trace.outputs trace));
+  Alcotest.(check int) "inputs" 1 (List.length (Trace.inputs trace));
+  Alcotest.(check int) "outputs_of p0" 1 (List.length (Trace.outputs_of trace 0));
+  Alcotest.(check int) "inputs_of p0" 1 (List.length (Trace.inputs_of trace 0));
+  Alcotest.(check int) "inputs_of p1" 0 (List.length (Trace.inputs_of trace 1));
+  Alcotest.(check int) "last_time" 7 (Trace.last_time trace);
+  (* Entries come back chronologically. *)
+  match Trace.entries trace with
+  | [ Trace.In { t = 3; _ }; Trace.Out { t = 5; _ }; Trace.Out { t = 7; _ } ] -> ()
+  | _ -> Alcotest.fail "entry order"
+
+let test_trace_counters () =
+  let trace = Trace.create ~n:2 in
+  Trace.count_sent trace;
+  Trace.count_sent trace;
+  Trace.count_delivered trace;
+  Trace.count_dropped trace;
+  Trace.count_step trace;
+  Alcotest.(check int) "sent" 2 (Trace.sent trace);
+  Alcotest.(check int) "delivered" 1 (Trace.delivered trace);
+  Alcotest.(check int) "dropped" 1 (Trace.dropped trace);
+  Alcotest.(check int) "steps" 1 (Trace.steps trace)
+
+let test_listeners_fire_in_order () =
+  let log = ref [] in
+  let l = Listeners.create () in
+  Listeners.register l (fun x -> log := ("a", x) :: !log);
+  Listeners.register l (fun x -> log := ("b", x) :: !log);
+  Listeners.fire l 1;
+  Listeners.fire l 2;
+  Alcotest.(check int) "count" 2 (Listeners.count l);
+  Alcotest.(check (list (pair string int))) "order"
+    [ ("a", 1); ("b", 1); ("a", 2); ("b", 2) ] (List.rev !log)
+
+let test_io_printers_roundtrip () =
+  let show_in i = Format.asprintf "%a" Io.pp_input i in
+  let show_out o = Format.asprintf "%a" Io.pp_output o in
+  Alcotest.(check string) "tick" "tick" (show_in Io.Tick_input);
+  Alcotest.(check string) "string in" "in:x" (show_in (Io.String_input "x"));
+  Alcotest.(check string) "string out" "out:y" (show_out (Io.String_output "y"))
+
+let test_run_with_returns_handles () =
+  let config = Engine.default_config ~n:3 ~deadline:20 in
+  let _, handles =
+    Engine.run_with config
+      ~make_node:(fun ctx -> (Engine.idle_node, ctx.Engine.self * 10))
+      ~inputs:[]
+  in
+  Alcotest.(check (array int)) "one handle per process" [| 0; 10; 20 |] handles
+
+(* Reliable links: every message sent to a process that stays alive is
+   delivered by some time, for any delay model. *)
+let prop_engine_reliable_links =
+  QCheck.Test.make ~name:"engine: eventual delivery to alive processes" ~count:50
+    QCheck.(pair small_int (int_bound 3))
+    (fun (seed, dmax) ->
+       let config = { (Engine.default_config ~n:3 ~deadline:200) with
+                      seed; delay = Net.uniform ~min:1 ~max:(2 + dmax) } in
+       let trace = Engine.run config ~make_node:ping_node ~inputs:[] in
+       List.length (got_events trace) = 9)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest
+      [ prop_pqueue_sorts; prop_random_pattern_has_correct; prop_engine_reliable_links ]
+  in
+  Alcotest.run "simulator"
+    [ ("pqueue",
+       [ Alcotest.test_case "orders by priority" `Quick test_pqueue_orders;
+         Alcotest.test_case "fifo among ties" `Quick test_pqueue_fifo_among_ties;
+         Alcotest.test_case "size and peek" `Quick test_pqueue_size_and_peek ]);
+      ("rng",
+       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+         Alcotest.test_case "bounds" `Quick test_rng_bounds;
+         Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+         Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+         Alcotest.test_case "rejects bad bound" `Quick test_rng_rejects_bad_bound ]);
+      ("failures",
+       [ Alcotest.test_case "basics" `Quick test_failures_basics;
+         Alcotest.test_case "crashed_by monotone" `Quick test_failures_crashed_by_monotone;
+         Alcotest.test_case "double crash" `Quick test_failures_double_crash_keeps_earliest;
+         Alcotest.test_case "environments" `Quick test_environments ]);
+      ("net",
+       [ Alcotest.test_case "constant" `Quick test_net_constant;
+         Alcotest.test_case "uniform bounds" `Quick test_net_uniform_bounds;
+         Alcotest.test_case "partition" `Quick test_net_partition_delays_cross_block;
+         Alcotest.test_case "slow period" `Quick test_net_slow_period;
+         Alcotest.test_case "fifo no overtaking" `Quick test_net_fifo_no_overtaking;
+         Alcotest.test_case "fifo per link" `Quick test_net_fifo_per_link;
+         Alcotest.test_case "local fast" `Quick test_net_local_fast ]);
+      ("engine",
+       [ Alcotest.test_case "delivers everything" `Quick test_engine_delivers_everything;
+         Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+         Alcotest.test_case "seed changes run" `Quick test_engine_seed_changes_run;
+         Alcotest.test_case "crashed take no steps" `Quick test_engine_crashed_take_no_steps;
+         Alcotest.test_case "drop at delivery" `Quick
+           test_engine_message_to_crashed_dropped_at_delivery;
+         Alcotest.test_case "timer cadence" `Quick test_engine_timer_cadence;
+         Alcotest.test_case "inputs" `Quick test_engine_inputs_delivered_in_time;
+         Alcotest.test_case "inputs to crashed dropped" `Quick
+           test_engine_inputs_to_crashed_are_dropped;
+         Alcotest.test_case "combine" `Quick test_engine_combine_both_components_see_events;
+         Alcotest.test_case "deadline" `Quick test_engine_deadline_truncates;
+         Alcotest.test_case "rejects bad config" `Quick test_engine_rejects_bad_config;
+         Alcotest.test_case "run_with handles" `Quick test_run_with_returns_handles ]);
+      ("trace",
+       [ Alcotest.test_case "accessors" `Quick test_trace_accessors;
+         Alcotest.test_case "counters" `Quick test_trace_counters ]);
+      ("listeners",
+       [ Alcotest.test_case "fire in order" `Quick test_listeners_fire_in_order ]);
+      ("io",
+       [ Alcotest.test_case "printers" `Quick test_io_printers_roundtrip ]);
+      ("properties", qc);
+    ]
