@@ -1,0 +1,25 @@
+# Developer entry points.  `make check` is the tier-1 gate used by CI and
+# by every PR: it must stay green.
+
+.PHONY: all check build test fmt bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check: build test
+
+# Requires ocamlformat (version pinned in .ocamlformat); a no-op check
+# elsewhere so environments without the formatter can still run `make check`.
+fmt:
+	dune build @fmt --auto-promote
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -504,12 +504,12 @@ let e12 () =
   row "  -- link ordering x stale-promote guard (algorithm 5, stable omega) --";
   row "  %-16s %-10s %-14s %-14s" "links" "guard" "strong TOB" "base props";
   List.iter
-    (fun (lname, make_delay) ->
+    (fun (lname, delay) ->
        List.iter
          (fun (gname, stale_guard) ->
-            (* Stateful delay models (fifo) must be fresh per run. *)
+            (* Stateful models (fifo) re-instantiate per run on their own. *)
             let setup = { (Harness.Scenario.default ~n:4 ~deadline:300) with
-                          delay = make_delay (); omega = oracle 0 } in
+                          delay; omega = oracle 0 } in
             let omega_of = Harness.Scenario.omega_module setup in
             let make_node ctx =
               let omega, omega_node = omega_of ctx in
@@ -528,8 +528,8 @@ let e12 () =
               (bool_mark (Properties.is_strong_tob report))
               (bool_mark (Properties.etob_base_ok report)))
          [ ("on", true); ("off", false) ])
-    [ ("reordering", fun () -> Net.uniform ~min:1 ~max:7);
-      ("fifo", fun () -> Net.fifo ~base:(Net.uniform ~min:1 ~max:7) ()) ];
+    [ ("reordering", Net.uniform ~min:1 ~max:7);
+      ("fifo", Net.fifo ~base:(Net.uniform ~min:1 ~max:7)) ];
   row "  expected: correct under every ablation; the emulated omega adds its";
   row "  own stabilization; larger Delta_t trades latency for fewer messages"
 
@@ -631,6 +631,73 @@ let e14 () =
   row "  every stream is clean shortly after the heal"
 
 (* ------------------------------------------------------------------ *)
+(* E15: multi-seed sweep — E1 latencies with error bars                *)
+(* ------------------------------------------------------------------ *)
+
+(* One E1-style run per seed, fanned over domains; jittered links so the
+   seed actually matters.  Besides the printed table, emits a
+   machine-readable BENCH_sweep.json for tracking across revisions. *)
+let e15 () =
+  section "E15" "multi-seed E1: probe latency, mean +/- stddev over 32 seeds";
+  let n = 3 and seeds = 32 in
+  let domains = Harness.Sweep.default_domains () in
+  row "  %d seeds per implementation, %d domains" seeds domains;
+  row "  %-16s %-18s %-14s %-10s" "implementation" "mean latency" "stddev" "runs";
+  let sweep_impl impl =
+    let per_seed ~seed =
+      let setup = { (Harness.Scenario.default ~n ~deadline:600) with
+                    seed;
+                    delay = Net.uniform ~min:2 ~max:6; omega = oracle 0;
+                    timer_period = 1 } in
+      let inputs =
+        (10, 0, Harness.Scenario.Post "warmup")
+        :: List.init 8 (fun i ->
+            (60 + (i * 40), (i + 1) mod n,
+             Harness.Scenario.Post (Printf.sprintf "probe%d" i)))
+      in
+      let trace = Harness.Scenario.run_etob ~inputs setup impl in
+      let run = Properties.etob_run_of_trace setup.Harness.Scenario.pattern trace in
+      mean (probe_latencies trace run)
+    in
+    let results =
+      Harness.Sweep.map ~domains
+        ~seeds:(Harness.Sweep.seed_range ~base:1 ~count:seeds) per_seed
+    in
+    let means = List.map (fun r -> r.Harness.Sweep.value) results in
+    match Harness.Sweep.mean_stddev means with
+    | None -> assert false
+    | Some (m, sd) ->
+      row "  %-16s %-18.2f %-14.2f %-10d" (impl_name impl) m sd (List.length means);
+      (impl_name impl, m, sd, List.length means)
+  in
+  let rows =
+    List.map sweep_impl
+      [ Harness.Scenario.Algorithm_5; Harness.Scenario.Paxos_baseline ]
+  in
+  row "  expected: ETOB mean below TOB mean; stddev > 0 under jittered links";
+  let json =
+    Printf.sprintf
+      "{\n  \"experiment\": \"E15\",\n  \"seeds\": %d,\n  \"domains\": %d,\n  \
+       \"results\": [\n%s\n  ]\n}\n"
+      seeds domains
+      (String.concat ",\n"
+         (List.map
+            (fun (name, m, sd, runs) ->
+               Printf.sprintf
+                 "    {\"impl\": \"%s\", \"mean_latency\": %.4f, \
+                  \"stddev\": %.4f, \"runs\": %d}"
+                 name m sd runs)
+            rows))
+  in
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench"
+    then Filename.concat "bench" "BENCH_sweep.json"
+    else "BENCH_sweep.json"
+  in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc json);
+  row "  wrote %s" path
+
+(* ------------------------------------------------------------------ *)
 (* E10: substrate micro-benchmarks (Bechamel)                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -719,5 +786,6 @@ let () =
   e12 ();
   e13 ();
   e14 ();
+  e15 ();
   e10 ();
   print_endline "\nAll experiment tables printed."

@@ -237,6 +237,115 @@ let check_cmd =
     Term.(ret (const run $ scenario_arg $ impl_arg $ n_arg $ seed_arg
                $ deadline_arg $ posts_arg $ verbose_arg))
 
+(* --- sweep --- *)
+
+(* Everything a worker domain sends back per seed: plain data, no shared
+   state. *)
+type sweep_outcome = {
+  sw_ok : bool;
+  sw_tau : int;
+  sw_sent : int;
+  sw_delivered : int;
+  sw_dropped : int;
+  sw_latency : int array array;  (* per destination process *)
+}
+
+let sweep_cmd =
+  let doc =
+    "Run one scenario under a range of seeds in parallel (one run per seed, \
+     fanned over OCaml domains) and print aggregated verdicts and latency \
+     histograms."
+  in
+  let seeds_arg =
+    let doc = "Number of seeds to sweep (base seed up to base+count-1)." in
+    Arg.(value & opt int 64 & info [ "seeds" ] ~docv:"COUNT" ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains (0 = pick from the hardware)." in
+    Arg.(value & opt int 0 & info [ "domains"; "j" ] ~docv:"D" ~doc)
+  in
+  let run scenario_name impl_name n base_seed deadline posts seeds domains =
+    match find_scenario scenario_name, List.assoc_opt impl_name impls with
+    | None, _ -> `Error (false, "unknown scenario " ^ scenario_name)
+    | _, None -> `Error (false, "unknown implementation " ^ impl_name)
+    | Some scenario, Some impl ->
+      let n = if n = 0 then scenario.sc_default_n else n in
+      let domains =
+        if domains > 0 then domains else Harness.Sweep.default_domains ()
+      in
+      let run_one ~seed =
+        let setup = scenario.sc_setup ~n ~seed ~deadline in
+        (* Observe the run twice over: a full trace for the property
+           checkers plus counters for the latency histograms. *)
+        let trace = Trace.create ~n in
+        let c = Sink.counters ~n in
+        let setup =
+          { setup with
+            Harness.Scenario.sink =
+              Some (Sink.tee (Sink.recorder trace) (Sink.counters_sink c)) }
+        in
+        let inputs =
+          if posts > 0 then
+            Harness.Scenario.spread_posts ~n ~count:posts ~from_time:8
+              ~every:(max 2 (deadline / (2 * posts)))
+          else default_posts n deadline
+        in
+        (match impl with
+         | Impl impl -> ignore (Harness.Scenario.run_etob ~inputs setup impl)
+         | Gossip -> ignore (Harness.Scenario.run_gossip_order ~inputs setup));
+        let run = Properties.etob_run_of_trace setup.Harness.Scenario.pattern trace in
+        let report = Properties.etob_report run in
+        { sw_ok =
+            Properties.etob_base_ok report
+            && report.Properties.causal_order.Properties.ok;
+          sw_tau = Properties.etob_convergence_time report;
+          sw_sent = Trace.sent trace;
+          sw_delivered = Trace.delivered trace;
+          sw_dropped = Trace.dropped trace;
+          sw_latency = Array.init n (Sink.latencies c) }
+      in
+      let seed_list = Harness.Sweep.seed_range ~base:base_seed ~count:seeds in
+      let results = Harness.Sweep.map ~domains ~seeds:seed_list run_one in
+      let outcomes = List.map (fun r -> r.Harness.Sweep.value) results in
+      Format.printf "sweep: scenario=%s impl=%s n=%d seeds=%d..%d domains=%d@."
+        scenario_name impl_name n base_seed (base_seed + seeds - 1) domains;
+      let verdicts =
+        Harness.Sweep.verdicts results ~ok:(fun o -> o.sw_ok)
+      in
+      Format.printf "verdicts: %a@." Harness.Sweep.pp_verdicts verdicts;
+      (match
+         Harness.Sweep.mean_stddev
+           (List.map (fun o -> float_of_int o.sw_tau) outcomes)
+       with
+       | Some (mean, stddev) ->
+         Format.printf "convergence tau: mean=%.1f stddev=%.1f@." mean stddev
+       | None -> ());
+      let total f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
+      Format.printf "messages: sent=%d delivered=%d dropped=%d@."
+        (total (fun o -> o.sw_sent)) (total (fun o -> o.sw_delivered))
+        (total (fun o -> o.sw_dropped));
+      (match
+         Harness.Sweep.merged_latency_stats
+           (List.concat_map (fun o -> Array.to_list o.sw_latency) outcomes)
+       with
+       | Some s -> Format.printf "delivery latency (all procs): %a@." Harness.Stats.pp s
+       | None -> ());
+      List.iter
+        (fun p ->
+           match
+             Harness.Sweep.merged_latency_stats
+               (List.map (fun o -> o.sw_latency.(p)) outcomes)
+           with
+           | Some s -> Format.printf "  p%d: %a@." p Harness.Stats.pp s
+           | None -> Format.printf "  p%d: no deliveries@." p)
+        (Types.all_procs n);
+      if verdicts.Harness.Sweep.failed_seeds = [] then `Ok ()
+      else `Error (false, "property violations in sweep")
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(ret (const run $ scenario_arg $ impl_arg $ n_arg $ seed_arg
+               $ deadline_arg $ posts_arg $ seeds_arg $ domains_arg))
+
 (* --- cht --- *)
 
 let cht_cmd =
@@ -296,4 +405,4 @@ let cht_cmd =
 let () =
   let doc = "simulate eventually consistent replication (PODC 2015 reproduction)" in
   let info = Cmd.info "ecsim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; check_cmd; cht_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; check_cmd; sweep_cmd; cht_cmd ]))

@@ -18,9 +18,10 @@ type setup = {
   seed : int;
   deadline : time;
   timer_period : int;
-  delay : Net.delay_fn;
+  delay : Net.model;
   pattern : Failures.pattern;
   omega : omega_source;
+  sink : Sink.t option;
 }
 
 let default ~n ~deadline =
@@ -30,7 +31,8 @@ let default ~n ~deadline =
     timer_period = 2;
     delay = Net.constant 1;
     pattern = Failures.none ~n;
-    omega = Oracle { stabilize_at = 0; pre = Detectors.Omega.Self_trust } }
+    omega = Oracle { stabilize_at = 0; pre = Detectors.Omega.Self_trust };
+    sink = None }
 
 let engine_config setup =
   { Engine.n = setup.n;
@@ -38,7 +40,8 @@ let engine_config setup =
     delay = setup.delay;
     timer_period = setup.timer_period;
     seed = setup.seed;
-    deadline = setup.deadline }
+    deadline = setup.deadline;
+    sink = setup.sink }
 
 (* Per-process Omega module: a query closure plus the protocol component
    that maintains it (idle for oracles). *)

@@ -17,13 +17,18 @@ type setup = {
   seed : int;
   deadline : time;
   timer_period : int;  (** the paper's Delta_t *)
-  delay : Net.delay_fn;
+  delay : Net.model;
   pattern : Failures.pattern;
   omega : omega_source;
+  sink : Sink.t option;
+      (** threaded into {!Engine.config}: [None] records a full trace,
+          [Some s] sends run events to [s] and the returned trace is
+          empty (see {!Engine.config}). *)
 }
 
 val default : n:int -> deadline:time -> setup
-(** Failure-free, unit delays, oracle Omega stable from time 0. *)
+(** Failure-free, unit delays, oracle Omega stable from time 0, recording
+    sink. *)
 
 val engine_config : setup -> Engine.config
 

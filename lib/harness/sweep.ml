@@ -1,0 +1,94 @@
+(* Domain-parallel seed sweeps.
+
+   Deterministic-simulation power comes from running the same scenario
+   under many seeds.  Every [Engine.run] is self-contained — per-process
+   RNGs and the network RNG are derived from [config.seed], stateful delay
+   models are re-instantiated per run ([Net.per_run]), and the event queue,
+   trace and sinks are allocated inside the run — so seed sweeps are
+   embarrassingly parallel.  This module fans one run function over a seed
+   range using OCaml 5 domains.
+
+   Determinism: workers share nothing and results are reassembled in seed
+   order, so the output list (and anything folded over it) is independent
+   of the domain count and of scheduling. *)
+
+type 'a result = { seed : int; value : 'a }
+
+let default_domains () =
+  max 2 (min 8 (Domain.recommended_domain_count ()))
+
+let seed_range ~base ~count = List.init count (fun i -> base + i)
+
+let map ?domains ~seeds (f : seed:int -> 'a) : 'a result list =
+  let seeds = Array.of_list seeds in
+  let total = Array.length seeds in
+  if total = 0 then []
+  else begin
+    let domains =
+      let d = match domains with Some d -> d | None -> default_domains () in
+      max 1 (min d total)
+    in
+    if domains = 1 then
+      Array.to_list
+        (Array.map (fun seed -> { seed; value = f ~seed }) seeds)
+    else begin
+      (* Strided assignment: worker w runs seeds w, w+domains, ... — a
+         static, scheduling-independent partition. *)
+      let results = Array.make total None in
+      let worker w () =
+        let rec go i acc =
+          if i >= total then acc else go (i + domains) ((i, f ~seed:seeds.(i)) :: acc)
+        in
+        go w []
+      in
+      let handles =
+        List.init (domains - 1) (fun w -> Domain.spawn (worker (w + 1)))
+      in
+      let own = worker 0 () in
+      let fill = List.iter (fun (i, v) -> results.(i) <- Some v) in
+      fill own;
+      List.iter (fun h -> fill (Domain.join h)) handles;
+      Array.to_list
+        (Array.mapi
+           (fun i v ->
+              match v with
+              | Some value -> { seed = seeds.(i); value }
+              | None -> assert false)
+           results)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type verdicts = { runs : int; passed : int; failed_seeds : int list }
+
+let verdicts results ~ok =
+  let runs = List.length results in
+  let failed =
+    List.filter_map (fun r -> if ok r.value then None else Some r.seed) results
+  in
+  { runs; passed = runs - List.length failed; failed_seeds = failed }
+
+let pp_verdicts ppf v =
+  if v.failed_seeds = [] then Fmt.pf ppf "%d/%d passed" v.passed v.runs
+  else
+    Fmt.pf ppf "%d/%d passed (failing seeds: %a)" v.passed v.runs
+      (Fmt.list ~sep:Fmt.comma Fmt.int) v.failed_seeds
+
+let mean_stddev xs =
+  match xs with
+  | [] -> None
+  | _ ->
+    let n = float_of_int (List.length xs) in
+    let mean = List.fold_left ( +. ) 0.0 xs /. n in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. n
+    in
+    Some (mean, sqrt var)
+
+(* Merge per-run latency sample sets into one distribution summary. *)
+let merged_latency_stats (samples : int array list) =
+  let all = List.concat_map Array.to_list samples in
+  Stats.of_list all

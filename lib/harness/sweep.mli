@@ -1,0 +1,35 @@
+(** Domain-parallel seed sweeps.
+
+    Fans a self-contained run function over a seed range using OCaml 5
+    domains.  Safe because every [Engine.run] derives all its randomness
+    from [config.seed] and allocates all its mutable state (queue, trace,
+    sinks, stateful delay models) inside the run.  Results are reassembled
+    in seed order, so output is independent of domain count and
+    scheduling. *)
+
+type 'a result = { seed : int; value : 'a }
+
+val default_domains : unit -> int
+(** At least 2 (the sweep layer exists to use parallelism), at most 8 or
+    the hardware's recommended domain count. *)
+
+val seed_range : base:int -> count:int -> int list
+
+val map : ?domains:int -> seeds:int list -> (seed:int -> 'a) -> 'a result list
+(** [map ~seeds f] runs [f ~seed] for every seed, in parallel across
+    [domains] (default {!default_domains}, clamped to the seed count), and
+    returns results in the order of [seeds].  [f] must not touch shared
+    mutable state; scenario runs qualify. *)
+
+(** {2 Aggregation} *)
+
+type verdicts = { runs : int; passed : int; failed_seeds : int list }
+
+val verdicts : 'a result list -> ok:('a -> bool) -> verdicts
+val pp_verdicts : Format.formatter -> verdicts -> unit
+
+val mean_stddev : float list -> (float * float) option
+(** Mean and population standard deviation; [None] on the empty list. *)
+
+val merged_latency_stats : int array list -> Stats.t option
+(** Pool per-run latency samples into one {!Stats.t}. *)

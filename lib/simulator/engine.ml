@@ -11,7 +11,15 @@
    steps, and every message sent to a correct process is eventually
    received.  The engine realizes both on any finite horizon: timers fire
    forever at every alive process, and every send is assigned a finite
-   delay, so only the configured deadline truncates the run. *)
+   delay, so only the configured deadline truncates the run.
+
+   Runtime notes.  The event queue is a mutable binary heap ([Pqueue])
+   driven in place; determinism rests on its stable (prio, seq) order,
+   which is differentially tested against the original persistent heap.
+   Observability goes through exactly one [Sink.t]: by default a [Sink.
+   recorder] over the returned trace (the historical behaviour), or the
+   caller's sink from [config.sink] — in which case the returned trace
+   stays empty and the caller observes the run through the sink alone. *)
 
 open Types
 
@@ -51,10 +59,11 @@ type event =
 type config = {
   n : int;
   pattern : Failures.pattern;
-  delay : Net.delay_fn;
+  delay : Net.model;
   timer_period : int;
   seed : int;
   deadline : time;
+  sink : Sink.t option;
 }
 
 let default_config ~n ~deadline =
@@ -63,7 +72,8 @@ let default_config ~n ~deadline =
     delay = Net.constant 1;
     timer_period = 2;
     seed = 42;
-    deadline }
+    deadline;
+    sink = None }
 
 let check_config config =
   if config.n < 2 then invalid_arg "Engine.run: n must be >= 2";
@@ -74,44 +84,49 @@ let check_config config =
 
 type state = {
   config : config;
-  trace : Trace.t;
+  sink : Sink.t;
+  delay : Net.delay_fn;  (* instantiated once for this run *)
   net_rng : Rng.t;
-  mutable queue : event Pqueue.t;
+  queue : event Pqueue.t;  (* mutated in place *)
   mutable clock : time;
   mutable next_uid : int;
 }
 
-let schedule state ~at event =
-  state.queue <- Pqueue.insert state.queue ~prio:at event
+let schedule state ~at event = Pqueue.insert state.queue ~prio:at event
 
 let alive state p = Failures.is_alive state.config.pattern p state.clock
 
 let make_ctx state p =
   let send dst payload =
-    Trace.count_sent state.trace;
     let now = state.clock in
-    let delay = Net.delay_of state.config.delay ~src:p ~dst ~now ~rng:state.net_rng in
+    let delay = Net.delay_of state.delay ~src:p ~dst ~now ~rng:state.net_rng in
     let uid = state.next_uid in
     state.next_uid <- uid + 1;
-    schedule state ~at:(now + delay)
-      (Deliver { Msg.src = p; dst; payload; sent_at = now; uid })
+    let env = { Msg.src = p; dst; payload; sent_at = now; uid } in
+    state.sink.Sink.on_send env;
+    schedule state ~at:(now + delay) (Deliver env)
   in
   { self = p;
     n = state.config.n;
     now = (fun () -> state.clock);
     send;
     broadcast = (fun payload -> List.iter (fun q -> send q payload) (all_procs state.config.n));
-    output = (fun o -> Trace.record_output state.trace ~time:state.clock ~proc:p o);
+    output = (fun o -> state.sink.Sink.on_output ~at:state.clock ~proc:p o);
     rng = Rng.create (state.config.seed lxor (0x5157 * (p + 1)));
   }
 
 let run_with config ~make_node ~inputs =
   check_config config;
+  let trace = Trace.create ~n:config.n in
+  let sink =
+    match config.sink with None -> Sink.recorder trace | Some s -> s
+  in
   let state =
     { config;
-      trace = Trace.create ~n:config.n;
+      sink;
+      delay = Net.instantiate config.delay;
       net_rng = Rng.create (config.seed lxor 0x6e65);
-      queue = Pqueue.empty;
+      queue = Pqueue.create ();
       clock = 0;
       next_uid = 0 }
   in
@@ -131,35 +146,34 @@ let run_with config ~make_node ~inputs =
   let rec loop () =
     match Pqueue.pop state.queue with
     | None -> ()
-    | Some ((at, event), rest) ->
-      state.queue <- rest;
+    | Some (at, event) ->
       if at <= config.deadline then begin
         state.clock <- at;
         (match event with
          | Deliver env ->
            if alive state env.Msg.dst then begin
-             Trace.count_delivered state.trace;
-             Trace.count_step state.trace;
+             sink.Sink.on_deliver ~at env;
+             sink.Sink.on_step ~at ~proc:env.Msg.dst;
              nodes.(env.Msg.dst).on_message ~src:env.Msg.src env.Msg.payload
            end
-           else Trace.count_dropped state.trace
+           else sink.Sink.on_drop ~at env
          | Timer p ->
            if alive state p then begin
-             Trace.count_step state.trace;
+             sink.Sink.on_step ~at ~proc:p;
              nodes.(p).on_timer ();
              schedule state ~at:(at + config.timer_period) (Timer p)
            end
          | External_input (p, input) ->
            if alive state p then begin
-             Trace.record_input state.trace ~time:at ~proc:p input;
-             Trace.count_step state.trace;
+             sink.Sink.on_input ~at ~proc:p input;
+             sink.Sink.on_step ~at ~proc:p;
              nodes.(p).on_input input
            end);
         loop ()
       end
   in
   loop ();
-  (state.trace, Array.map snd pairs)
+  (trace, Array.map snd pairs)
 
 let run config ~make_node ~inputs =
   let trace, _ =

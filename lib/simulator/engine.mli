@@ -37,14 +37,19 @@ val stack : node list -> node
 type config = {
   n : int;
   pattern : Failures.pattern;
-  delay : Net.delay_fn;
+  delay : Net.model;  (** stateful models are re-instantiated per run *)
   timer_period : int;  (** the paper's local-timeout period, Delta_t *)
   seed : int;
   deadline : time;  (** run horizon; only truncation, never unfairness *)
+  sink : Sink.t option;
+      (** where run events go.  [None] (the default) records the full
+          input/output history into the returned trace; [Some s] sends
+          every event to [s] instead, and the returned trace stays empty —
+          combine with {!Sink.recorder} and {!Sink.tee} to observe both. *)
 }
 
 val default_config : n:int -> deadline:time -> config
-(** Failure-free, unit delays, timer period 2, seed 42. *)
+(** Failure-free, unit delays, timer period 2, seed 42, recording sink. *)
 
 val run :
   config ->

@@ -1,13 +1,17 @@
 (* A tiny observer registry: protocol services expose "on_event" hooks so
    transformations can stack on top of each other (Algorithm 1 listens to EC
-   decisions, Algorithm 2 listens to ETOB deliveries, ...). *)
+   decisions, Algorithm 2 listens to ETOB deliveries, ...).
 
-type 'a t = { mutable callbacks : ('a -> unit) list }
+   Callbacks are stored most-recent-first so registration is O(1) — the old
+   append-with-[@] made registering n listeners O(n^2) — and [fire] walks
+   the reversal so observers still see events in registration order. *)
 
-let create () = { callbacks = [] }
+type 'a t = { mutable rev_callbacks : ('a -> unit) list }
 
-let register t f = t.callbacks <- t.callbacks @ [ f ]
+let create () = { rev_callbacks = [] }
 
-let fire t x = List.iter (fun f -> f x) t.callbacks
+let register t f = t.rev_callbacks <- f :: t.rev_callbacks
 
-let count t = List.length t.callbacks
+let fire t x = List.iter (fun f -> f x) (List.rev t.rev_callbacks)
+
+let count t = List.length t.rev_callbacks

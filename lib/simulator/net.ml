@@ -4,23 +4,48 @@
    asynchronous system: messages sent to correct processes are eventually
    received, but with no bound on delay.  A delay model assigns every send a
    finite positive delay, so eventual delivery holds by construction;
-   asynchrony and partitions are modelled as (finitely) large delays. *)
+   asynchrony and partitions are modelled as (finitely) large delays.
+
+   A [model] is what run configurations carry.  Most models are stateless
+   pure functions shared freely across runs; stateful models (e.g. [fifo])
+   carry a creation thunk instead, which the engine forces once per
+   [Engine.run] so that no per-run mutable state ever leaks from one run
+   into the next.  This is what keeps runs pure functions of their
+   configuration even when one configuration value is reused for a whole
+   seed sweep, including sweeps executing in parallel domains. *)
 
 open Types
 
 type delay_fn = src:proc_id -> dst:proc_id -> now:time -> rng:Rng.t -> int
 
-let constant d : delay_fn =
-  if d < 1 then invalid_arg "Net.constant: delay must be >= 1";
-  fun ~src:_ ~dst:_ ~now:_ ~rng:_ -> d
+type model =
+  | Stateless of delay_fn
+  | Per_run of (unit -> delay_fn)
 
-let uniform ~min ~max : delay_fn =
+let of_fn f = Stateless f
+let per_run mk = Per_run mk
+
+let instantiate = function Stateless f -> f | Per_run mk -> mk ()
+
+(* Map a delay_fn transformer over a model, preserving statefulness. *)
+let lift f = function
+  | Stateless g -> Stateless (f g)
+  | Per_run mk -> Per_run (fun () -> f (mk ()))
+
+let constant d =
+  if d < 1 then invalid_arg "Net.constant: delay must be >= 1";
+  Stateless (fun ~src:_ ~dst:_ ~now:_ ~rng:_ -> d)
+
+let uniform ~min ~max =
   if min < 1 || max < min then invalid_arg "Net.uniform: need 1 <= min <= max";
-  fun ~src:_ ~dst:_ ~now:_ ~rng -> Rng.in_range rng ~min ~max
+  Stateless (fun ~src:_ ~dst:_ ~now:_ ~rng -> Rng.in_range rng ~min ~max)
 
 (* Local delivery (self messages) in one tick, remote per [remote]. *)
-let local_fast ~remote : delay_fn =
-  fun ~src ~dst ~now ~rng -> if src = dst then 1 else remote ~src ~dst ~now ~rng
+let local_fast ~remote =
+  lift
+    (fun remote ~src ~dst ~now ~rng ->
+       if src = dst then 1 else remote ~src ~dst ~now ~rng)
+    remote
 
 (* A partition separates the processes into blocks during [from, until).
    Messages crossing blocks during the partition are delayed until just
@@ -45,23 +70,28 @@ let same_block spec p q =
   | Some i, Some j -> i = j
   | _, _ -> true (* processes outside every block are unaffected *)
 
-let partitioned spec ~(base : delay_fn) : delay_fn =
+let partitioned spec ~base =
   if spec.until_time < spec.from_time then
     invalid_arg "Net.partitioned: until_time < from_time";
-  fun ~src ~dst ~now ~rng ->
-    let d = base ~src ~dst ~now ~rng in
-    if now >= spec.from_time && now < spec.until_time && not (same_block spec src dst)
-    then spec.until_time - now + d
-    else d
+  lift
+    (fun base ~src ~dst ~now ~rng ->
+       let d = base ~src ~dst ~now ~rng in
+       if now >= spec.from_time && now < spec.until_time
+          && not (same_block spec src dst)
+       then spec.until_time - now + d
+       else d)
+    base
 
 (* An asynchrony burst: during [from, until), delays are inflated by
    [factor].  Used to exercise the "no bound on delay between steps"
    clause without a structured partition. *)
-let slow_period ~from_time ~until_time ~factor ~(base : delay_fn) : delay_fn =
+let slow_period ~from_time ~until_time ~factor ~base =
   if factor < 1 then invalid_arg "Net.slow_period: factor must be >= 1";
-  fun ~src ~dst ~now ~rng ->
-    let d = base ~src ~dst ~now ~rng in
-    if now >= from_time && now < until_time then d * factor else d
+  lift
+    (fun base ~src ~dst ~now ~rng ->
+       let d = base ~src ~dst ~now ~rng in
+       if now >= from_time && now < until_time then d * factor else d)
+    base
 
 (* Partial synchrony with a global stabilization time (Dwork-Lynch-
    Stockmeyer): before [gst], delays are chaotic up to [chaos_max]; from
@@ -69,20 +99,23 @@ let slow_period ~from_time ~until_time ~factor ~(base : delay_fn) : delay_fn =
    in which timeout-based Omega emulations are actually justified — fully
    asynchronous runs admit no Omega implementation at all, which is why
    the paper treats Omega as an oracle. *)
-let partial_synchrony ~gst ~bound ~chaos_max : delay_fn =
+let partial_synchrony ~gst ~bound ~chaos_max =
   if bound < 1 || chaos_max < bound then
     invalid_arg "Net.partial_synchrony: need 1 <= bound <= chaos_max";
-  fun ~src:_ ~dst:_ ~now ~rng ->
-    if now >= gst then 1 + Rng.int rng bound
-    else 1 + Rng.int rng chaos_max
+  Stateless
+    (fun ~src:_ ~dst:_ ~now ~rng ->
+       if now >= gst then 1 + Rng.int rng bound
+       else 1 + Rng.int rng chaos_max)
 
 (* A stateful FIFO wrapper: per ordered pair (src, dst), a message never
    overtakes an earlier one — its delivery time is clamped to strictly
    after the previous message's.  The paper's links are reliable but not
    FIFO; this wrapper lets experiments isolate how much of a protocol's
    behaviour depends on ordering (e.g. the stale-promote guard of
-   Algorithm 5 becomes unnecessary under FIFO). *)
-let fifo ~(base : delay_fn) () : delay_fn =
+   Algorithm 5 becomes unnecessary under FIFO).  The clamp table is
+   allocated inside the per-run thunk, so one [fifo] model value can be
+   reused across any number of runs without cross-run contamination. *)
+let fifo_fn ~(base : delay_fn) : delay_fn =
   let last_arrival : (proc_id * proc_id, time) Hashtbl.t = Hashtbl.create 64 in
   fun ~src ~dst ~now ~rng ->
     let d = base ~src ~dst ~now ~rng in
@@ -94,6 +127,8 @@ let fifo ~(base : delay_fn) () : delay_fn =
     in
     Hashtbl.replace last_arrival (src, dst) arrival;
     arrival - now
+
+let fifo ~base = Per_run (fun () -> fifo_fn ~base:(instantiate base))
 
 let delay_of (f : delay_fn) ~src ~dst ~now ~rng =
   let d = f ~src ~dst ~now ~rng in

@@ -4,20 +4,38 @@
     message sent to a correct process is eventually received, with no bound
     on delay.  A delay model assigns every send a finite positive delay, so
     eventual delivery holds by construction; asynchrony and partitions are
-    modelled as (finitely) large delays. *)
+    modelled as (finitely) large delays.
+
+    Configurations carry a {!model}.  Stateless models are plain shared
+    functions; stateful models ({!fifo}) are re-instantiated by the engine
+    once per {!Engine.run}, so reusing one model value across a seed sweep
+    — sequential or Domain-parallel — never leaks state between runs. *)
 
 open Types
 
 type delay_fn = src:proc_id -> dst:proc_id -> now:time -> rng:Rng.t -> int
 (** Delay, in ticks, applied to a message sent now from [src] to [dst]. *)
 
-val constant : int -> delay_fn
+type model
+(** A delay model specification, as carried by run configurations. *)
+
+val of_fn : delay_fn -> model
+(** A stateless custom model, shared across runs. *)
+
+val per_run : (unit -> delay_fn) -> model
+(** A stateful custom model; the thunk runs once per [Engine.run]. *)
+
+val instantiate : model -> delay_fn
+(** Force a model for one run.  The engine calls this exactly once per run;
+    call it yourself only to drive a model by hand (e.g. in tests). *)
+
+val constant : int -> model
 (** Every message takes exactly [d >= 1] ticks: one "communication step". *)
 
-val uniform : min:int -> max:int -> delay_fn
+val uniform : min:int -> max:int -> model
 (** Uniformly random delay in [\[min, max\]], [1 <= min <= max]. *)
 
-val local_fast : remote:delay_fn -> delay_fn
+val local_fast : remote:model -> model
 (** Self-addressed messages take one tick; others follow [remote]. *)
 
 type partition_spec = {
@@ -30,25 +48,27 @@ type partition_spec = {
 val block_of : partition_spec -> proc_id -> int option
 val same_block : partition_spec -> proc_id -> proc_id -> bool
 
-val partitioned : partition_spec -> base:delay_fn -> delay_fn
+val partitioned : partition_spec -> base:model -> model
 (** Cross-block messages sent during the partition are delivered only after
     it heals (plus their base delay); nothing is lost. *)
 
 val slow_period :
-  from_time:time -> until_time:time -> factor:int -> base:delay_fn -> delay_fn
+  from_time:time -> until_time:time -> factor:int -> base:model -> model
 (** Inflate delays by [factor] during a window — an asynchrony burst. *)
 
-val partial_synchrony : gst:time -> bound:int -> chaos_max:int -> delay_fn
+val partial_synchrony : gst:time -> bound:int -> chaos_max:int -> model
 (** Dwork–Lynch–Stockmeyer partial synchrony: chaotic delays up to
     [chaos_max] before the global stabilization time [gst], all delays
     within [bound] afterwards. *)
 
-val fifo : base:delay_fn -> unit -> delay_fn
+val fifo : base:model -> model
 (** A stateful wrapper making each ordered link FIFO: no message overtakes
     an earlier one.  The paper's links are reliable but not FIFO; use this
-    to isolate ordering-dependence in experiments.  Stateful: create a
-    fresh wrapper for every run, never share one across runs. *)
+    to isolate ordering-dependence in experiments.  The per-link clamp
+    table is allocated afresh for every run, so the model value itself is
+    safe to reuse and to share across sweep workers. *)
 
 val delay_of :
   delay_fn -> src:proc_id -> dst:proc_id -> now:time -> rng:Rng.t -> int
-(** Evaluate a model, clamping the result to at least 1 tick. *)
+(** Evaluate an instantiated model, clamping the result to at least 1
+    tick. *)

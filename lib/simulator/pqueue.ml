@@ -1,62 +1,110 @@
-(* A stable priority queue of simulation events, implemented as a leftist
-   heap keyed by (priority, insertion sequence number).
+(* A stable priority queue of simulation events, implemented as a mutable
+   array-based binary heap keyed by (priority, insertion sequence number).
 
    Stability (FIFO order among equal priorities) matters for reproducibility:
    two events scheduled for the same tick are processed in the order they
-   were scheduled, so a run is a pure function of the configuration. *)
+   were scheduled, so a run is a pure function of the configuration.  The
+   (prio, seq) key is identical to the one used by the original persistent
+   implementation (kept as [Pqueue_persistent]), so the two pop in exactly
+   the same order — a differential test in the suite holds us to that.
 
-type 'a heap =
-  | Empty
-  | Node of { rank : int; prio : int; seq : int; value : 'a; left : 'a heap; right : 'a heap }
+   The heap is mutable on purpose: the engine's event loop is the hottest
+   path in the system, and the persistent leftist heap allocated a node per
+   insert plus O(log n) nodes per merge.  Here inserts and pops allocate
+   nothing beyond the amortized array growth.  Priorities and sequence
+   numbers live in unboxed int arrays. *)
 
-type 'a t = { heap : 'a heap; next_seq : int; size : int }
+type 'a t = {
+  mutable prios : int array;
+  mutable seqs : int array;
+  mutable values : 'a array;  (* meaningful in [0, size) *)
+  mutable size : int;
+  mutable next_seq : int;
+}
 
-let empty = { heap = Empty; next_seq = 0; size = 0 }
+let create () =
+  { prios = [||]; seqs = [||]; values = [||]; size = 0; next_seq = 0 }
 
 let is_empty t = t.size = 0
 let size t = t.size
 
-let rank = function Empty -> 0 | Node { rank; _ } -> rank
+(* Lexicographic (prio, seq) order; seq values are unique so this is total. *)
+let leq t i j =
+  t.prios.(i) < t.prios.(j)
+  || (t.prios.(i) = t.prios.(j) && t.seqs.(i) <= t.seqs.(j))
 
-let make_node prio seq value left right =
-  if rank left >= rank right then
-    Node { rank = rank right + 1; prio; seq; value; left; right }
-  else Node { rank = rank left + 1; prio; seq; value; left = right; right = left }
+let swap t i j =
+  let p = t.prios.(i) in t.prios.(i) <- t.prios.(j); t.prios.(j) <- p;
+  let s = t.seqs.(i) in t.seqs.(i) <- t.seqs.(j); t.seqs.(j) <- s;
+  let v = t.values.(i) in t.values.(i) <- t.values.(j); t.values.(j) <- v
 
-let leq p1 s1 p2 s2 = p1 < p2 || (p1 = p2 && s1 <= s2)
+let grow t filler =
+  let cap = max 16 (2 * Array.length t.values) in
+  let prios = Array.make cap 0 in
+  let seqs = Array.make cap 0 in
+  let values = Array.make cap filler in
+  Array.blit t.prios 0 prios 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.values 0 values 0 t.size;
+  t.prios <- prios; t.seqs <- seqs; t.values <- values
 
-let rec merge h1 h2 =
-  match h1, h2 with
-  | Empty, h | h, Empty -> h
-  | Node n1, Node n2 ->
-    if leq n1.prio n1.seq n2.prio n2.seq then
-      make_node n1.prio n1.seq n1.value n1.left (merge n1.right h2)
-    else make_node n2.prio n2.seq n2.value n2.left (merge h1 n2.right)
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if leq t i parent then begin swap t i parent; sift_up t parent end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.size && leq t l i then l else i in
+  let smallest = if r < t.size && leq t r smallest then r else smallest in
+  if smallest <> i then begin swap t i smallest; sift_down t smallest end
 
 let insert t ~prio value =
-  let node = make_node prio t.next_seq value Empty Empty in
-  { heap = merge t.heap node; next_seq = t.next_seq + 1; size = t.size + 1 }
+  if t.size = Array.length t.values then grow t value;
+  let i = t.size in
+  t.prios.(i) <- prio;
+  t.seqs.(i) <- t.next_seq;
+  t.values.(i) <- value;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t i
 
 let pop t =
-  match t.heap with
-  | Empty -> None
-  | Node { prio; value; left; right; _ } ->
-    Some ((prio, value), { t with heap = merge left right; size = t.size - 1 })
+  if t.size = 0 then None
+  else begin
+    let prio = t.prios.(0) and value = t.values.(0) in
+    let last = t.size - 1 in
+    swap t 0 last;
+    t.size <- last;
+    (* Drop the popped value's reference so the heap never pins dead
+       events; slot [last] still holds a live value when size > 0. *)
+    if last > 0 then t.values.(last) <- t.values.(0);
+    sift_down t 0;
+    Some (prio, value)
+  end
 
-let peek_prio t =
-  match t.heap with Empty -> None | Node { prio; _ } -> Some prio
+let peek_prio t = if t.size = 0 then None else Some t.prios.(0)
 
-let rec fold_heap f acc = function
-  | Empty -> acc
-  | Node { prio; value; left; right; _ } ->
-    fold_heap f (fold_heap f (f acc prio value) left) right
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.prios.(i) t.values.(i)
+  done;
+  !acc
 
-let fold f acc t = fold_heap f acc t.heap
-
+(* Non-destructive: drains a structural copy. *)
 let to_sorted_list t =
-  let rec drain acc t =
-    match pop t with
-    | None -> List.rev acc
-    | Some (pv, t') -> drain (pv :: acc) t'
+  let copy =
+    { prios = Array.copy t.prios;
+      seqs = Array.copy t.seqs;
+      values = Array.copy t.values;
+      size = t.size;
+      next_seq = t.next_seq }
   in
-  drain [] t
+  let rec drain acc =
+    match pop copy with
+    | None -> List.rev acc
+    | Some pv -> drain (pv :: acc)
+  in
+  drain []

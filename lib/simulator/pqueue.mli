@@ -1,18 +1,24 @@
-(** A stable priority queue (leftist heap) used for the event queue.
+(** A stable priority queue (mutable array-based binary heap) used for the
+    event queue.
 
     Elements with equal priorities are returned in insertion (FIFO) order,
-    which makes simulation runs fully deterministic. *)
+    which makes simulation runs fully deterministic.  The pop order is
+    identical to {!Pqueue_persistent}, the original persistent leftist heap
+    retained for differential testing. *)
 
 type 'a t
 
-val empty : 'a t
+val create : unit -> 'a t
+(** A fresh empty queue.  Queues are mutable and must not be shared across
+    concurrent runs; every {!Engine.run} allocates its own. *)
+
 val is_empty : 'a t -> bool
 val size : 'a t -> int
 
-val insert : 'a t -> prio:int -> 'a -> 'a t
+val insert : 'a t -> prio:int -> 'a -> unit
 (** [insert t ~prio v] adds [v] with priority [prio] (smaller pops first). *)
 
-val pop : 'a t -> ((int * 'a) * 'a t) option
+val pop : 'a t -> (int * 'a) option
 (** [pop t] removes and returns the minimum-priority element, FIFO among
     ties, or [None] if the queue is empty. *)
 
@@ -23,4 +29,5 @@ val fold : ('acc -> int -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 (** Fold over all elements in unspecified order. *)
 
 val to_sorted_list : 'a t -> (int * 'a) list
-(** All elements in pop order. O(n log n); intended for tests. *)
+(** All elements in pop order, without disturbing the queue.  O(n log n);
+    intended for tests. *)

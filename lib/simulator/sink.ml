@@ -1,0 +1,177 @@
+(* Trace sinks: the engine's observability abstraction.
+
+   The engine emits every observable event of a run — inputs, outputs,
+   sends, deliveries, drops, automaton steps — into exactly one sink.  The
+   default sink is [recorder], which reproduces the historical behaviour of
+   recording the full input/output history into a [Trace.t] (so all
+   [Properties] checkers are unchanged).  Long sweeps that only need
+   aggregate numbers use [counters], which keeps O(1) scalars plus compact
+   unboxed latency samples instead of a per-entry list; offline analysis
+   streams events with [jsonl].
+
+   Sinks are plain records of closures, so custom observers compose with
+   the shipped ones through [tee].  A sink is private to one run: the
+   engine calls it from a single domain, in deterministic event order. *)
+
+open Types
+
+type t = {
+  on_input : at:time -> proc:proc_id -> Io.input -> unit;
+  on_output : at:time -> proc:proc_id -> Io.output -> unit;
+  on_send : Msg.envelope -> unit;
+  on_deliver : at:time -> Msg.envelope -> unit;
+  on_drop : at:time -> Msg.envelope -> unit;
+  on_step : at:time -> proc:proc_id -> unit;
+}
+
+let null =
+  { on_input = (fun ~at:_ ~proc:_ _ -> ());
+    on_output = (fun ~at:_ ~proc:_ _ -> ());
+    on_send = (fun _ -> ());
+    on_deliver = (fun ~at:_ _ -> ());
+    on_drop = (fun ~at:_ _ -> ());
+    on_step = (fun ~at:_ ~proc:_ -> ()) }
+
+let tee a b =
+  { on_input = (fun ~at ~proc i -> a.on_input ~at ~proc i; b.on_input ~at ~proc i);
+    on_output = (fun ~at ~proc o -> a.on_output ~at ~proc o; b.on_output ~at ~proc o);
+    on_send = (fun env -> a.on_send env; b.on_send env);
+    on_deliver = (fun ~at env -> a.on_deliver ~at env; b.on_deliver ~at env);
+    on_drop = (fun ~at env -> a.on_drop ~at env; b.on_drop ~at env);
+    on_step = (fun ~at ~proc -> a.on_step ~at ~proc; b.on_step ~at ~proc) }
+
+(* ------------------------------------------------------------------ *)
+(* Full recorder: the historical Trace.t behaviour                     *)
+(* ------------------------------------------------------------------ *)
+
+let recorder trace =
+  { on_input = (fun ~at ~proc i -> Trace.record_input trace ~time:at ~proc i);
+    on_output = (fun ~at ~proc o -> Trace.record_output trace ~time:at ~proc o);
+    on_send = (fun _ -> Trace.count_sent trace);
+    on_deliver = (fun ~at:_ _ -> Trace.count_delivered trace);
+    on_drop = (fun ~at:_ _ -> Trace.count_dropped trace);
+    on_step = (fun ~at:_ ~proc:_ -> Trace.count_step trace) }
+
+(* ------------------------------------------------------------------ *)
+(* Counters-only sink with per-process latency histograms              *)
+(* ------------------------------------------------------------------ *)
+
+(* Growable unboxed int buffer: one word per sample, amortized. *)
+type samples = { mutable buf : int array; mutable len : int }
+
+let samples_create () = { buf = [||]; len = 0 }
+
+let samples_push s x =
+  if s.len = Array.length s.buf then begin
+    let buf = Array.make (max 64 (2 * Array.length s.buf)) 0 in
+    Array.blit s.buf 0 buf 0 s.len;
+    s.buf <- buf
+  end;
+  s.buf.(s.len) <- x;
+  s.len <- s.len + 1
+
+type counters = {
+  n : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable steps : int;
+  mutable inputs : int;
+  mutable outputs : int;
+  mutable last_time : time;
+  latency : samples array;  (* indexed by destination process *)
+}
+
+let counters ~n =
+  { n; sent = 0; delivered = 0; dropped = 0; steps = 0; inputs = 0;
+    outputs = 0; last_time = 0;
+    latency = Array.init n (fun _ -> samples_create ()) }
+
+let counters_sink c =
+  { on_input = (fun ~at ~proc:_ _ ->
+        c.inputs <- c.inputs + 1;
+        if at > c.last_time then c.last_time <- at);
+    on_output = (fun ~at ~proc:_ _ ->
+        c.outputs <- c.outputs + 1;
+        if at > c.last_time then c.last_time <- at);
+    on_send = (fun _ -> c.sent <- c.sent + 1);
+    on_deliver = (fun ~at env ->
+        c.delivered <- c.delivered + 1;
+        samples_push c.latency.(env.Msg.dst) (at - env.Msg.sent_at));
+    on_drop = (fun ~at:_ _ -> c.dropped <- c.dropped + 1);
+    on_step = (fun ~at:_ ~proc:_ -> c.steps <- c.steps + 1) }
+
+let sent c = c.sent
+let delivered c = c.delivered
+let dropped c = c.dropped
+let steps c = c.steps
+let inputs c = c.inputs
+let outputs c = c.outputs
+let last_time c = c.last_time
+
+let latencies c p = Array.sub c.latency.(p).buf 0 c.latency.(p).len
+
+let all_latencies c =
+  Array.concat (List.map (fun s -> Array.sub s.buf 0 s.len) (Array.to_list c.latency))
+
+type latency_summary = { count : int; p50 : int; p95 : int; max : int }
+
+let summarize_array a =
+  if Array.length a = 0 then None
+  else begin
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    let len = Array.length sorted in
+    let pct p =
+      let rank = int_of_float (ceil (p *. float_of_int len)) - 1 in
+      sorted.(max 0 (min (len - 1) rank))
+    in
+    Some { count = len; p50 = pct 0.5; p95 = pct 0.95; max = sorted.(len - 1) }
+  end
+
+let latency_summary c p = summarize_array (latencies c p)
+let total_latency_summary c = summarize_array (all_latencies c)
+
+let pp_latency_summary ppf s =
+  Fmt.pf ppf "n=%d p50=%d p95=%d max=%d" s.count s.p50 s.p95 s.max
+
+(* ------------------------------------------------------------------ *)
+(* JSONL streaming sink                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+       match ch with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One JSON object per event line.  Message payloads stay opaque to the
+   simulator, so envelopes are identified by (uid, src, dst, times); inputs
+   and outputs are rendered through their registered printers. *)
+let jsonl ~emit =
+  let line fmt = Printf.ksprintf emit fmt in
+  { on_input = (fun ~at ~proc i ->
+        line {|{"ev":"input","t":%d,"proc":%d,"v":"%s"}|} at proc
+          (json_escape (Format.asprintf "%a" Io.pp_input i)));
+    on_output = (fun ~at ~proc o ->
+        line {|{"ev":"output","t":%d,"proc":%d,"v":"%s"}|} at proc
+          (json_escape (Format.asprintf "%a" Io.pp_output o)));
+    on_send = (fun env ->
+        line {|{"ev":"send","t":%d,"src":%d,"dst":%d,"uid":%d}|}
+          env.Msg.sent_at env.Msg.src env.Msg.dst env.Msg.uid);
+    on_deliver = (fun ~at env ->
+        line {|{"ev":"deliver","t":%d,"src":%d,"dst":%d,"uid":%d,"lat":%d}|}
+          at env.Msg.src env.Msg.dst env.Msg.uid (at - env.Msg.sent_at));
+    on_drop = (fun ~at env ->
+        line {|{"ev":"drop","t":%d,"src":%d,"dst":%d,"uid":%d}|}
+          at env.Msg.src env.Msg.dst env.Msg.uid);
+    on_step = (fun ~at:_ ~proc:_ -> ()) }

@@ -1,0 +1,66 @@
+(** Trace sinks: the engine's observability abstraction.
+
+    The engine emits every observable event of a run into exactly one sink.
+    The default is {!recorder} over a {!Trace.t} (full input/output history,
+    unchanged [Properties] checkers); {!counters} keeps O(1) scalars plus
+    per-process send-to-deliver latency samples for cheap large sweeps;
+    {!jsonl} streams events for offline analysis.  A sink is private to one
+    run and is called from a single domain in deterministic event order. *)
+
+open Types
+
+type t = {
+  on_input : at:time -> proc:proc_id -> Io.input -> unit;
+  on_output : at:time -> proc:proc_id -> Io.output -> unit;
+  on_send : Msg.envelope -> unit;
+  on_deliver : at:time -> Msg.envelope -> unit;
+  on_drop : at:time -> Msg.envelope -> unit;
+  on_step : at:time -> proc:proc_id -> unit;
+}
+
+val null : t
+(** Observes nothing. *)
+
+val tee : t -> t -> t
+(** [tee a b] forwards every event to [a] then [b]. *)
+
+val recorder : Trace.t -> t
+(** The historical behaviour: record entries and counters into [trace]. *)
+
+(** {2 Counters-only sink} *)
+
+type counters
+(** Scalar counters plus per-process latency samples; no per-entry
+    allocation beyond one unboxed int per delivery. *)
+
+val counters : n:int -> counters
+val counters_sink : counters -> t
+
+val sent : counters -> int
+val delivered : counters -> int
+val dropped : counters -> int
+val steps : counters -> int
+val inputs : counters -> int
+val outputs : counters -> int
+val last_time : counters -> time
+
+val latencies : counters -> proc_id -> int array
+(** Send-to-deliver latencies, in ticks, of messages delivered to [p], in
+    delivery order. *)
+
+val all_latencies : counters -> int array
+
+type latency_summary = { count : int; p50 : int; p95 : int; max : int }
+
+val latency_summary : counters -> proc_id -> latency_summary option
+val total_latency_summary : counters -> latency_summary option
+val pp_latency_summary : Format.formatter -> latency_summary -> unit
+
+(** {2 JSONL streaming sink} *)
+
+val jsonl : emit:(string -> unit) -> t
+(** One JSON object per event, passed to [emit] without a trailing newline.
+    Inputs and outputs are rendered through their registered printers;
+    message payloads stay opaque and are identified by uid/src/dst/times. *)
+
+val json_escape : string -> string

@@ -111,6 +111,70 @@ let test_harness_deterministic () =
   in
   Alcotest.(check string) "same final sequence" (digest t1) (digest t2)
 
+(* The refactor guarantee: the mutable-heap engine replays the exact
+   byte-for-byte trace the persistent-heap engine produced.  The golden
+   file was generated with the pre-refactor engine and committed. *)
+let test_golden_trace_byte_identical () =
+  let setup = { (Harness.Scenario.default ~n:3 ~deadline:120) with
+                delay = Net.uniform ~min:1 ~max:4 } in
+  let inputs = Harness.Scenario.spread_posts ~n:3 ~count:6 ~from_time:8 ~every:5 in
+  let trace = Harness.Scenario.run_etob ~inputs setup Harness.Scenario.Algorithm_5 in
+  let got = Format.asprintf "%a" Trace.pp trace in
+  let golden =
+    In_channel.with_open_bin "golden_stable_trace.txt" In_channel.input_all
+  in
+  Alcotest.(check string) "byte-identical to pre-refactor trace" golden got
+
+(* ------------------------------------------------------------------ *)
+(* Sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_run ~seed =
+  let setup = { (Harness.Scenario.default ~n:3 ~deadline:150) with seed } in
+  let inputs = Harness.Scenario.spread_posts ~n:3 ~count:4 ~from_time:5 ~every:4 in
+  let trace = Harness.Scenario.run_etob ~inputs setup Harness.Scenario.Algorithm_5 in
+  (Trace.sent trace, Trace.delivered trace, Trace.steps trace)
+
+(* Domain count must not change results: same seeds, same values, same
+   order. *)
+let test_sweep_parallel_matches_sequential () =
+  let seeds = Harness.Sweep.seed_range ~base:100 ~count:12 in
+  let seq = Harness.Sweep.map ~domains:1 ~seeds sweep_run in
+  let par = Harness.Sweep.map ~domains:4 ~seeds sweep_run in
+  Alcotest.(check int) "all runs" 12 (List.length par);
+  Alcotest.(check bool) "parallel = sequential" true (seq = par);
+  List.iter2
+    (fun s r -> Alcotest.(check int) "seed order preserved" s r.Harness.Sweep.seed)
+    seeds par
+
+let test_sweep_verdicts () =
+  let results =
+    List.map (fun seed -> { Harness.Sweep.seed; value = seed mod 3 })
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  let v = Harness.Sweep.verdicts results ~ok:(fun x -> x <> 0) in
+  Alcotest.(check int) "runs" 6 v.Harness.Sweep.runs;
+  Alcotest.(check int) "passed" 4 v.Harness.Sweep.passed;
+  Alcotest.(check (list int)) "failed seeds" [ 0; 3 ] v.Harness.Sweep.failed_seeds
+
+let test_sweep_mean_stddev () =
+  (match Harness.Sweep.mean_stddev [] with
+   | None -> ()
+   | Some _ -> Alcotest.fail "empty list should give None");
+  match Harness.Sweep.mean_stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] with
+  | None -> Alcotest.fail "non-empty"
+  | Some (mean, stddev) ->
+    Alcotest.(check (float 1e-9)) "mean" 5.0 mean;
+    Alcotest.(check (float 1e-9)) "stddev" 2.0 stddev
+
+let test_sweep_merged_latency_stats () =
+  match Harness.Sweep.merged_latency_stats [ [| 1; 3 |]; [||]; [| 5 |] ] with
+  | None -> Alcotest.fail "non-empty samples"
+  | Some s ->
+    Alcotest.(check int) "count" 3 s.Harness.Stats.count;
+    Alcotest.(check int) "min" 1 s.Harness.Stats.min;
+    Alcotest.(check int) "max" 5 s.Harness.Stats.max
+
 (* ------------------------------------------------------------------ *)
 (* Timeline                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -152,7 +216,16 @@ let () =
            test_omega_stabilization_reporting;
          Alcotest.test_case "impls interchangeable" `Quick
            test_all_impls_same_interface;
-         Alcotest.test_case "deterministic" `Quick test_harness_deterministic ]);
+         Alcotest.test_case "deterministic" `Quick test_harness_deterministic;
+         Alcotest.test_case "golden trace byte-identical" `Quick
+           test_golden_trace_byte_identical ]);
+      ("sweep",
+       [ Alcotest.test_case "parallel matches sequential" `Quick
+           test_sweep_parallel_matches_sequential;
+         Alcotest.test_case "verdicts" `Quick test_sweep_verdicts;
+         Alcotest.test_case "mean stddev" `Quick test_sweep_mean_stddev;
+         Alcotest.test_case "merged latency stats" `Quick
+           test_sweep_merged_latency_stats ]);
       ("timeline",
        [ Alcotest.test_case "renders" `Quick test_timeline_renders ]);
     ]

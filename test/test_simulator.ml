@@ -9,36 +9,102 @@ open Simulator.Types
 (* Pqueue                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let of_items items =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.insert q ~prio:p v) items;
+  q
+
 let test_pqueue_orders () =
-  let q = List.fold_left (fun q (p, v) -> Pqueue.insert q ~prio:p v)
-      Pqueue.empty [ (3, "c"); (1, "a"); (2, "b") ]
-  in
+  let q = of_items [ (3, "c"); (1, "a"); (2, "b") ] in
   Alcotest.(check (list (pair int string))) "pop order"
     [ (1, "a"); (2, "b"); (3, "c") ] (Pqueue.to_sorted_list q)
 
 let test_pqueue_fifo_among_ties () =
-  let q = List.fold_left (fun q v -> Pqueue.insert q ~prio:7 v)
-      Pqueue.empty [ "first"; "second"; "third" ]
-  in
+  let q = of_items [ (7, "first"); (7, "second"); (7, "third") ] in
   Alcotest.(check (list (pair int string))) "stable"
     [ (7, "first"); (7, "second"); (7, "third") ] (Pqueue.to_sorted_list q)
 
 let test_pqueue_size_and_peek () =
-  let q = Pqueue.insert (Pqueue.insert Pqueue.empty ~prio:5 "x") ~prio:2 "y" in
+  let q = of_items [ (5, "x"); (2, "y") ] in
   Alcotest.(check int) "size" 2 (Pqueue.size q);
   Alcotest.(check (option int)) "peek" (Some 2) (Pqueue.peek_prio q);
-  Alcotest.(check bool) "not empty" false (Pqueue.is_empty q)
+  Alcotest.(check bool) "not empty" false (Pqueue.is_empty q);
+  Alcotest.(check (list (pair int string))) "to_sorted_list is non-destructive"
+    (Pqueue.to_sorted_list q) (Pqueue.to_sorted_list q);
+  Alcotest.(check int) "size preserved" 2 (Pqueue.size q)
+
+(* A random interleaving of inserts and pops, described by a list of
+   (prio, pop_now) commands: insert prio, then pop whenever pop_now. *)
+let interleave_gen = QCheck.(list (pair (int_bound 50) bool))
+
+(* Drive the mutable heap through an interleaving; values carry the
+   insertion sequence number so stability is observable. *)
+let run_mutable cmds =
+  let q = Pqueue.create () in
+  let pops = ref [] in
+  List.iteri
+    (fun seq (prio, pop_now) ->
+       Pqueue.insert q ~prio seq;
+       if pop_now then
+         match Pqueue.pop q with
+         | Some (p, s) -> pops := (p, s) :: !pops
+         | None -> ())
+    cmds;
+  let rec drain acc =
+    match Pqueue.pop q with None -> List.rev acc | Some pv -> drain (pv :: acc)
+  in
+  List.rev !pops @ drain []
+
+let run_persistent cmds =
+  let q = ref Pqueue_persistent.empty in
+  let pops = ref [] in
+  List.iteri
+    (fun seq (prio, pop_now) ->
+       q := Pqueue_persistent.insert !q ~prio seq;
+       if pop_now then
+         match Pqueue_persistent.pop !q with
+         | Some ((p, s), q') -> q := q'; pops := (p, s) :: !pops
+         | None -> ())
+    cmds;
+  List.rev !pops @ Pqueue_persistent.to_sorted_list !q
 
 let prop_pqueue_sorts =
   QCheck.Test.make ~name:"pqueue: pop order is a stable sort" ~count:300
     QCheck.(list (pair (int_bound 50) small_int))
     (fun items ->
-       let q = List.fold_left (fun q (p, v) -> Pqueue.insert q ~prio:p v)
-           Pqueue.empty items
-       in
-       let popped = Pqueue.to_sorted_list q in
+       let popped = Pqueue.to_sorted_list (of_items items) in
        let expected = List.stable_sort (fun (a, _) (b, _) -> compare a b) items in
        popped = expected)
+
+(* Differential test: on random insert/pop interleavings, the mutable
+   binary heap and the retained persistent leftist heap pop exactly the
+   same (prio, seq) sequence — the heap swap is order-preserving. *)
+let prop_pqueue_differential =
+  QCheck.Test.make ~name:"pqueue: binary heap = persistent heap" ~count:500
+    interleave_gen
+    (fun cmds -> run_mutable cmds = run_persistent cmds)
+
+(* Model test exercised against BOTH implementations: each matches a
+   stable sorted-list model of the same interleaving. *)
+let sorted_model cmds =
+  let pops = ref [] in
+  let xs = ref [] in
+  List.iteri
+    (fun seq (prio, pop_now) ->
+       xs := List.stable_sort compare ((prio, seq) :: !xs);
+       if pop_now then
+         match !xs with
+         | [] -> ()
+         | hd :: rest -> pops := hd :: !pops; xs := rest)
+    cmds;
+  List.rev !pops @ !xs
+
+let prop_pqueue_vs_model =
+  QCheck.Test.make ~name:"pqueue: both heaps match the sorted-list model"
+    ~count:500 interleave_gen
+    (fun cmds ->
+       let model = sorted_model cmds in
+       run_mutable cmds = model && run_persistent cmds = model)
 
 (* ------------------------------------------------------------------ *)
 (* Rng                                                                 *)
@@ -126,10 +192,10 @@ let rng = Rng.create 3
 
 let test_net_constant () =
   Alcotest.(check int) "constant" 4
-    (Net.delay_of (Net.constant 4) ~src:0 ~dst:1 ~now:10 ~rng)
+    (Net.delay_of (Net.instantiate (Net.constant 4)) ~src:0 ~dst:1 ~now:10 ~rng)
 
 let test_net_uniform_bounds () =
-  let d = Net.uniform ~min:2 ~max:6 in
+  let d = Net.instantiate (Net.uniform ~min:2 ~max:6) in
   for now = 0 to 200 do
     let x = Net.delay_of d ~src:0 ~dst:1 ~now ~rng in
     Alcotest.(check bool) "bounds" true (2 <= x && x <= 6)
@@ -137,7 +203,7 @@ let test_net_uniform_bounds () =
 
 let test_net_partition_delays_cross_block () =
   let spec = { Net.blocks = [ [ 0; 1 ]; [ 2 ] ]; from_time = 10; until_time = 30 } in
-  let d = Net.partitioned spec ~base:(Net.constant 1) in
+  let d = Net.instantiate (Net.partitioned spec ~base:(Net.constant 1)) in
   Alcotest.(check int) "same block" 1 (Net.delay_of d ~src:0 ~dst:1 ~now:15 ~rng);
   let cross = Net.delay_of d ~src:0 ~dst:2 ~now:15 ~rng in
   Alcotest.(check bool) "cross delayed past heal" true (15 + cross >= 30);
@@ -145,12 +211,15 @@ let test_net_partition_delays_cross_block () =
   Alcotest.(check int) "after" 1 (Net.delay_of d ~src:0 ~dst:2 ~now:30 ~rng)
 
 let test_net_slow_period () =
-  let d = Net.slow_period ~from_time:10 ~until_time:20 ~factor:5 ~base:(Net.constant 2) in
+  let d =
+    Net.instantiate
+      (Net.slow_period ~from_time:10 ~until_time:20 ~factor:5 ~base:(Net.constant 2))
+  in
   Alcotest.(check int) "inside" 10 (Net.delay_of d ~src:0 ~dst:1 ~now:12 ~rng);
   Alcotest.(check int) "outside" 2 (Net.delay_of d ~src:0 ~dst:1 ~now:25 ~rng)
 
 let test_net_fifo_no_overtaking () =
-  let d = Net.fifo ~base:(Net.uniform ~min:1 ~max:9) () in
+  let d = Net.instantiate (Net.fifo ~base:(Net.uniform ~min:1 ~max:9)) in
   let rng = Rng.create 4 in
   let rec go now last_arrival remaining =
     if remaining > 0 then begin
@@ -164,7 +233,7 @@ let test_net_fifo_no_overtaking () =
 
 let test_net_fifo_per_link () =
   (* Ordering is per ordered pair: the reverse direction is independent. *)
-  let d = Net.fifo ~base:(Net.constant 5) () in
+  let d = Net.instantiate (Net.fifo ~base:(Net.constant 5)) in
   let rng = Rng.create 4 in
   ignore (Net.delay_of d ~src:0 ~dst:1 ~now:0 ~rng);
   (* A later message on the same link gets pushed after the first... *)
@@ -173,8 +242,18 @@ let test_net_fifo_per_link () =
   (* ...but the reverse link is unaffected. *)
   Alcotest.(check int) "reverse link free" 5 (Net.delay_of d ~src:1 ~dst:0 ~now:4 ~rng)
 
+let test_net_fifo_instances_independent () =
+  (* Each instantiation gets its own clamp table. *)
+  let model = Net.fifo ~base:(Net.constant 5) in
+  let rng = Rng.create 4 in
+  let d1 = Net.instantiate model in
+  ignore (Net.delay_of d1 ~src:0 ~dst:1 ~now:0 ~rng);
+  let d2 = Net.instantiate model in
+  Alcotest.(check int) "fresh instance unclamped" 5
+    (Net.delay_of d2 ~src:0 ~dst:1 ~now:4 ~rng)
+
 let test_net_local_fast () =
-  let d = Net.local_fast ~remote:(Net.constant 7) in
+  let d = Net.instantiate (Net.local_fast ~remote:(Net.constant 7)) in
   Alcotest.(check int) "self" 1 (Net.delay_of d ~src:2 ~dst:2 ~now:0 ~rng);
   Alcotest.(check int) "remote" 7 (Net.delay_of d ~src:2 ~dst:0 ~now:0 ~rng)
 
@@ -329,6 +408,126 @@ let test_engine_rejects_bad_config () =
     (Invalid_argument "Engine.run: timer_period must be >= 1")
     (fun () -> ignore (Engine.run config ~make_node:ping_node ~inputs:[]))
 
+(* Regression: a stateful delay model (fifo) reused across consecutive
+   runs must behave as if freshly created each time — the per-link clamp
+   table used to leak from one run into the next. *)
+let test_engine_fifo_model_fresh_per_run () =
+  let config = { (Engine.default_config ~n:3 ~deadline:60) with
+                 delay = Net.fifo ~base:(Net.uniform ~min:1 ~max:6); seed = 7 } in
+  let show t = Format.asprintf "%a" Trace.pp t in
+  let t1 = Engine.run config ~make_node:ping_node ~inputs:[] in
+  let t2 = Engine.run config ~make_node:ping_node ~inputs:[] in
+  Alcotest.(check string) "identical traces from one fifo value" (show t1) (show t2)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A chatty workload for sink tests: every timer broadcasts, every
+   delivery produces an output entry. *)
+let chatty_node (ctx : Engine.ctx) =
+  { Engine.on_message =
+      (fun ~src payload ->
+         match payload with Ping k -> ctx.Engine.output (Got (k, src)) | _ -> ());
+    on_timer = (fun () -> ctx.Engine.broadcast (Ping ctx.Engine.self));
+    on_input = (fun _ -> ()) }
+
+let test_sink_counters_matches_recorder () =
+  let config = { (Engine.default_config ~n:3 ~deadline:50) with
+                 pattern = Failures.of_crashes ~n:3 [ (2, 25) ] } in
+  let trace = Engine.run config ~make_node:chatty_node ~inputs:[] in
+  let c = Sink.counters ~n:3 in
+  let config_c = { config with Engine.sink = Some (Sink.counters_sink c) } in
+  let empty_trace = Engine.run config_c ~make_node:chatty_node ~inputs:[] in
+  Alcotest.(check int) "sent" (Trace.sent trace) (Sink.sent c);
+  Alcotest.(check int) "delivered" (Trace.delivered trace) (Sink.delivered c);
+  Alcotest.(check int) "dropped" (Trace.dropped trace) (Sink.dropped c);
+  Alcotest.(check int) "steps" (Trace.steps trace) (Sink.steps c);
+  Alcotest.(check int) "outputs" (List.length (Trace.outputs trace)) (Sink.outputs c);
+  Alcotest.(check int) "custom sink leaves the returned trace empty" 0
+    (List.length (Trace.entries empty_trace));
+  (* Unit delays: every recorded latency is exactly 1 tick. *)
+  let lats = Sink.all_latencies c in
+  Alcotest.(check int) "one latency per delivery" (Sink.delivered c)
+    (Array.length lats);
+  Array.iter (fun l -> Alcotest.(check int) "unit latency" 1 l) lats;
+  match Sink.latency_summary c 0 with
+  | None -> Alcotest.fail "p0 delivered nothing"
+  | Some s ->
+    Alcotest.(check int) "p50" 1 s.Sink.p50;
+    Alcotest.(check int) "p95" 1 s.Sink.p95;
+    Alcotest.(check int) "max" 1 s.Sink.max
+
+let test_sink_tee_and_jsonl () =
+  let buf = Buffer.create 256 in
+  let target = Trace.create ~n:3 in
+  let sink =
+    Sink.tee (Sink.recorder target)
+      (Sink.jsonl ~emit:(fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n'))
+  in
+  let config = { (Engine.default_config ~n:3 ~deadline:30) with
+                 Engine.sink = Some sink } in
+  ignore (Engine.run config ~make_node:ping_node ~inputs:[]);
+  Alcotest.(check int) "tee: recorder saw all deliveries" 9
+    (List.length (Trace.outputs target));
+  let lines =
+    List.filter (fun s -> s <> "") (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  Alcotest.(check bool) "jsonl emitted lines" true (List.length lines > 0);
+  List.iter
+    (fun l ->
+       Alcotest.(check bool) "line is a json object" true
+         (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  let count ev =
+    List.length
+      (List.filter
+         (fun l ->
+            String.length l > 7 + String.length ev
+            && String.sub l 0 (8 + String.length ev) = {|{"ev":"|} ^ ev ^ {|"|})
+         lines)
+  in
+  Alcotest.(check int) "one deliver line per delivery" 9 (count "deliver");
+  Alcotest.(check int) "sends match recorder" (Trace.sent target) (count "send")
+
+let test_sink_json_escape () =
+  Alcotest.(check string) "quotes and backslashes" {|a\"b\\c\nd|}
+    (Sink.json_escape "a\"b\\c\nd")
+
+(* The acceptance bar for the counters sink: on a long chatty run it must
+   allocate well under the full recorder (which conses an entry per
+   input/output).  Measured with Gc.allocated_bytes on the same workload. *)
+let test_sink_counters_allocates_less () =
+  let deadline = 100_000 in
+  let config = { (Engine.default_config ~n:3 ~deadline) with timer_period = 50 } in
+  (* Gc.allocated_bytes only advances at GC points, so flush the minor
+     heap around each measurement. *)
+  let allocated f =
+    Gc.minor ();
+    let before = Gc.allocated_bytes () in
+    f ();
+    Gc.minor ();
+    Gc.allocated_bytes () -. before
+  in
+  let recorder_bytes =
+    allocated (fun () ->
+        ignore (Engine.run config ~make_node:chatty_node ~inputs:[]))
+  in
+  let c = Sink.counters ~n:3 in
+  let counters_bytes =
+    allocated (fun () ->
+        ignore
+          (Engine.run { config with Engine.sink = Some (Sink.counters_sink c) }
+             ~make_node:chatty_node ~inputs:[]))
+  in
+  Alcotest.(check bool) "counters sink did observe the run" true
+    (Sink.delivered c > 10_000);
+  Alcotest.(check bool)
+    (Printf.sprintf "counters (%.0f bytes) measurably below recorder (%.0f bytes)"
+       counters_bytes recorder_bytes)
+    true
+    (counters_bytes +. 200_000.0 < recorder_bytes)
+
 (* ------------------------------------------------------------------ *)
 (* Trace utilities and listeners                                       *)
 (* ------------------------------------------------------------------ *)
@@ -373,6 +572,21 @@ let test_listeners_fire_in_order () =
   Alcotest.(check (list (pair string int))) "order"
     [ ("a", 1); ("b", 1); ("a", 2); ("b", 2) ] (List.rev !log)
 
+(* The register-heavy case that used to be O(n^2): many listeners must
+   still fire in registration order. *)
+let test_listeners_many_in_order () =
+  let count = 1000 in
+  let log = ref [] in
+  let l = Listeners.create () in
+  for i = 0 to count - 1 do
+    Listeners.register l (fun x -> log := (i, x) :: !log)
+  done;
+  Listeners.fire l 42;
+  Alcotest.(check int) "count" count (Listeners.count l);
+  Alcotest.(check (list int)) "registration order"
+    (List.init count (fun i -> i))
+    (List.rev_map fst !log)
+
 let test_io_printers_roundtrip () =
   let show_in i = Format.asprintf "%a" Io.pp_input i in
   let show_out o = Format.asprintf "%a" Io.pp_output o in
@@ -402,7 +616,8 @@ let prop_engine_reliable_links =
 
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest
-      [ prop_pqueue_sorts; prop_random_pattern_has_correct; prop_engine_reliable_links ]
+      [ prop_pqueue_sorts; prop_pqueue_differential; prop_pqueue_vs_model;
+        prop_random_pattern_has_correct; prop_engine_reliable_links ]
   in
   Alcotest.run "simulator"
     [ ("pqueue",
@@ -427,6 +642,8 @@ let () =
          Alcotest.test_case "slow period" `Quick test_net_slow_period;
          Alcotest.test_case "fifo no overtaking" `Quick test_net_fifo_no_overtaking;
          Alcotest.test_case "fifo per link" `Quick test_net_fifo_per_link;
+         Alcotest.test_case "fifo instances independent" `Quick
+           test_net_fifo_instances_independent;
          Alcotest.test_case "local fast" `Quick test_net_local_fast ]);
       ("engine",
        [ Alcotest.test_case "delivers everything" `Quick test_engine_delivers_everything;
@@ -442,12 +659,22 @@ let () =
          Alcotest.test_case "combine" `Quick test_engine_combine_both_components_see_events;
          Alcotest.test_case "deadline" `Quick test_engine_deadline_truncates;
          Alcotest.test_case "rejects bad config" `Quick test_engine_rejects_bad_config;
-         Alcotest.test_case "run_with handles" `Quick test_run_with_returns_handles ]);
+         Alcotest.test_case "run_with handles" `Quick test_run_with_returns_handles;
+         Alcotest.test_case "fifo model fresh per run" `Quick
+           test_engine_fifo_model_fresh_per_run ]);
+      ("sink",
+       [ Alcotest.test_case "counters matches recorder" `Quick
+           test_sink_counters_matches_recorder;
+         Alcotest.test_case "tee and jsonl" `Quick test_sink_tee_and_jsonl;
+         Alcotest.test_case "json escape" `Quick test_sink_json_escape;
+         Alcotest.test_case "counters allocates less" `Slow
+           test_sink_counters_allocates_less ]);
       ("trace",
        [ Alcotest.test_case "accessors" `Quick test_trace_accessors;
          Alcotest.test_case "counters" `Quick test_trace_counters ]);
       ("listeners",
-       [ Alcotest.test_case "fire in order" `Quick test_listeners_fire_in_order ]);
+       [ Alcotest.test_case "fire in order" `Quick test_listeners_fire_in_order;
+         Alcotest.test_case "many in order" `Quick test_listeners_many_in_order ]);
       ("io",
        [ Alcotest.test_case "printers" `Quick test_io_printers_roundtrip ]);
       ("properties", qc);
