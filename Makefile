@@ -1,7 +1,7 @@
 # Developer entry points.  `make check` is the tier-1 gate used by CI and
 # by every PR: it must stay green.
 
-.PHONY: all check build test fmt bench clean
+.PHONY: all check build test smoke fmt bench clean
 
 all: build
 
@@ -12,6 +12,11 @@ test:
 	dune runtest
 
 check: build test
+
+# Adversarial smoke: faithful Algorithm 5 clean over the budget; every
+# seeded mutant found, shrunk and replayed from its repro file.
+smoke:
+	dune exec bin/ecsim.exe -- explore --smoke --plans 500 -j 2
 
 # Requires ocamlformat (version pinned in .ocamlformat); a no-op check
 # elsewhere so environments without the formatter can still run `make check`.

@@ -698,6 +698,54 @@ let e15 () =
   row "  wrote %s" path
 
 (* ------------------------------------------------------------------ *)
+(* E16: adversarial explorer — detection budget per seeded mutant      *)
+(* ------------------------------------------------------------------ *)
+
+(* How many adversity plans does the bounded explorer need before each
+   seeded single-decision mutant of Algorithm 5 is caught?  Reported as
+   the plan budget consumed at first detection, per mutant and per seed,
+   plus the shrunk counterexample size.  The faithful protocol is run
+   under the full budget as the control row (it must stay clean). *)
+let e16 () =
+  section "E16" "adversarial explorer: plans-to-detection per Algorithm 5 mutant";
+  let budget = 500 and max_adversities = 4 in
+  let seeds = [ 1; 7; 42 ] in
+  row "  budget %d plans, <=%d adversities per plan, seeds %s" budget
+    max_adversities
+    (String.concat "," (List.map string_of_int seeds));
+  row "  %-24s %-10s %-14s %-12s" "mutant" "seed" "plans-to-find" "shrunk-size";
+  let target mutation = { Explore.Explorer.default_target with mutation } in
+  List.iter
+    (fun m ->
+       List.iter
+         (fun seed ->
+            let e =
+              Explore.Explorer.explore (target (Some m)) ~seed ~budget
+                ~max_adversities ()
+            in
+            match e.Explore.Explorer.found with
+            | None ->
+              row "  %-24s %-10d %-14s %-12s" (Etob_omega.mutation_name m)
+                seed "NOT FOUND" "-"
+            | Some o ->
+              let shrunk = Explore.Explorer.shrink (target (Some m)) o in
+              row "  %-24s %-10d %-14d %-12d" (Etob_omega.mutation_name m)
+                seed e.Explore.Explorer.plans_run
+                (Explore.Adversity.size shrunk.Explore.Explorer.plan))
+         seeds)
+    Etob_omega.all_mutations;
+  let control =
+    Explore.Explorer.explore (target None) ~seed:(List.hd seeds) ~budget
+      ~max_adversities ()
+  in
+  row "  %-24s %-10d %-14s %-12s" "(faithful control)" (List.hd seeds)
+    (match control.Explore.Explorer.found with
+     | None -> Printf.sprintf "clean/%d" control.Explore.Explorer.plans_run
+     | Some _ -> "VIOLATION")
+    "-";
+  row "  expected: every mutant found within budget; faithful row clean"
+
+(* ------------------------------------------------------------------ *)
 (* E10: substrate micro-benchmarks (Bechamel)                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -787,5 +835,6 @@ let () =
   e13 ();
   e14 ();
   e15 ();
+  e16 ();
   e10 ();
   print_endline "\nAll experiment tables printed."

@@ -346,6 +346,206 @@ let sweep_cmd =
     Term.(ret (const run $ scenario_arg $ impl_arg $ n_arg $ seed_arg
                $ deadline_arg $ posts_arg $ seeds_arg $ domains_arg))
 
+(* --- explore --- *)
+
+let pp_explore_outcome (o : Explore.Explorer.outcome) =
+  Format.printf "violating plan (%d adversities):@.%a@."
+    (Explore.Adversity.size o.Explore.Explorer.plan)
+    Explore.Adversity.pp o.Explore.Explorer.plan;
+  List.iter
+    (fun v -> Format.printf "  violation: %s@." v)
+    o.Explore.Explorer.violations;
+  Format.printf "engine seed %d, trace digest %s@." o.Explore.Explorer.seed
+    (if o.Explore.Explorer.digest = "" then "(run raised)"
+     else o.Explore.Explorer.digest)
+
+(* The acceptance gate, CI-sized: the faithful Algorithm 5 survives the
+   whole budget clean, and the explorer finds every seeded mutant, shrinks
+   the finding to at most 3 adversities, and replays it deterministically
+   through a repro-file roundtrip. *)
+let explore_smoke ~domains ~budget ~seed =
+  let module E = Explore.Explorer in
+  let module R = Explore.Repro in
+  let faithful = E.default_target in
+  Format.printf "smoke: faithful alg5 over %d plans...@." budget;
+  let r = E.explore ~domains faithful ~seed ~budget ~max_adversities:4 () in
+  match r.E.found with
+  | Some o ->
+    pp_explore_outcome o;
+    Error "faithful Algorithm 5 was flagged: explorer or protocol bug"
+  | None ->
+    Format.printf "  clean (%d plans)@." r.E.plans_run;
+    let check_mutant m =
+      let name = Etob_omega.mutation_name m in
+      let target = { faithful with E.mutation = Some m } in
+      let r = E.explore ~domains target ~seed ~budget ~max_adversities:4 () in
+      match r.E.found with
+      | None ->
+        Error
+          (Printf.sprintf "mutant %s: no violation within %d plans" name
+             budget)
+      | Some o ->
+        let s = E.shrink target o in
+        Format.printf
+          "smoke: mutant %-22s found at plan %d, shrunk %d -> %d adversities@."
+          name (r.E.plans_run - 1)
+          (Explore.Adversity.size o.E.plan)
+          (Explore.Adversity.size s.E.plan);
+        if Explore.Adversity.size s.E.plan > 3 then
+          Error
+            (Printf.sprintf "mutant %s: shrunk plan still has %d adversities"
+               name
+               (Explore.Adversity.size s.E.plan))
+        else begin
+          (* Repro determinism, through the text roundtrip. *)
+          let repro = R.of_outcome target s in
+          match R.of_string (R.to_string repro) with
+          | Error msg ->
+            Error (Printf.sprintf "mutant %s: repro roundtrip: %s" name msg)
+          | Ok repro ->
+            (match R.replay repro with
+             | Ok _ -> Ok ()
+             | Error msg ->
+               Error (Printf.sprintf "mutant %s: replay: %s" name msg))
+        end
+    in
+    let rec all = function
+      | [] ->
+        print_endline "SMOKE PASSED";
+        Ok ()
+      | m :: rest ->
+        (match check_mutant m with Ok () -> all rest | Error _ as e -> e)
+    in
+    all Etob_omega.all_mutations
+
+let explore_cmd =
+  let doc =
+    "Adversarially explore a protocol stack: enumerate bounded adversity \
+     plans (crashes, partitions, delay spikes, drops, duplicates, leader \
+     flapping), flag property violations, shrink findings to a minimal \
+     plan and write deterministic repro files."
+  in
+  let plans_arg =
+    let doc = "Exploration budget: number of adversity plans to run." in
+    Arg.(value & opt int 500 & info [ "plans" ] ~docv:"COUNT" ~doc)
+  in
+  let max_adv_arg =
+    let doc = "Maximum adversities per generated plan." in
+    Arg.(value & opt int 4 & info [ "max-adversities" ] ~docv:"K" ~doc)
+  in
+  let mutant_arg =
+    let doc =
+      "Seed a known bug into Algorithm 5: skip-dependency-wait, \
+       forget-promote-prefix, drop-graph-union or disable-stale-guard."
+    in
+    Arg.(value & opt (some string) None & info [ "mutant" ] ~docv:"NAME" ~doc)
+  in
+  let domains_arg =
+    let doc =
+      "Worker domains; 1 explores sequentially with early exit, more fans \
+       plan chunks over domains via the sweep layer."
+    in
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"D" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the (shrunk) finding to this repro file." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let replay_arg =
+    let doc = "Replay a repro file instead of exploring." in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let smoke_arg =
+    let doc =
+      "Acceptance mode: the faithful Algorithm 5 must survive the budget \
+       clean and every seeded mutant must be found, shrunk to <= 3 \
+       adversities and replayed deterministically."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let run impl_name n seed deadline posts plans max_adv mutant domains out
+      replay smoke =
+    let module E = Explore.Explorer in
+    match replay with
+    | Some path ->
+      (match Explore.Repro.read path with
+       | Error msg -> `Error (false, "repro parse: " ^ msg)
+       | Ok r ->
+         (match Explore.Repro.replay r with
+          | Ok o ->
+            pp_explore_outcome o;
+            print_endline "REPLAY REPRODUCED";
+            `Ok ()
+          | Error msg -> `Error (false, "replay: " ^ msg)))
+    | None ->
+      if smoke then
+        match explore_smoke ~domains ~budget:plans ~seed with
+        | Ok () -> `Ok ()
+        | Error msg -> `Error (false, msg)
+      else begin
+        match E.impl_of_string impl_name with
+        | None ->
+          `Error (false, "unknown implementation for explore: " ^ impl_name)
+        | Some impl ->
+          (match
+             Option.map
+               (fun name ->
+                  match Etob_omega.mutation_of_string name with
+                  | Some m -> m
+                  | None -> invalid_arg ("unknown mutant " ^ name))
+               mutant
+           with
+           | exception Invalid_argument msg ->
+             `Error
+               ( false,
+                 Printf.sprintf "%s (known: %s)" msg
+                   (String.concat ", "
+                      (List.map Etob_omega.mutation_name
+                         Etob_omega.all_mutations)) )
+           | mutation ->
+             let target =
+               { E.default_target with
+                 E.impl;
+                 mutation;
+                 n = (if n = 0 then E.default_target.E.n else n);
+                 deadline;
+                 posts = (if posts = 0 then E.default_target.E.posts else posts) }
+             in
+             Format.printf
+               "explore: impl=%s mutant=%s n=%d plans=%d max-adversities=%d \
+                domains=%d@."
+               (E.impl_name target.E.impl)
+               (match target.E.mutation with
+                | None -> "none"
+                | Some m -> Etob_omega.mutation_name m)
+               target.E.n plans max_adv domains;
+             let r =
+               E.explore ~domains target ~seed ~budget:plans
+                 ~max_adversities:max_adv ()
+             in
+             (match r.E.found with
+              | None ->
+                Format.printf "clean: %d plans, no violation@." r.E.plans_run;
+                `Ok ()
+              | Some o ->
+                Format.printf "violation at plan %d; shrinking...@."
+                  (r.E.plans_run - 1);
+                let s = E.shrink target o in
+                pp_explore_outcome s;
+                (match out with
+                 | Some path ->
+                   Explore.Repro.write path
+                     (Explore.Repro.of_outcome target s);
+                   Format.printf "repro written to %s@." path
+                 | None -> ());
+                `Error (false, "property violations found")))
+      end
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(ret (const run $ impl_arg $ n_arg $ seed_arg $ deadline_arg
+               $ posts_arg $ plans_arg $ max_adv_arg $ mutant_arg
+               $ domains_arg $ out_arg $ replay_arg $ smoke_arg))
+
 (* --- cht --- *)
 
 let cht_cmd =
@@ -405,4 +605,7 @@ let cht_cmd =
 let () =
   let doc = "simulate eventually consistent replication (PODC 2015 reproduction)" in
   let info = Cmd.info "ecsim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; check_cmd; sweep_cmd; cht_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; check_cmd; sweep_cmd; explore_cmd; cht_cmd ]))

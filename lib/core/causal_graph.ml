@@ -65,6 +65,30 @@ let edges g =
        App_msg.Id_set.fold (fun p acc -> (p, mid) :: acc) ps acc)
     g.preds []
 
+(* The dependency-closed restriction: the largest subgraph in which every
+   node's recorded predecessors are all present.  A node with a dangling
+   dependency — its causal past has not fully arrived — is excluded,
+   together with everything that depends on it.  Algorithm 5 promotes only
+   this part of the graph (the "dependency wait"): promoting a message
+   before its dependency is known would lock it into the prefix ahead of
+   the dependency and permanently violate causal order once it arrives. *)
+let ready g =
+  let rec shrink nodes =
+    let nodes' =
+      App_msg.Id_map.filter
+        (fun id _ ->
+           App_msg.Id_set.for_all
+             (fun p -> App_msg.Id_map.mem p nodes)
+             (preds g id))
+        nodes
+    in
+    if App_msg.Id_map.cardinal nodes' = App_msg.Id_map.cardinal nodes then nodes
+    else shrink nodes'
+  in
+  let nodes = shrink g.nodes in
+  { nodes;
+    preds = App_msg.Id_map.filter (fun id _ -> App_msg.Id_map.mem id nodes) g.preds }
+
 let default_tie_break = App_msg.compare
 
 exception Cycle of App_msg.id list

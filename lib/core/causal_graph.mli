@@ -26,6 +26,13 @@ val union : t -> t -> t
 val edges : t -> (App_msg.id * App_msg.id) list
 (** All recorded edges [(m1, m2)] with [m2] present ([m1] may be absent). *)
 
+val ready : t -> t
+(** The dependency-closed restriction: the largest subgraph in which every
+    node's recorded predecessors are all present.  Nodes with a dangling
+    (not-yet-arrived) dependency are excluded transitively.  Algorithm 5
+    linearizes [ready g] rather than [g] — the "dependency wait" that keeps
+    causal order valid even when a dependency is still in flight. *)
+
 val default_tie_break : App_msg.t -> App_msg.t -> int
 
 exception Cycle of App_msg.id list

@@ -24,11 +24,44 @@ type Msg.payload +=
   | Update of Causal_graph.t
   | Promote_seq of App_msg.t list
 
+(* Seedable single-decision mutants of the protocol, used by the adversarial
+   explorer (lib/explore) and the mutation-test harness to check that the
+   checker/explorer stack actually detects the class of bug each mutation
+   represents.  [None] is the faithful Algorithm 5. *)
+type mutation =
+  | Skip_dependency_wait
+      (* UpdatePromote linearizes the whole graph instead of its
+         dependency-closed part: messages whose causal past has not arrived
+         are promoted anyway. *)
+  | Forget_promote_prefix
+      (* UpdatePromote linearizes from scratch instead of extending the
+         previous promotion: revisions stop being extensions. *)
+  | Drop_graph_union
+      (* UnionCG replaced by overwrite: concurrently received graphs lose
+         messages. *)
+  | Disable_stale_guard
+      (* Adopt reordered same-lineage promotions: d_i can revise backwards
+         under non-FIFO links. *)
+
+let all_mutations =
+  [ Skip_dependency_wait; Forget_promote_prefix; Drop_graph_union;
+    Disable_stale_guard ]
+
+let mutation_name = function
+  | Skip_dependency_wait -> "skip-dependency-wait"
+  | Forget_promote_prefix -> "forget-promote-prefix"
+  | Drop_graph_union -> "drop-graph-union"
+  | Disable_stale_guard -> "disable-stale-guard"
+
+let mutation_of_string s =
+  List.find_opt (fun m -> mutation_name m = s) all_mutations
+
 type t = {
   backend : Etob_intf.backend;
   omega : unit -> proc_id;
   tie_break : App_msg.t -> App_msg.t -> int;
   stale_guard : bool;
+  mutation : mutation option;
   mutable cg : Causal_graph.t;      (* CG_i *)
   mutable promote : App_msg.t list; (* promote_i *)
   mutable updates_handled : int;
@@ -44,12 +77,16 @@ let broadcast t m =
   (Etob_intf.ctx_of t.backend).Engine.broadcast (Update t.cg)
 
 let create ?(tie_break = Causal_graph.default_tie_break) ?(stale_guard = true)
-    (ctx : Engine.ctx) ~omega =
+    ?mutation (ctx : Engine.ctx) ~omega =
+  let stale_guard =
+    stale_guard && mutation <> Some Disable_stale_guard
+  in
   let t =
     { backend = Etob_intf.backend ctx;
       omega;
       tie_break;
       stale_guard;
+      mutation;
       cg = Causal_graph.empty;
       promote = [];
       updates_handled = 0;
@@ -59,8 +96,26 @@ let create ?(tie_break = Causal_graph.default_tie_break) ?(stale_guard = true)
   let on_message ~src payload =
     match payload with
     | Update cg_j ->
-      t.cg <- Causal_graph.union t.cg cg_j;
-      t.promote <- Causal_graph.linearize ~tie_break:t.tie_break t.cg ~prefix:t.promote;
+      (match t.mutation with
+       | Some Drop_graph_union -> t.cg <- cg_j
+       | _ -> t.cg <- Causal_graph.union t.cg cg_j);
+      (* The dependency wait: only the part of the graph whose causal past
+         has fully arrived is promotable.  A message can carry a dependency
+         this process has never seen as a graph node (its deps come from an
+         adopted promote, and the dependency's own update may still be in
+         flight); promoting it now would lock it into the prefix ahead of
+         the dependency and permanently violate causal order. *)
+      let promotable =
+        match t.mutation with
+        | Some Skip_dependency_wait -> t.cg
+        | _ -> Causal_graph.ready t.cg
+      in
+      let prefix =
+        match t.mutation with
+        | Some Forget_promote_prefix -> []
+        | _ -> t.promote
+      in
+      t.promote <- Causal_graph.linearize ~tie_break:t.tie_break promotable ~prefix;
       t.updates_handled <- t.updates_handled + 1
     | Promote_seq promote_j ->
       (* Adopt only from the currently trusted leader, and ignore stale

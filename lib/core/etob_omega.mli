@@ -12,9 +12,30 @@ type Msg.payload +=
 
 type t
 
+type mutation =
+  | Skip_dependency_wait
+      (** UpdatePromote linearizes the whole graph instead of its
+          dependency-closed ({!Causal_graph.ready}) part, promoting
+          messages whose causal past has not arrived. *)
+  | Forget_promote_prefix
+      (** UpdatePromote re-linearizes from scratch instead of extending the
+          previous promotion. *)
+  | Drop_graph_union
+      (** UnionCG replaced by overwrite: concurrent graphs lose messages. *)
+  | Disable_stale_guard
+      (** Adopt reordered same-lineage promotions (d_i can regress). *)
+(** Seedable single-decision bugs, one per protocol clause, used by the
+    adversarial explorer and the mutation-test harness.  Omitting the
+    [?mutation] argument gives the faithful Algorithm 5. *)
+
+val all_mutations : mutation list
+val mutation_name : mutation -> string
+val mutation_of_string : string -> mutation option
+
 val create :
   ?tie_break:(App_msg.t -> App_msg.t -> int) ->
   ?stale_guard:bool ->
+  ?mutation:mutation ->
   Engine.ctx ->
   omega:(unit -> proc_id) ->
   t * Engine.node
@@ -22,7 +43,8 @@ val create :
     choice is correct (ablated in the benchmarks).  [stale_guard] (default
     true) ignores a promote that is a proper prefix of the current output —
     an older promotion reordered by the (non-FIFO) links; disabling it is
-    only for the ablation that shows claim (P2) needs it. *)
+    only for the ablation that shows claim (P2) needs it.  [mutation]
+    installs one seeded bug (see {!mutation}). *)
 
 val service : t -> Etob_intf.service
 

@@ -283,6 +283,47 @@ let is_strong_tob r = etob_base_ok r && r.tau_stability = 0 && r.tau_total_order
 
 let etob_convergence_time r = max r.tau_stability r.tau_total_order
 
+(* Flatten a report into the list of violated properties, as the explorer
+   consumes it.  [tau_bound] is the largest admissible convergence time for
+   the run's adversity plan: 0 for a plan with no leader flapping (every
+   adoption is a same-lineage promote from the stable leader, so strong
+   stability/total-order must hold), or the plan's settle time plus slack
+   otherwise.  [None] skips the tau check (eventual-only mode). *)
+let etob_violations ?tau_bound r =
+  let verdicts =
+    [ ("validity", r.validity);
+      ("no-creation", r.no_creation);
+      ("no-duplication", r.no_duplication);
+      ("agreement", r.agreement);
+      ("causal-order", r.causal_order) ]
+  in
+  let base =
+    (* Some checkers already lead their messages with their own name. *)
+    let tag name msg =
+      let prefix = name ^ ":" in
+      if String.length msg >= String.length prefix
+         && String.sub msg 0 (String.length prefix) = prefix
+      then msg
+      else Printf.sprintf "%s: %s" name msg
+    in
+    List.concat_map
+      (fun (name, v) -> List.map (tag name) v.violations)
+      verdicts
+  in
+  let tau =
+    match tau_bound with
+    | None -> []
+    | Some bound ->
+      let check name t =
+        if t > bound then
+          [ Printf.sprintf "%s: tau=%d exceeds bound %d" name t bound ]
+        else []
+      in
+      check "tau-stability" r.tau_stability
+      @ check "tau-total-order" r.tau_total_order
+  in
+  base @ tau
+
 let pp_etob_report ppf r =
   Fmt.pf ppf
     "@[<v>validity: %a@,no-creation: %a@,no-duplication: %a@,agreement: %a@,\

@@ -66,6 +66,14 @@ val etob_base_ok : etob_report -> bool
 val is_strong_tob : etob_report -> bool
 (** All six strong TOB properties hold (tau = 0). *)
 
+val etob_violations : ?tau_bound:time -> etob_report -> string list
+(** Flatten a report into the violated-property messages the explorer
+    consumes: all safety violations, plus — when [tau_bound] is given — the
+    measured taus exceeding it.  Use [tau_bound:0] for runs whose detector
+    never flaps (strong TOB is then mandatory) and the plan's settle time
+    plus slack otherwise; omit it to check eventual properties only.
+    Empty list = clean run. *)
+
 val etob_convergence_time : etob_report -> time
 val pp_etob_report : Format.formatter -> etob_report -> unit
 

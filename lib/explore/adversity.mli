@@ -1,0 +1,58 @@
+(** Adversity plans: first-class, composable descriptions of everything the
+    explorer may do to a run beyond the base scenario.  A plan is plain
+    data; {!apply} folds it into any {!Harness.Scenario.setup}, and the
+    stable text form ({!to_lines}/{!of_lines}) is what repro files embed,
+    so the same value drives exploration, shrinking and replay. *)
+
+open Simulator.Types
+
+type spec =
+  | Crash of { proc : proc_id; at : time }
+  | Partition of { left : proc_id list; from_time : time; until_time : time }
+      (** [left] vs everyone else; cross-block messages are delayed until
+          the partition heals at [until_time] (nothing is lost). *)
+  | Delay_spike of {
+      link : (proc_id * proc_id) option;  (** [None] = every link *)
+      from_time : time;
+      until_time : time;
+      factor : int;
+    }
+  | Drop of { from_time : time; until_time : time; pct : int }
+      (** Drop each send in the window with probability [pct]%. *)
+  | Duplicate of { from_time : time; until_time : time; copies : int }
+      (** Deliver [copies] extra copies with independent delays. *)
+  | Omega_flap of { until_time : time; period : int }
+      (** The oracle rotates its leader with [period] until [until_time],
+          then stabilizes (only meaningful for oracle setups). *)
+
+type t = spec list
+
+val size : t -> int
+val has_flap : t -> bool
+val crash_procs : t -> proc_id list
+
+val settle_time : base_max:int -> t -> time
+(** The time from which the network and detector behave nominally again:
+    every window closed, every delayed message flushed ([base_max] is the
+    base model's largest delay).  Tau bounds are computed relative to
+    this. *)
+
+val apply : t -> Harness.Scenario.setup -> Harness.Scenario.setup
+(** Fold the plan into a setup.  Plan order is irrelevant: crashes commute,
+    delay wrappers and fault windows compose; of several [Omega_flap]s the
+    last wins (generators maintain at most one). *)
+
+val weaken : spec -> spec list
+(** Strictly weaker variants, strongest reduction first, for the shrinker.
+    Weakening never moves an adversity later into the run, so its settle
+    time only shrinks.  [[]] when the spec is atomic (e.g. a crash). *)
+
+val pp_spec : Format.formatter -> spec -> unit
+val pp : Format.formatter -> t -> unit
+
+val to_line : spec -> string
+(** One-line stable form, parsed back by {!of_line}. *)
+
+val to_lines : t -> string list
+val of_line : string -> (spec, string) result
+val of_lines : string list -> (t, string) result

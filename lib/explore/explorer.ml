@@ -1,0 +1,350 @@
+(* Bounded adversarial exploration.
+
+   The explorer enumerates adversity plans against one target protocol
+   stack, runs each through the deterministic engine, and flags runs whose
+   property report violates the ETOB specification *for that plan*: safety
+   violations always count, and the measured convergence taus are checked
+   against a per-plan bound.
+
+   The bound is where the correctness argument lives.  With an oracle that
+   never flaps, every adoption in Algorithm 5 is a same-lineage promote
+   from the one stable leader, so strong stability and total order
+   (tau = 0) are mandatory no matter which crashes, partitions, spikes,
+   drops or duplicates the plan contains — any revision is a bug.  With
+   flapping, tau may legitimately reach the plan's settle time, so the
+   bound is settle + slack.
+
+   The other half of the argument is generation-side fairness: every
+   generated plan must be recoverable before the horizon, or a faithful
+   protocol would be flagged.  All such clamps (drop windows closing before
+   the final re-gossip round, spike tails fitting in the horizon, crash
+   counts admitted by the target's environment) live in [random_spec] /
+   [sanitize], so exploration can trust any plan it draws. *)
+
+open Simulator
+open Simulator.Types
+open Ec_core
+module Scenario = Harness.Scenario
+
+type target = {
+  impl : Scenario.etob_impl;
+  mutation : Etob_omega.mutation option;
+  n : int;
+  deadline : time;
+  posts : int;
+  timer_period : int;
+  base_min : int;
+  base_max : int;
+}
+
+let default_target =
+  { impl = Scenario.Algorithm_5;
+    mutation = None;
+    n = 4;
+    deadline = 240;
+    posts = 12;
+    timer_period = 2;
+    base_min = 1;
+    base_max = 3 }
+
+(* Names match the ecsim --impl catalogue. *)
+let impl_name = function
+  | Scenario.Algorithm_5 -> "alg5"
+  | Scenario.Paxos_baseline -> "paxos"
+  | Scenario.Algorithm_1_over_4 -> "alg1"
+
+let impl_of_string = function
+  | "alg5" -> Some Scenario.Algorithm_5
+  | "paxos" -> Some Scenario.Paxos_baseline
+  | "alg1" -> Some Scenario.Algorithm_1_over_4
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Base scenario and the per-plan tau bound                            *)
+(* ------------------------------------------------------------------ *)
+
+let post_from = 8
+let post_every = 3
+
+let inputs target =
+  Scenario.spread_posts ~n:target.n ~count:target.posts ~from_time:post_from
+    ~every:post_every
+
+(* Start of the final full posting round: from here on every correct
+   process posts (and therefore re-gossips its whole causality graph) at
+   least once.  Drop windows must close before it, or a faithful run could
+   lose messages for good and show a spurious validity violation. *)
+let drop_safe_until target =
+  post_from + (max 0 (target.posts - target.n) * post_every)
+
+(* Recovery headroom granted on top of a plan's settle time: a few promote
+   rounds plus message flushes.  Deliberately generous — the bound only
+   needs to separate "converged late" from "never converged". *)
+let slack target = (8 * target.timer_period) + (6 * target.base_max) + 10
+
+let tau_bound target plan =
+  match target.impl with
+  | Scenario.Algorithm_5 when not (Adversity.has_flap plan) -> 0
+  | _ -> Adversity.settle_time ~base_max:target.base_max plan + slack target
+
+let base_setup target ~seed =
+  { (Scenario.default ~n:target.n ~deadline:target.deadline) with
+    seed;
+    timer_period = target.timer_period;
+    delay = Net.uniform ~min:target.base_min ~max:target.base_max }
+
+(* ------------------------------------------------------------------ *)
+(* Running one plan                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  plan : Adversity.t;
+  seed : int;  (* the engine seed of this very run *)
+  violations : string list;  (* [] = clean *)
+  report : Properties.etob_report option;  (* None if the run raised *)
+  digest : string;  (* trace digest (hex); "" if the run raised *)
+}
+
+let run_plan target ~seed plan =
+  match
+    let setup = Adversity.apply plan (base_setup target ~seed) in
+    let trace =
+      Scenario.run_etob ~inputs:(inputs target) ?mutation:target.mutation setup
+        target.impl
+    in
+    let report = Scenario.etob_report setup trace in
+    let digest =
+      Digest.to_hex (Digest.string (Format.asprintf "%a" Trace.pp trace))
+    in
+    (report, digest)
+  with
+  | report, digest ->
+    { plan;
+      seed;
+      violations =
+        Properties.etob_violations ~tau_bound:(tau_bound target plan) report;
+      report = Some report;
+      digest }
+  | exception e ->
+    (* A raising run is a finding, not an infrastructure error: mutants may
+       corrupt state into genuinely impossible configurations. *)
+    { plan;
+      seed;
+      violations = [ "exception: " ^ Printexc.to_string e ];
+      report = None;
+      digest = "" }
+
+(* ------------------------------------------------------------------ *)
+(* Plan generation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let max_crashes target =
+  match target.impl with
+  | Scenario.Algorithm_5 -> target.n - 1  (* any environment *)
+  | _ -> (target.n - 1) / 2  (* quorum stacks need a correct majority *)
+
+let random_spec target ~rng =
+  let open Adversity in
+  let d = target.deadline in
+  let window ~latest_until =
+    let latest_until = max 2 latest_until in
+    let from_time = Rng.int rng (latest_until - 1) in
+    let len = 1 + Rng.int rng (max 1 (d / 4)) in
+    (from_time, min latest_until (from_time + len))
+  in
+  let healed_latest = d - slack target - target.base_max in
+  (* Drops exist only for Algorithm 5, whose full-graph re-gossip makes a
+     closed drop window recoverable; the quorum baselines have no such
+     blanket retransmission, so dropping their messages could flag a
+     faithful run. *)
+  let kinds =
+    if target.impl = Scenario.Algorithm_5 && drop_safe_until target > 2 then 6
+    else 5
+  in
+  match Rng.int rng kinds with
+  | 0 when max_crashes target >= 1 ->
+    Crash { proc = Rng.int rng target.n; at = Rng.int rng d }
+  | 1 ->
+    let left =
+      match List.filter (fun _ -> Rng.int rng 2 = 0) (all_procs target.n) with
+      | [] -> [ 0 ]
+      | l when List.length l = target.n -> [ 0 ]
+      | l -> l
+    in
+    let from_time, until_time = window ~latest_until:healed_latest in
+    Partition { left; from_time; until_time }
+  | 2 ->
+    let factor = 2 + Rng.int rng 7 in
+    let latest = d - slack target - (target.base_max * factor) in
+    let from_time, until_time = window ~latest_until:latest in
+    let link =
+      if Rng.int rng 2 = 0 then None
+      else Some (Rng.int rng target.n, Rng.int rng target.n)
+    in
+    Delay_spike { link; from_time; until_time; factor }
+  | 3 ->
+    let from_time, until_time = window ~latest_until:healed_latest in
+    Duplicate { from_time; until_time; copies = 1 + Rng.int rng 3 }
+  | 4 ->
+    Omega_flap
+      { until_time = 4 + Rng.int rng (d / 2);
+        period = 1 + Rng.int rng (3 * target.timer_period) }
+  | 5 ->
+    let from_time, until_time = window ~latest_until:(drop_safe_until target) in
+    Drop { from_time; until_time; pct = 25 * (1 + Rng.int rng 4) }
+  | _ ->
+    (* crash drawn but the environment admits none *)
+    Duplicate { from_time = 0; until_time = target.base_max; copies = 1 }
+
+(* Enforce plan-level invariants the independent draws cannot see: the
+   crash count stays admitted by the target's environment (one crash per
+   process), and at most one flap survives. *)
+let sanitize target plan =
+  let crashes = ref 0 and flapped = ref false in
+  let crashed = Hashtbl.create 4 in
+  List.filter
+    (fun spec ->
+       match spec with
+       | Adversity.Crash { proc; _ } ->
+         if Hashtbl.mem crashed proc || !crashes >= max_crashes target then
+           false
+         else begin
+           Hashtbl.add crashed proc ();
+           incr crashes;
+           true
+         end
+       | Adversity.Omega_flap _ ->
+         if !flapped then false
+         else begin
+           flapped := true;
+           true
+         end
+       | _ -> true)
+    plan
+
+let random_plan target ~rng ~max_adversities =
+  let k = Rng.int rng (max_adversities + 1) in
+  let rec build i acc =
+    if i = 0 then List.rev acc
+    else build (i - 1) (random_spec target ~rng :: acc)
+  in
+  sanitize target (build k [])
+
+(* Plan [i] of an exploration: index 0 is always the empty plan (bugs that
+   need no adversity at all should be found — and shrunk — immediately);
+   later indices draw from an index-derived rng, so any plan can be
+   regenerated without replaying the whole search. *)
+let plan_at target ~seed ~max_adversities i =
+  if i = 0 then []
+  else
+    let rng = Rng.create ((seed * 0x1000003) lxor (i * 0x9e3779b9)) in
+    random_plan target ~rng ~max_adversities
+
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type exploration = { found : outcome option; plans_run : int; budget : int }
+
+(* Each plan runs under its own engine seed [seed + i] so the search also
+   sweeps network randomness.  Sequential mode stops at the first
+   violation; parallel mode fans chunks over domains through
+   [Sweep.map_safe] and stops after the first chunk containing one, always
+   reporting the lowest-index violation for determinism across domain
+   counts. *)
+let explore ?(domains = 1) ?(on_progress = fun ~plans_run:_ -> ()) target
+    ~seed ~budget ~max_adversities () =
+  let plan_at = plan_at target ~seed ~max_adversities in
+  let finish found plans_run = { found; plans_run; budget } in
+  if domains <= 1 then begin
+    let rec go i =
+      if i >= budget then finish None budget
+      else begin
+        let o = run_plan target ~seed:(seed + i) (plan_at i) in
+        if o.violations <> [] then finish (Some o) (i + 1)
+        else begin
+          on_progress ~plans_run:(i + 1);
+          go (i + 1)
+        end
+      end
+    in
+    go 0
+  end
+  else begin
+    let chunk = domains * 4 in
+    let rec go i =
+      if i >= budget then finish None budget
+      else begin
+        let hi = min budget (i + chunk) in
+        let idxs = List.init (hi - i) (fun j -> i + j) in
+        let results =
+          Harness.Sweep.map_safe ~domains ~seeds:idxs (fun ~seed:idx ->
+              run_plan target ~seed:(seed + idx) (plan_at idx))
+        in
+        let outcomes =
+          List.map
+            (fun (r : _ Harness.Sweep.result) ->
+               match r.Harness.Sweep.value with
+               | Ok o -> o
+               | Error e ->
+                 { plan = plan_at r.Harness.Sweep.seed;
+                   seed = seed + r.Harness.Sweep.seed;
+                   violations = [ "exception: " ^ e ];
+                   report = None;
+                   digest = "" })
+            results
+        in
+        match List.find_opt (fun o -> o.violations <> []) outcomes with
+        | Some o -> finish (Some o) hi
+        | None ->
+          on_progress ~plans_run:hi;
+          go hi
+      end
+    in
+    go 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy minimization to a local minimum: repeatedly drop whole
+   adversities while a violation survives, then substitute each spec's
+   weaker variants (re-running removal after every successful weakening).
+   Candidates run under the outcome's own engine seed, so the shrunk plan
+   is a deterministic repro of the same run family.  Terminates because
+   removal shrinks the plan and every [Adversity.weaken] variant strictly
+   decreases a positive integer measure of its spec. *)
+let shrink target (o : outcome) =
+  let try_plan plan =
+    let o' = run_plan target ~seed:o.seed plan in
+    if o'.violations <> [] then Some o' else None
+  in
+  let rec drop_pass o =
+    let len = List.length o.plan in
+    let rec try_at i =
+      if i >= len then None
+      else
+        match try_plan (List.filteri (fun j _ -> j <> i) o.plan) with
+        | Some o' -> Some o'
+        | None -> try_at (i + 1)
+    in
+    match try_at 0 with Some o' -> drop_pass o' | None -> o
+  in
+  let rec weaken_pass o =
+    let plan = Array.of_list o.plan in
+    let weaker_at i =
+      List.find_map
+        (fun weaker ->
+           try_plan
+             (Array.to_list
+                (Array.mapi (fun j s -> if j = i then weaker else s) plan)))
+        (Adversity.weaken plan.(i))
+    in
+    let rec at i =
+      if i >= Array.length plan then None
+      else match weaker_at i with Some o' -> Some o' | None -> at (i + 1)
+    in
+    match at 0 with Some o' -> weaken_pass (drop_pass o') | None -> o
+  in
+  weaken_pass (drop_pass o)

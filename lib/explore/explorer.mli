@@ -1,0 +1,81 @@
+(** Bounded adversarial exploration: enumerate adversity plans against one
+    protocol stack, flag runs violating the ETOB specification for their
+    plan, and greedily shrink findings to a locally minimal plan.
+
+    The violation predicate is plan-aware: safety violations always count,
+    and the measured convergence taus are compared to a per-plan bound —
+    [0] for Algorithm 5 under a never-flapping oracle (any revision is a
+    bug, whatever else the plan does), and the plan's settle time plus
+    slack otherwise.  Dually, plan {e generation} is clamped so a faithful
+    protocol can always recover before the horizon (drop windows close
+    before the final re-gossip round, spike tails fit the deadline, crash
+    counts stay admitted by the target's environment): a flagged run is a
+    real finding, not an artifact of an unfair plan. *)
+
+open Simulator.Types
+open Ec_core
+module Scenario = Harness.Scenario
+
+type target = {
+  impl : Scenario.etob_impl;
+  mutation : Etob_omega.mutation option;  (** seeded bug (Algorithm 5 only) *)
+  n : int;
+  deadline : time;
+  posts : int;  (** workload size (round-robin spread posts) *)
+  timer_period : int;
+  base_min : int;  (** base delay-model bounds *)
+  base_max : int;
+}
+
+val default_target : target
+(** Algorithm 5, unmutated: n=4, deadline=240, 12 posts, delays in [1,3]. *)
+
+val impl_name : Scenario.etob_impl -> string
+(** Names match the [ecsim --impl] catalogue: alg5, paxos, alg1. *)
+
+val impl_of_string : string -> Scenario.etob_impl option
+
+val inputs : target -> (time * proc_id * Simulator.Io.input) list
+val drop_safe_until : target -> time
+val slack : target -> int
+val tau_bound : target -> Adversity.t -> time
+val base_setup : target -> seed:int -> Scenario.setup
+
+type outcome = {
+  plan : Adversity.t;
+  seed : int;  (** the engine seed of this very run *)
+  violations : string list;  (** [[]] = clean *)
+  report : Properties.etob_report option;  (** [None] if the run raised *)
+  digest : string;  (** trace digest (hex); [""] if the run raised *)
+}
+
+val run_plan : target -> seed:int -> Adversity.t -> outcome
+(** Deterministic: same target, seed and plan always give the same
+    outcome.  A raising run yields an ["exception: ..."] violation rather
+    than propagating. *)
+
+val max_crashes : target -> int
+val random_plan : target -> rng:Simulator.Rng.t -> max_adversities:int -> Adversity.t
+val sanitize : target -> Adversity.t -> Adversity.t
+
+val plan_at : target -> seed:int -> max_adversities:int -> int -> Adversity.t
+(** Plan [i] of an exploration; index 0 is always the empty plan, later
+    plans are regenerable from their index alone. *)
+
+type exploration = { found : outcome option; plans_run : int; budget : int }
+
+val explore :
+  ?domains:int ->
+  ?on_progress:(plans_run:int -> unit) ->
+  target ->
+  seed:int -> budget:int -> max_adversities:int -> unit -> exploration
+(** Run plans [0 .. budget-1] (each under engine seed [seed + i]) until the
+    first violation.  [domains > 1] fans chunks over OCaml domains via
+    {!Harness.Sweep.map_safe}; the reported finding is the lowest-index
+    violation regardless of domain count. *)
+
+val shrink : target -> outcome -> outcome
+(** Greedy minimization to a local minimum: drop whole adversities, then
+    substitute weaker variants ({!Adversity.weaken}), re-running the plan
+    under the outcome's own seed at every step.  The result still
+    violates. *)

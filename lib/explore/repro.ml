@@ -1,0 +1,171 @@
+(* Self-contained repro files.
+
+   A finding is only useful if someone else can replay it: the file embeds
+   the full target (implementation, mutation, scale, workload, delays), the
+   exact engine seed, the shrunk adversity plan and the golden trace digest
+   of the violating run.  [replay] rebuilds the run from the file alone and
+   checks both that the violation reproduces and that the trace is
+   byte-identical (via its digest) to the recorded one. *)
+
+open Ec_core
+
+type t = {
+  target : Explorer.target;
+  seed : int;
+  plan : Adversity.t;
+  digest : string;
+  violations : string list;
+}
+
+let of_outcome target (o : Explorer.outcome) =
+  { target;
+    seed = o.Explorer.seed;
+    plan = o.Explorer.plan;
+    digest = o.Explorer.digest;
+    violations = o.Explorer.violations }
+
+let header = "ecsim-explore-repro v1"
+
+(* Violation messages come from Format and may contain line breaks; the file
+   format is line-oriented, so collapse each onto a single line. *)
+let one_line s =
+  String.concat " "
+    (List.filter (fun w -> w <> "")
+       (String.split_on_char ' '
+          (String.map (function '\n' | '\t' | '\r' -> ' ' | c -> c) s)))
+
+let to_lines r =
+  let t = r.target in
+  [ header;
+    "impl " ^ Explorer.impl_name t.Explorer.impl;
+    "mutant "
+    ^ (match t.Explorer.mutation with
+       | None -> "none"
+       | Some m -> Etob_omega.mutation_name m);
+    Printf.sprintf "n %d" t.Explorer.n;
+    Printf.sprintf "seed %d" r.seed;
+    Printf.sprintf "deadline %d" t.Explorer.deadline;
+    Printf.sprintf "timer-period %d" t.Explorer.timer_period;
+    Printf.sprintf "posts %d" t.Explorer.posts;
+    Printf.sprintf "base-min %d" t.Explorer.base_min;
+    Printf.sprintf "base-max %d" t.Explorer.base_max;
+    "digest " ^ (if r.digest = "" then "-" else r.digest) ]
+  @ List.map (fun v -> "violation " ^ one_line v) r.violations
+  @ [ Printf.sprintf "plan %d" (Adversity.size r.plan) ]
+  @ Adversity.to_lines r.plan
+  @ [ "end" ]
+
+let to_string r = String.concat "\n" (to_lines r) ^ "\n"
+
+let write path r =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string r))
+
+exception Parse of string
+
+let parse_fail fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt
+
+let of_string s =
+  let lines =
+    List.filter (( <> ) "") (List.map String.trim (String.split_on_char '\n' s))
+  in
+  let field line =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+  in
+  let parse () =
+    match lines with
+    | h :: rest when h = header ->
+      let target = ref Explorer.default_target in
+      let seed = ref 0 in
+      let digest = ref "" in
+      let violations = ref [] in
+      let int v = match int_of_string_opt v with
+        | Some i -> i
+        | None -> parse_fail "expected an integer, got %S" v
+      in
+      let rec headers = function
+        | [] -> parse_fail "missing plan section"
+        | line :: rest ->
+          let key, v = field line in
+          (match key with
+           | "impl" ->
+             (match Explorer.impl_of_string v with
+              | Some impl -> target := { !target with Explorer.impl }
+              | None -> parse_fail "unknown impl %S" v);
+             headers rest
+           | "mutant" ->
+             (if v <> "none" then
+                match Etob_omega.mutation_of_string v with
+                | Some m -> target := { !target with Explorer.mutation = Some m }
+                | None -> parse_fail "unknown mutant %S" v);
+             headers rest
+           | "n" -> target := { !target with Explorer.n = int v }; headers rest
+           | "seed" -> seed := int v; headers rest
+           | "deadline" ->
+             target := { !target with Explorer.deadline = int v };
+             headers rest
+           | "timer-period" ->
+             target := { !target with Explorer.timer_period = int v };
+             headers rest
+           | "posts" ->
+             target := { !target with Explorer.posts = int v };
+             headers rest
+           | "base-min" ->
+             target := { !target with Explorer.base_min = int v };
+             headers rest
+           | "base-max" ->
+             target := { !target with Explorer.base_max = int v };
+             headers rest
+           | "digest" -> digest := (if v = "-" then "" else v); headers rest
+           | "violation" -> violations := v :: !violations; headers rest
+           | "plan" ->
+             let count = int v in
+             let plan_lines, tail =
+               let rec take k acc = function
+                 | rest when k = 0 -> (List.rev acc, rest)
+                 | [] -> parse_fail "plan section truncated"
+                 | l :: rest -> take (k - 1) (l :: acc) rest
+               in
+               take count [] rest
+             in
+             (match tail with
+              | [ "end" ] -> ()
+              | _ -> parse_fail "expected end after %d plan lines" count);
+             (match Adversity.of_lines plan_lines with
+              | Ok plan ->
+                { target = !target;
+                  seed = !seed;
+                  plan;
+                  digest = !digest;
+                  violations = List.rev !violations }
+              | Error msg -> parse_fail "%s" msg)
+           | k -> parse_fail "unknown header %S" k)
+      in
+      headers rest
+    | _ -> parse_fail "not a %s file" header
+  in
+  match parse () with r -> Ok r | exception Parse msg -> Error msg
+
+let read path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg
+
+(* Replay from the file alone.  The digest check is strict golden-trace
+   equality: the replayed run must be byte-identical, not merely violating
+   in the same way. *)
+let replay r =
+  let o = Explorer.run_plan r.target ~seed:r.seed r.plan in
+  if o.Explorer.violations = [] then
+    Error "replay was clean: no violation reproduced"
+  else if r.digest <> "" && o.Explorer.digest <> r.digest then
+    Error
+      (Printf.sprintf
+         "violation reproduced but trace digest mismatch: recorded %s, \
+          replayed %s (did the protocol or engine change?)"
+         r.digest o.Explorer.digest)
+  else Ok o

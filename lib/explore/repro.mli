@@ -1,0 +1,26 @@
+(** Self-contained repro files for explorer findings: the full target, the
+    exact engine seed, the (shrunk) adversity plan, the recorded violations
+    and the golden trace digest, in a line-oriented text format.
+    {!replay} rebuilds the run from the file alone and checks that the
+    violation reproduces on a byte-identical trace. *)
+
+type t = {
+  target : Explorer.target;
+  seed : int;
+  plan : Adversity.t;
+  digest : string;  (** trace digest (hex); [""] when the run raised *)
+  violations : string list;
+}
+
+val of_outcome : Explorer.target -> Explorer.outcome -> t
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val write : string -> t -> unit
+val read : string -> (t, string) result
+
+val replay : t -> (Explorer.outcome, string) result
+(** Re-run the recorded target/seed/plan.  [Ok] iff the run violates again
+    {e and} (when a digest was recorded) the trace digest matches —
+    byte-identical replay, not merely a similar failure. *)

@@ -19,6 +19,7 @@ type setup = {
   deadline : time;
   timer_period : int;
   delay : Net.model;
+  faults : Net.fault_model;
   pattern : Failures.pattern;
   omega : omega_source;
   sink : Sink.t option;
@@ -30,6 +31,7 @@ let default ~n ~deadline =
     deadline;
     timer_period = 2;
     delay = Net.constant 1;
+    faults = Net.no_faults;
     pattern = Failures.none ~n;
     omega = Oracle { stabilize_at = 0; pre = Detectors.Omega.Self_trust };
     sink = None }
@@ -38,6 +40,7 @@ let engine_config setup =
   { Engine.n = setup.n;
     pattern = setup.pattern;
     delay = setup.delay;
+    faults = setup.faults;
     timer_period = setup.timer_period;
     seed = setup.seed;
     deadline = setup.deadline;
@@ -93,15 +96,17 @@ let spread_posts ~n ~count ~from_time ~every =
 type etob_impl = Algorithm_5 | Paxos_baseline | Algorithm_1_over_4
 
 (* Build one process of the chosen ETOB implementation; returns the node
-   and the ETOB service handle. *)
-let etob_node setup impl =
+   and the ETOB service handle.  [mutation] seeds a bug into Algorithm 5
+   (ignored by the other stacks — the mutation harness targets Algorithm 5
+   only). *)
+let etob_node ?mutation setup impl =
   let omega_of = omega_module setup in
   fun ctx ->
     let omega, omega_node = omega_of ctx in
     let service, proto_node =
       match impl with
       | Algorithm_5 ->
-        let t, node = Etob_omega.create ctx ~omega in
+        let t, node = Etob_omega.create ?mutation ctx ~omega in
         (Etob_omega.service t, node)
       | Paxos_baseline ->
         let t, node = Consensus.Paxos_tob.create ctx ~omega in
@@ -113,9 +118,10 @@ let etob_node setup impl =
     in
     (Engine.stack [ omega_node; proto_node; post_driver service ], service)
 
-let run_etob ?(inputs = []) setup impl =
+let run_etob ?(inputs = []) ?mutation setup impl =
   let trace, _ =
-    Engine.run_with (engine_config setup) ~make_node:(etob_node setup impl) ~inputs
+    Engine.run_with (engine_config setup)
+      ~make_node:(etob_node ?mutation setup impl) ~inputs
   in
   trace
 

@@ -18,6 +18,9 @@ type setup = {
   deadline : time;
   timer_period : int;  (** the paper's Delta_t *)
   delay : Net.model;
+  faults : Net.fault_model;
+      (** link-fault injection (drops/duplicates); {!Net.no_faults} by
+          default, which keeps runs byte-identical to fault-free builds *)
   pattern : Failures.pattern;
   omega : omega_source;
   sink : Sink.t option;
@@ -60,10 +63,14 @@ type etob_impl =
   | Algorithm_1_over_4  (** the EC-to-ETOB transformation over Algorithm 4 *)
 
 val etob_node :
+  ?mutation:Etob_omega.mutation ->
   setup -> etob_impl -> Engine.ctx -> Engine.node * Etob_intf.service
+(** [mutation] seeds a bug into Algorithm 5; the other stacks ignore it. *)
 
 val run_etob :
-  ?inputs:(time * proc_id * Io.input) list -> setup -> etob_impl -> Trace.t
+  ?inputs:(time * proc_id * Io.input) list ->
+  ?mutation:Etob_omega.mutation ->
+  setup -> etob_impl -> Trace.t
 
 val etob_report : setup -> Trace.t -> Properties.etob_report
 

@@ -58,6 +58,17 @@ let map ?domains ~seeds (f : seed:int -> 'a) : 'a result list =
     end
   end
 
+(* An exception raised inside a worker must not abort the whole sweep
+   (exploration runs buggy protocol variants on purpose, and a raising run
+   is a *finding*, not an infrastructure error): capture it per seed.
+   [Printexc.to_string] runs inside the worker domain so backtraces stay
+   attached to the run that raised. *)
+let map_safe ?domains ~seeds f =
+  map ?domains ~seeds (fun ~seed ->
+      match f ~seed with
+      | value -> Ok value
+      | exception e -> Error (Printexc.to_string e))
+
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)
 (* ------------------------------------------------------------------ *)

@@ -21,6 +21,15 @@ val map : ?domains:int -> seeds:int list -> (seed:int -> 'a) -> 'a result list
     returns results in the order of [seeds].  [f] must not touch shared
     mutable state; scenario runs qualify. *)
 
+val map_safe :
+  ?domains:int -> seeds:int list -> (seed:int -> 'a) ->
+  ('a, string) Result.t result list
+(** Like {!map}, but a run that raises yields [Error (Printexc.to_string e)]
+    for its seed instead of aborting the sweep.  Combine with {!verdicts}
+    ([ok:Result.is_ok] or stricter) so a crashing run counts as a failed
+    verdict — adversarial exploration runs deliberately broken protocol
+    variants, where an exception is a finding. *)
+
 (** {2 Aggregation} *)
 
 type verdicts = { runs : int; passed : int; failed_seeds : int list }

@@ -60,6 +60,7 @@ type config = {
   n : int;
   pattern : Failures.pattern;
   delay : Net.model;
+  faults : Net.fault_model;
   timer_period : int;
   seed : int;
   deadline : time;
@@ -70,6 +71,7 @@ let default_config ~n ~deadline =
   { n;
     pattern = Failures.none ~n;
     delay = Net.constant 1;
+    faults = Net.no_faults;
     timer_period = 2;
     seed = 42;
     deadline;
@@ -86,6 +88,7 @@ type state = {
   config : config;
   sink : Sink.t;
   delay : Net.delay_fn;  (* instantiated once for this run *)
+  faults : Net.fault_fn option;  (* None = pure reliable links *)
   net_rng : Rng.t;
   queue : event Pqueue.t;  (* mutated in place *)
   mutable clock : time;
@@ -99,12 +102,32 @@ let alive state p = Failures.is_alive state.config.pattern p state.clock
 let make_ctx state p =
   let send dst payload =
     let now = state.clock in
-    let delay = Net.delay_of state.delay ~src:p ~dst ~now ~rng:state.net_rng in
-    let uid = state.next_uid in
-    state.next_uid <- uid + 1;
-    let env = { Msg.src = p; dst; payload; sent_at = now; uid } in
-    state.sink.Sink.on_send env;
-    schedule state ~at:(now + delay) (Deliver env)
+    match state.faults with
+    | None ->
+      (* The historical fault-free path, kept byte-identical (same order of
+         randomness draws) so golden traces replay exactly. *)
+      let delay = Net.delay_of state.delay ~src:p ~dst ~now ~rng:state.net_rng in
+      let uid = state.next_uid in
+      state.next_uid <- uid + 1;
+      let env = { Msg.src = p; dst; payload; sent_at = now; uid } in
+      state.sink.Sink.on_send env;
+      schedule state ~at:(now + delay) (Deliver env)
+    | Some faults ->
+      let uid = state.next_uid in
+      state.next_uid <- uid + 1;
+      let env = { Msg.src = p; dst; payload; sent_at = now; uid } in
+      state.sink.Sink.on_send env;
+      let deliver_once () =
+        let delay =
+          Net.delay_of state.delay ~src:p ~dst ~now ~rng:state.net_rng
+        in
+        schedule state ~at:(now + delay) (Deliver env)
+      in
+      (match Net.fault_of faults ~src:p ~dst ~now ~rng:state.net_rng with
+       | Net.Deliver -> deliver_once ()
+       | Net.Drop -> state.sink.Sink.on_drop ~at:now env
+       | Net.Duplicate extra ->
+         for _ = 0 to extra do deliver_once () done)
   in
   { self = p;
     n = state.config.n;
@@ -125,6 +148,7 @@ let run_with config ~make_node ~inputs =
     { config;
       sink;
       delay = Net.instantiate config.delay;
+      faults = Net.instantiate_faults config.faults;
       net_rng = Rng.create (config.seed lxor 0x6e65);
       queue = Pqueue.create ();
       clock = 0;

@@ -38,6 +38,11 @@ type config = {
   n : int;
   pattern : Failures.pattern;
   delay : Net.model;  (** stateful models are re-instantiated per run *)
+  faults : Net.fault_model;
+      (** adversarial drop/duplication of individual sends; the default
+          {!Net.no_faults} keeps the engine on the historical fault-free
+          path, byte-identical to pre-fault builds.  A dropped send is
+          reported through the sink's [on_drop] at its send time. *)
   timer_period : int;  (** the paper's local-timeout period, Delta_t *)
   seed : int;
   deadline : time;  (** run horizon; only truncation, never unfairness *)

@@ -74,14 +74,45 @@ let admits env pattern = env.admits pattern
    [0, horizon]. *)
 let random ~rng ~n ~max_faulty ~horizon =
   if max_faulty >= n then invalid_arg "Failures.random: at least one correct process required";
+  if max_faulty < 0 then invalid_arg "Failures.random: negative max_faulty";
+  if horizon < 0 then invalid_arg "Failures.random: negative horizon";
   let faulty_count = Rng.int rng (max_faulty + 1) in
   let victims =
     let shuffled = Rng.shuffle rng (all_procs n) in
     List.filteri (fun i _ -> i < faulty_count) shuffled
   in
-  List.fold_left
-    (fun acc p -> crash_at acc p (Rng.int rng (horizon + 1)))
-    (none ~n) victims
+  let pattern =
+    List.fold_left
+      (fun acc p -> crash_at acc p (Rng.int rng (horizon + 1)))
+      (none ~n) victims
+  in
+  (* The contract the callers (and the explorer's generators) rely on:
+     a generated pattern is admitted by the resilience environment it was
+     drawn for, and every crash lands within the horizon. *)
+  assert (admits (t_resilient max_faulty) pattern);
+  assert (
+    List.for_all
+      (fun p ->
+         match crash_time pattern p with
+         | None -> true
+         | Some t -> 0 <= t && t <= horizon)
+      (all_procs n));
+  pattern
+
+(* Rejection-sample a pattern admitted by an arbitrary environment (e.g.
+   [majority_environment] for quorum-based baselines).  [t_resilient
+   max_faulty] holds by construction, so the redraw loop only matters for
+   stricter environments; after [attempts] failures, fall back to the
+   failure-free pattern, which every environment with a correct process
+   admits. *)
+let random_admitted ?(attempts = 100) ~rng ~env ~n ~max_faulty ~horizon () =
+  let rec draw k =
+    if k = 0 then none ~n
+    else
+      let pattern = random ~rng ~n ~max_faulty ~horizon in
+      if admits env pattern then pattern else draw (k - 1)
+  in
+  draw attempts
 
 let pp ppf pattern =
   let pp_one ppf p =

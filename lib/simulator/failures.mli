@@ -56,6 +56,17 @@ val admits : environment -> pattern -> bool
 val random :
   rng:Rng.t -> n:int -> max_faulty:int -> horizon:time -> pattern
 (** A deterministic random pattern with at most [max_faulty < n] crashes, all
-    at times within [0, horizon]. *)
+    at times within [0, horizon].  The result is guaranteed (and internally
+    asserted) to be admitted by [t_resilient max_faulty]. *)
+
+val random_admitted :
+  ?attempts:int ->
+  rng:Rng.t -> env:environment -> n:int -> max_faulty:int -> horizon:time ->
+  unit -> pattern
+(** Like {!random} but rejection-samples until [env] admits the pattern
+    (falling back to the failure-free pattern after [attempts] redraws).
+    Use this when the target protocol needs a stricter environment than
+    [t_resilient max_faulty], e.g. {!majority_environment} for
+    quorum-based baselines. *)
 
 val pp : Format.formatter -> pattern -> unit

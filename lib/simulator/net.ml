@@ -93,6 +93,28 @@ let slow_period ~from_time ~until_time ~factor ~base =
        if now >= from_time && now < until_time then d * factor else d)
     base
 
+let in_window ~from_time ~until_time now = now >= from_time && now < until_time
+
+(* [only = None] means every link; otherwise only the listed directed
+   (src, dst) pairs are affected. *)
+let on_link only src dst =
+  match only with None -> true | Some links -> List.mem (src, dst) links
+
+(* Per-link asynchrony burst: like [slow_period] but confined to chosen
+   directed links, so an adversary can slow exactly one channel (e.g. the
+   leader's promotes to one follower) while the rest of the network stays
+   fast. *)
+let slow_links ?only ~from_time ~until_time ~factor base =
+  if factor < 1 then invalid_arg "Net.slow_links: factor must be >= 1";
+  if until_time < from_time then invalid_arg "Net.slow_links: until < from";
+  lift
+    (fun base ~src ~dst ~now ~rng ->
+       let d = base ~src ~dst ~now ~rng in
+       if in_window ~from_time ~until_time now && on_link only src dst then
+         d * factor
+       else d)
+    base
+
 (* Partial synchrony with a global stabilization time (Dwork-Lynch-
    Stockmeyer): before [gst], delays are chaotic up to [chaos_max]; from
    [gst] on, every delay is bounded by [bound].  This is the environment
@@ -133,3 +155,93 @@ let fifo ~base = Per_run (fun () -> fifo_fn ~base:(instantiate base))
 let delay_of (f : delay_fn) ~src ~dst ~now ~rng =
   let d = f ~src ~dst ~now ~rng in
   if d < 1 then 1 else d
+
+(* ------------------------------------------------------------------ *)
+(* Link faults                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Delay models keep the paper's reliable-links assumption: every send
+   eventually arrives.  Fault models deliberately step OUTSIDE that model —
+   they drop or duplicate individual sends — and exist for the adversarial
+   explorer: windowed faults that heal before the run ends let eventual
+   properties recover while safety properties must survive the abuse.
+   [No_faults] is distinguished structurally so the engine can skip fault
+   evaluation entirely (and consume no randomness) on the default path,
+   keeping historical runs byte-identical. *)
+
+type fault = Deliver | Drop | Duplicate of int (* extra copies, >= 1 *)
+
+type fault_fn = src:proc_id -> dst:proc_id -> now:time -> rng:Rng.t -> fault
+
+type fault_model =
+  | No_faults
+  | Fault_stateless of fault_fn
+  | Fault_per_run of (unit -> fault_fn)
+
+let no_faults = No_faults
+let fault_of_fn f = Fault_stateless f
+let fault_per_run mk = Fault_per_run mk
+
+let instantiate_faults = function
+  | No_faults -> None
+  | Fault_stateless f -> Some f
+  | Fault_per_run mk -> Some (mk ())
+
+let check_window ~name ~from_time ~until_time =
+  if from_time < 0 then invalid_arg (name ^ ": negative from_time");
+  if until_time < from_time then invalid_arg (name ^ ": until_time < from_time")
+
+(* Drop each message sent inside the window with probability [pct]/100
+   ([pct = 100] drops deterministically and consumes no randomness). *)
+let drop_window ?only ~from_time ~until_time pct =
+  check_window ~name:"Net.drop_window" ~from_time ~until_time;
+  if pct < 1 || pct > 100 then invalid_arg "Net.drop_window: pct must be in [1, 100]";
+  Fault_stateless
+    (fun ~src ~dst ~now ~rng ->
+       if in_window ~from_time ~until_time now
+       && on_link only src dst
+       && (pct = 100 || Rng.int rng 100 < pct)
+       then Drop
+       else Deliver)
+
+(* Deliver [copies] extra copies of each message sent inside the window,
+   each with an independently drawn delay. *)
+let duplicate_window ?only ~from_time ~until_time copies =
+  check_window ~name:"Net.duplicate_window" ~from_time ~until_time;
+  if copies < 1 then invalid_arg "Net.duplicate_window: copies must be >= 1";
+  Fault_stateless
+    (fun ~src ~dst ~now ~rng:_ ->
+       if in_window ~from_time ~until_time now && on_link only src dst then
+         Duplicate copies
+       else Deliver)
+
+let is_no_faults = function No_faults -> true | _ -> false
+
+(* Combine fault models: any Drop wins, Duplicate extras add up.  Every
+   component is evaluated on every send so randomness consumption does not
+   depend on earlier components' answers. *)
+let compose_faults models =
+  match List.filter (fun m -> not (is_no_faults m)) models with
+  | [] -> No_faults
+  | [ m ] -> m
+  | ms ->
+    Fault_per_run
+      (fun () ->
+         let fs =
+           List.map (fun m -> Option.get (instantiate_faults m)) ms
+         in
+         fun ~src ~dst ~now ~rng ->
+           List.fold_left
+             (fun acc f ->
+                let v = f ~src ~dst ~now ~rng in
+                match acc, v with
+                | Drop, _ | _, Drop -> Drop
+                | Duplicate a, Duplicate b -> Duplicate (a + b)
+                | Duplicate a, Deliver | Deliver, Duplicate a -> Duplicate a
+                | Deliver, Deliver -> Deliver)
+             Deliver fs)
+
+let fault_of (f : fault_fn) ~src ~dst ~now ~rng =
+  match f ~src ~dst ~now ~rng with
+  | Duplicate k when k < 1 -> Deliver
+  | v -> v

@@ -56,6 +56,12 @@ val slow_period :
   from_time:time -> until_time:time -> factor:int -> base:model -> model
 (** Inflate delays by [factor] during a window — an asynchrony burst. *)
 
+val slow_links :
+  ?only:(proc_id * proc_id) list ->
+  from_time:time -> until_time:time -> factor:int -> model -> model
+(** Like {!slow_period} but confined to the listed directed links
+    ([only = None] affects every link): a per-link delay spike. *)
+
 val partial_synchrony : gst:time -> bound:int -> chaos_max:int -> model
 (** Dwork–Lynch–Stockmeyer partial synchrony: chaotic delays up to
     [chaos_max] before the global stabilization time [gst], all delays
@@ -72,3 +78,55 @@ val delay_of :
   delay_fn -> src:proc_id -> dst:proc_id -> now:time -> rng:Rng.t -> int
 (** Evaluate an instantiated model, clamping the result to at least 1
     tick. *)
+
+(** {2 Link faults}
+
+    Delay models preserve the paper's reliable links (everything arrives,
+    possibly late).  Fault models deliberately step outside that model:
+    they drop or duplicate individual sends.  They exist for adversarial
+    exploration — windowed faults that heal before the horizon let the
+    eventual properties recover while the safety properties must survive. *)
+
+type fault = Deliver | Drop | Duplicate of int
+(** The fate of one send: delivered normally, silently dropped, or
+    delivered once plus [k >= 1] extra copies (independent delays). *)
+
+type fault_fn = src:proc_id -> dst:proc_id -> now:time -> rng:Rng.t -> fault
+
+type fault_model
+(** A fault-injection specification, carried by run configurations. *)
+
+val no_faults : fault_model
+(** The default: no send is ever dropped or duplicated, and no randomness
+    is consumed — runs are byte-identical to a fault-free engine. *)
+
+val fault_of_fn : fault_fn -> fault_model
+val fault_per_run : (unit -> fault_fn) -> fault_model
+
+val instantiate_faults : fault_model -> fault_fn option
+(** [None] exactly for {!no_faults}; the engine skips fault evaluation
+    entirely in that case. *)
+
+val drop_window :
+  ?only:(proc_id * proc_id) list ->
+  from_time:time -> until_time:time -> int -> fault_model
+(** Drop each message sent during [\[from_time, until_time)) with
+    probability [pct]% ([pct = 100] is deterministic and draws no
+    randomness).  [only] restricts the fault to the listed directed
+    links. *)
+
+val duplicate_window :
+  ?only:(proc_id * proc_id) list ->
+  from_time:time -> until_time:time -> int -> fault_model
+(** Deliver [copies >= 1] extra copies of each message sent during the
+    window, each with an independently drawn delay. *)
+
+val compose_faults : fault_model list -> fault_model
+(** Combine fault models: any [Drop] wins, [Duplicate] extras add up.
+    Every component is evaluated on every send, so randomness consumption
+    is independent of the components' answers. *)
+
+val fault_of :
+  fault_fn -> src:proc_id -> dst:proc_id -> now:time -> rng:Rng.t -> fault
+(** Evaluate an instantiated fault model, normalizing degenerate
+    duplications to [Deliver]. *)

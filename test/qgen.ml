@@ -1,0 +1,113 @@
+(* Shared QCheck arbitraries and shrinkers over simulator and explorer
+   domain values: failure-pattern crash lists, adversity plans and base
+   delay-model bounds.
+
+   Plans generated here are deliberately NOT fairness-clamped (unlike
+   [Explore.Explorer.random_plan], which keeps plans recoverable so that
+   liveness checks are meaningful): safety properties must hold under any
+   plan whatsoever, so these generators cover the whole space — drop
+   windows that never heal, partitions to the horizon, flapping forever.
+   Shrinkers are structural: drop whole elements, then substitute the
+   strictly weaker variants of [Adversity.weaken]. *)
+
+open Explore
+
+(* ------------------------------------------------------------------ *)
+(* Failure patterns, as crash lists                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Up to [max_faulty] crashes among processes 1..n-1 (process 0 always
+   stays correct, so any environment admits the result), at arbitrary
+   times within the horizon.  Duplicate processes are fine: [of_crashes]
+   keeps the earliest time. *)
+let crash_list_gen ~n ~max_faulty ~horizon =
+  let open QCheck.Gen in
+  list_size
+    (int_range 0 (min max_faulty (n - 1)))
+    (pair (int_range 1 (n - 1)) (int_range 0 horizon))
+
+let crash_list_arb ~n ~max_faulty ~horizon =
+  QCheck.make
+    ~print:QCheck.Print.(list (pair int int))
+    ~shrink:QCheck.Shrink.list
+    (crash_list_gen ~n ~max_faulty ~horizon)
+
+let pattern_of_crashes ~n crashes = Simulator.Failures.of_crashes ~n crashes
+
+(* ------------------------------------------------------------------ *)
+(* Adversity plans                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A nonempty proper subset of 0..n-1, from a bitmask. *)
+let subset_gen n =
+  let open QCheck.Gen in
+  let* mask = int_range 1 ((1 lsl n) - 2) in
+  return (List.filter (fun p -> mask land (1 lsl p) <> 0) (List.init n Fun.id))
+
+let window_gen deadline =
+  let open QCheck.Gen in
+  let* from_time = int_range 0 (deadline - 2) in
+  let* len = int_range 1 (deadline - from_time) in
+  return (from_time, from_time + len)
+
+let spec_gen ~n ~deadline =
+  let open QCheck.Gen in
+  frequency
+    [ ( 1,
+        let* proc = int_range 1 (n - 1) in
+        let* at = int_range 0 deadline in
+        return (Adversity.Crash { proc; at }) );
+      ( 2,
+        let* left = subset_gen n in
+        let* from_time, until_time = window_gen deadline in
+        return (Adversity.Partition { left; from_time; until_time }) );
+      ( 2,
+        let* link =
+          oneof
+            [ return None;
+              (let* src = int_range 0 (n - 1) in
+               let* dst = int_range 0 (n - 1) in
+               return (if src = dst then None else Some (src, dst))) ]
+        in
+        let* from_time, until_time = window_gen deadline in
+        let* factor = int_range 2 6 in
+        return (Adversity.Delay_spike { link; from_time; until_time; factor }) );
+      ( 2,
+        let* from_time, until_time = window_gen deadline in
+        let* pct = int_range 1 100 in
+        return (Adversity.Drop { from_time; until_time; pct }) );
+      ( 2,
+        let* from_time, until_time = window_gen deadline in
+        let* copies = int_range 1 3 in
+        return (Adversity.Duplicate { from_time; until_time; copies }) );
+      ( 2,
+        let* until_time = int_range 1 deadline in
+        let* period = int_range 1 6 in
+        return (Adversity.Omega_flap { until_time; period }) ) ]
+
+let plan_gen ~n ~deadline =
+  QCheck.Gen.(list_size (int_range 0 5) (spec_gen ~n ~deadline))
+
+let spec_shrink spec = QCheck.Iter.of_list (Adversity.weaken spec)
+
+let plan_arb ~n ~deadline =
+  QCheck.make
+    ~print:(fun plan -> String.concat "; " (Adversity.to_lines plan))
+    ~shrink:(QCheck.Shrink.list ~shrink:spec_shrink)
+    (plan_gen ~n ~deadline)
+
+(* ------------------------------------------------------------------ *)
+(* Base delay-model bounds (Net.uniform parameters)                    *)
+(* ------------------------------------------------------------------ *)
+
+let delay_bounds_gen =
+  let open QCheck.Gen in
+  let* min_delay = int_range 1 4 in
+  let* span = int_range 0 4 in
+  return (min_delay, min_delay + span)
+
+let delay_bounds_arb =
+  QCheck.make
+    ~print:QCheck.Print.(pair int int)
+    ~shrink:QCheck.Shrink.(pair nil nil)
+    delay_bounds_gen

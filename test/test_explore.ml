@@ -1,0 +1,320 @@
+(* Tests for the adversarial exploration subsystem: adversity plans and
+   their stable text form, the engine's link-fault injection, the bounded
+   explorer with its greedy shrinker, repro files, and the property-based
+   checks the explorer rests on (causal order under arbitrary adversity,
+   differential agreement across the three ETOB stacks). *)
+
+open Simulator
+open Ec_core
+open Explore
+module Scenario = Harness.Scenario
+
+(* ------------------------------------------------------------------ *)
+(* Adversity: text form                                                *)
+(* ------------------------------------------------------------------ *)
+
+let full_plan =
+  [ Adversity.Crash { proc = 2; at = 40 };
+    Adversity.Partition { left = [ 0; 1 ]; from_time = 10; until_time = 50 };
+    Adversity.Delay_spike
+      { link = Some (1, 2); from_time = 5; until_time = 25; factor = 4 };
+    Adversity.Delay_spike
+      { link = None; from_time = 30; until_time = 42; factor = 2 };
+    Adversity.Drop { from_time = 20; until_time = 26; pct = 75 };
+    Adversity.Duplicate { from_time = 12; until_time = 18; copies = 2 };
+    Adversity.Omega_flap { until_time = 60; period = 3 } ]
+
+let test_adversity_roundtrip () =
+  match Adversity.of_lines (Adversity.to_lines full_plan) with
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+  | Ok plan ->
+    Alcotest.(check bool) "all spec kinds roundtrip" true (plan = full_plan)
+
+let test_adversity_rejects_garbage () =
+  (match Adversity.of_line "crash p=zero at=40" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bad int accepted");
+  match Adversity.of_line "meteor at=40" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown adversity accepted"
+
+let prop_adversity_roundtrip =
+  QCheck.Test.make ~name:"adversity: text form roundtrips" ~count:300
+    (Qgen.plan_arb ~n:4 ~deadline:240)
+    (fun plan ->
+       match Adversity.of_lines (Adversity.to_lines plan) with
+       | Ok plan' -> plan' = plan
+       | Error _ -> false)
+
+(* Weakening must strictly reduce the plan's reach: never later, never
+   stronger — so the shrinker terminates and results stay minimal. *)
+let prop_weaken_never_extends_settle =
+  QCheck.Test.make ~name:"adversity: weaken never raises settle time" ~count:300
+    (Qgen.plan_arb ~n:4 ~deadline:240)
+    (fun plan ->
+       let settle = Adversity.settle_time ~base_max:3 plan in
+       List.for_all
+         (fun spec ->
+            List.for_all
+              (fun weaker ->
+                 Adversity.settle_time ~base_max:3 [ weaker ] <= settle)
+              (Adversity.weaken spec))
+         plan)
+
+(* ------------------------------------------------------------------ *)
+(* Link faults in the engine                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fault_setup faults =
+  { (Scenario.default ~n:3 ~deadline:100) with
+    faults;
+    delay = Net.uniform ~min:1 ~max:3 }
+
+let fault_inputs = Scenario.spread_posts ~n:3 ~count:6 ~from_time:8 ~every:3
+
+let run_with_faults faults =
+  Scenario.run_etob ~inputs:fault_inputs (fault_setup faults)
+    Scenario.Algorithm_5
+
+let test_no_faults_instantiates_to_none () =
+  (match Net.instantiate_faults Net.no_faults with
+   | None -> ()
+   | Some _ -> Alcotest.fail "no_faults must instantiate to None");
+  match Net.instantiate_faults (Net.compose_faults [ Net.no_faults ]) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "compose of no_faults must stay no_faults"
+
+let test_drop_window_drops () =
+  let clean = run_with_faults Net.no_faults in
+  let dropped =
+    run_with_faults (Net.drop_window ~from_time:0 ~until_time:40 100)
+  in
+  Alcotest.(check int) "clean run drops nothing" 0 (Trace.dropped clean);
+  Alcotest.(check bool) "faulted run drops" true (Trace.dropped dropped > 0);
+  Alcotest.(check bool) "fewer deliveries" true
+    (Trace.delivered dropped < Trace.delivered clean)
+
+let test_duplicate_window_duplicates () =
+  let clean = run_with_faults Net.no_faults in
+  let dup =
+    run_with_faults (Net.duplicate_window ~from_time:0 ~until_time:40 2)
+  in
+  Alcotest.(check bool) "more deliveries than sends" true
+    (Trace.delivered dup > Trace.sent dup);
+  Alcotest.(check bool) "more deliveries than the clean run" true
+    (Trace.delivered dup > Trace.delivered clean)
+
+let test_fault_runs_deterministic () =
+  let faults =
+    Net.compose_faults
+      [ Net.drop_window ~from_time:10 ~until_time:30 50;
+        Net.duplicate_window ~from_time:20 ~until_time:45 1 ]
+  in
+  let show t = Format.asprintf "%a" Trace.pp t in
+  Alcotest.(check string) "same config, same trace"
+    (show (run_with_faults faults))
+    (show (run_with_faults faults))
+
+let test_compose_faults_drop_wins () =
+  let always f = Net.fault_of_fn (fun ~src:_ ~dst:_ ~now:_ ~rng:_ -> f) in
+  let composed =
+    Net.compose_faults [ always (Net.Duplicate 2); always Net.Drop ]
+  in
+  match Net.instantiate_faults composed with
+  | None -> Alcotest.fail "composed model is not no_faults"
+  | Some fn ->
+    let rng = Rng.create 1 in
+    (match Net.fault_of fn ~src:0 ~dst:1 ~now:5 ~rng with
+     | Net.Drop -> ()
+     | _ -> Alcotest.fail "Drop must win over Duplicate")
+
+(* ------------------------------------------------------------------ *)
+(* Explorer                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let target mutation = { Explorer.default_target with Explorer.mutation }
+
+let test_explore_faithful_clean () =
+  let e = Explorer.explore (target None) ~seed:1 ~budget:60 ~max_adversities:4 () in
+  (match e.Explorer.found with
+   | None -> ()
+   | Some o ->
+     Alcotest.failf "faithful Algorithm 5 flagged: %s; plan: %s"
+       (String.concat "; " o.Explorer.violations)
+       (String.concat "; " (Adversity.to_lines o.Explorer.plan)));
+  Alcotest.(check int) "whole budget consumed" 60 e.Explorer.plans_run
+
+let test_explore_parallel_matches_sequential () =
+  let mutant = target (Some Etob_omega.Skip_dependency_wait) in
+  let run domains =
+    Explorer.explore ~domains mutant ~seed:1 ~budget:120 ~max_adversities:4 ()
+  in
+  match (run 1).Explorer.found, (run 3).Explorer.found with
+  | Some a, Some b ->
+    Alcotest.(check int) "same engine seed" a.Explorer.seed b.Explorer.seed;
+    Alcotest.(check bool) "same plan" true (a.Explorer.plan = b.Explorer.plan)
+  | _ -> Alcotest.fail "mutant not found within budget"
+
+(* The mutation-test harness: every seeded single-decision bug of
+   Algorithm 5 must be caught within a smoke-sized budget, shrink to at
+   most 3 adversities, and leave a repro that replays byte-identically
+   after a text roundtrip. *)
+let test_explore_finds_all_mutants () =
+  List.iter
+    (fun m ->
+       let name = Etob_omega.mutation_name m in
+       let t = target (Some m) in
+       let e = Explorer.explore t ~seed:1 ~budget:200 ~max_adversities:4 () in
+       match e.Explorer.found with
+       | None -> Alcotest.failf "mutant %s not found within 200 plans" name
+       | Some o ->
+         let shrunk = Explorer.shrink t o in
+         Alcotest.(check bool) (name ^ ": still violates") true
+           (shrunk.Explorer.violations <> []);
+         Alcotest.(check bool) (name ^ ": shrunk to <= 3 adversities") true
+           (Adversity.size shrunk.Explorer.plan <= 3);
+         let repro = Repro.of_outcome t shrunk in
+         (match Repro.of_string (Repro.to_string repro) with
+          | Error e -> Alcotest.failf "%s: repro parse: %s" name e
+          | Ok reread ->
+            (match Repro.replay reread with
+             | Ok _ -> ()
+             | Error e -> Alcotest.failf "%s: replay: %s" name e)))
+    Etob_omega.all_mutations
+
+let test_repro_replay_rejects_wrong_digest () =
+  let t = target (Some Etob_omega.Drop_graph_union) in
+  let e = Explorer.explore t ~seed:1 ~budget:200 ~max_adversities:4 () in
+  match e.Explorer.found with
+  | None -> Alcotest.fail "mutant not found"
+  | Some o ->
+    let repro =
+      { (Repro.of_outcome t o) with Repro.digest = String.make 32 '0' }
+    in
+    (match Repro.replay repro with
+     | Error _ -> ()
+     | Ok _ -> Alcotest.fail "digest mismatch must fail the replay")
+
+(* ------------------------------------------------------------------ *)
+(* Safety under arbitrary adversity (property-based)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Causal order is a safety claim of Algorithm 5 ("TOB-Causal-Order holds
+   at all times"): it may not depend on fairness, so the plans here are
+   unclamped — drops that never heal, flapping to the horizon.  Liveness
+   properties (validity, convergence) legitimately fail under such plans
+   and are not asserted. *)
+let prop_causal_order_under_any_plan =
+  QCheck.Test.make ~name:"alg5: causal order under arbitrary adversity"
+    ~count:60
+    QCheck.(
+      pair (Qgen.plan_arb ~n:4 ~deadline:240) (pair small_nat Qgen.delay_bounds_arb))
+    (fun (plan, (seed, (base_min, base_max))) ->
+       let t = { (target None) with Explorer.base_min; base_max } in
+       let o = Explorer.run_plan t ~seed plan in
+       match o.Explorer.report with
+       | None -> false (* the run raised *)
+       | Some r ->
+         r.Properties.causal_order.Properties.ok
+         && r.Properties.no_creation.Properties.ok
+         && r.Properties.no_duplication.Properties.ok)
+
+(* Random failure patterns stay inside their declared contract. *)
+let prop_random_pattern_within_contract =
+  QCheck.Test.make ~name:"failures: crash lists build admitted patterns"
+    ~count:300
+    (Qgen.crash_list_arb ~n:5 ~max_faulty:4 ~horizon:100)
+    (fun crashes ->
+       let f = Qgen.pattern_of_crashes ~n:5 crashes in
+       Failures.admits (Failures.t_resilient 4) f
+       && Failures.is_correct f 0
+       && List.for_all
+            (fun (p, _) -> Failures.is_faulty f p)
+            crashes)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: the three ETOB stacks agree                           *)
+(* ------------------------------------------------------------------ *)
+
+let impls =
+  [ Scenario.Algorithm_5; Scenario.Paxos_baseline; Scenario.Algorithm_1_over_4 ]
+
+let final_run impl ~seed =
+  let t = { Explorer.default_target with Explorer.impl } in
+  let setup = Explorer.base_setup t ~seed in
+  let trace = Scenario.run_etob ~inputs:(Explorer.inputs t) setup impl in
+  Properties.etob_run_of_trace setup.Scenario.pattern trace
+
+let sorted_ids run proc =
+  List.sort compare (List.map App_msg.id (Properties.final_d run proc))
+
+(* Within one stack, every pair of processes orders the common messages
+   the same way; across stacks, the delivered sets coincide (the total
+   orders themselves may differ — any linearization is legal). *)
+let prop_impls_agree_differentially =
+  QCheck.Test.make ~name:"etob stacks: orders agree, delivered sets equal"
+    ~count:10 QCheck.small_nat
+    (fun seed ->
+       let runs = List.map (fun impl -> final_run impl ~seed) impls in
+       let n = Explorer.default_target.Explorer.n in
+       List.for_all
+         (fun run ->
+            List.for_all
+              (fun p ->
+                 List.for_all
+                   (fun q ->
+                      Properties.orders_agree (Properties.final_d run p)
+                        (Properties.final_d run q))
+                   (List.init n Fun.id))
+              (List.init n Fun.id))
+         runs
+       &&
+       match List.map (fun run -> sorted_ids run 0) runs with
+       | [] -> false
+       | ids :: rest -> List.for_all (fun other -> other = ids) rest)
+
+let test_impls_clean_on_empty_plan () =
+  List.iter
+    (fun impl ->
+       let t = { Explorer.default_target with Explorer.impl } in
+       let o = Explorer.run_plan t ~seed:1 [] in
+       Alcotest.(check (list string))
+         (Explorer.impl_name impl ^ ": clean on the empty plan") []
+         o.Explorer.violations)
+    impls
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "explore"
+    [ ("adversity",
+       [ Alcotest.test_case "roundtrip all kinds" `Quick test_adversity_roundtrip;
+         Alcotest.test_case "rejects garbage" `Quick test_adversity_rejects_garbage ]
+       @ qc [ prop_adversity_roundtrip; prop_weaken_never_extends_settle ]);
+      ("faults",
+       [ Alcotest.test_case "no_faults is free" `Quick
+           test_no_faults_instantiates_to_none;
+         Alcotest.test_case "drop window" `Quick test_drop_window_drops;
+         Alcotest.test_case "duplicate window" `Quick
+           test_duplicate_window_duplicates;
+         Alcotest.test_case "deterministic" `Quick test_fault_runs_deterministic;
+         Alcotest.test_case "compose: drop wins" `Quick
+           test_compose_faults_drop_wins ]);
+      ("explorer",
+       [ Alcotest.test_case "faithful clean" `Quick test_explore_faithful_clean;
+         Alcotest.test_case "parallel matches sequential" `Quick
+           test_explore_parallel_matches_sequential;
+         Alcotest.test_case "finds all mutants" `Quick
+           test_explore_finds_all_mutants;
+         Alcotest.test_case "replay rejects wrong digest" `Quick
+           test_repro_replay_rejects_wrong_digest ]);
+      ("properties",
+       qc
+         [ prop_causal_order_under_any_plan;
+           prop_random_pattern_within_contract ]);
+      ("differential",
+       [ Alcotest.test_case "clean on empty plan" `Quick
+           test_impls_clean_on_empty_plan ]
+       @ qc [ prop_impls_agree_differentially ]);
+    ]

@@ -123,7 +123,19 @@ let test_golden_trace_byte_identical () =
   let golden =
     In_channel.with_open_bin "golden_stable_trace.txt" In_channel.input_all
   in
-  Alcotest.(check string) "byte-identical to pre-refactor trace" golden got
+  (* On mismatch, persist the produced trace next to the golden file and
+     point at a ready-to-run diff command: the full strings are too long
+     for Alcotest's assertion output to be usable. *)
+  if got <> golden then begin
+    let got_path = "golden_stable_trace.got.txt" in
+    Out_channel.with_open_bin got_path (fun oc ->
+        Out_channel.output_string oc got);
+    Alcotest.failf
+      "golden trace mismatch (%d vs %d bytes); inspect with:\n  diff %s %s"
+      (String.length golden) (String.length got)
+      (Filename.concat (Sys.getcwd ()) "golden_stable_trace.txt")
+      (Filename.concat (Sys.getcwd ()) got_path)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Sweep                                                               *)
@@ -166,6 +178,36 @@ let test_sweep_mean_stddev () =
   | Some (mean, stddev) ->
     Alcotest.(check (float 1e-9)) "mean" 5.0 mean;
     Alcotest.(check (float 1e-9)) "stddev" 2.0 stddev
+
+(* A raising run must surface as a failed verdict for its seed, not abort
+   the sweep: the explorer's parallel mode relies on this to keep scanning
+   past a crashing plan. *)
+let test_sweep_map_safe_captures_exceptions () =
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  let results =
+    Harness.Sweep.map_safe ~domains:2 ~seeds (fun ~seed ->
+        if seed mod 2 = 0 then failwith (Printf.sprintf "boom %d" seed)
+        else seed * 10)
+  in
+  Alcotest.(check int) "all seeds accounted for" 5 (List.length results);
+  List.iter2
+    (fun seed r ->
+       Alcotest.(check int) "seed order preserved" seed r.Harness.Sweep.seed;
+       match r.Harness.Sweep.value with
+       | Ok v -> Alcotest.(check int) "value" (seed * 10) v
+       | Error msg ->
+         let contains hay needle =
+           let nh = String.length hay and nn = String.length needle in
+           let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+           go 0
+         in
+         Alcotest.(check bool) "raising seed" true (seed mod 2 = 0);
+         Alcotest.(check bool) "message kept" true
+           (contains msg (Printf.sprintf "boom %d" seed)))
+    seeds results;
+  let v = Harness.Sweep.verdicts results ~ok:Result.is_ok in
+  Alcotest.(check int) "passed" 3 v.Harness.Sweep.passed;
+  Alcotest.(check (list int)) "failed seeds" [ 2; 4 ] v.Harness.Sweep.failed_seeds
 
 let test_sweep_merged_latency_stats () =
   match Harness.Sweep.merged_latency_stats [ [| 1; 3 |]; [||]; [| 5 |] ] with
@@ -223,6 +265,8 @@ let () =
        [ Alcotest.test_case "parallel matches sequential" `Quick
            test_sweep_parallel_matches_sequential;
          Alcotest.test_case "verdicts" `Quick test_sweep_verdicts;
+         Alcotest.test_case "map_safe captures exceptions" `Quick
+           test_sweep_map_safe_captures_exceptions;
          Alcotest.test_case "mean stddev" `Quick test_sweep_mean_stddev;
          Alcotest.test_case "merged latency stats" `Quick
            test_sweep_merged_latency_stats ]);

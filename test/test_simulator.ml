@@ -184,6 +184,38 @@ let prop_random_pattern_has_correct =
        let f = Failures.random ~rng ~n ~max_faulty:(n - 1) ~horizon:50 in
        Failures.correct_count f >= 1)
 
+(* Regression for the documented contract: [random ~max_faulty] is always
+   admitted by [t_resilient max_faulty] (not merely by any_environment),
+   and every crash time stays within the horizon. *)
+let prop_random_pattern_t_resilient =
+  QCheck.Test.make ~name:"failures: random pattern admitted by t_resilient"
+    ~count:300 QCheck.(triple small_int (int_bound 5) (int_bound 80))
+    (fun (seed, extra, horizon) ->
+       let n = 2 + extra in
+       let rng = Rng.create seed in
+       let max_faulty = Rng.int rng n in
+       let f = Failures.random ~rng ~n ~max_faulty ~horizon in
+       Failures.admits (Failures.t_resilient max_faulty) f
+       && List.for_all
+            (fun p ->
+               match Failures.crash_time f p with
+               | None -> true
+               | Some t -> 0 <= t && t <= horizon)
+            (List.init n Fun.id))
+
+(* [random_admitted] respects a stricter environment than the t-resilience
+   its max_faulty would allow. *)
+let prop_random_admitted_env =
+  QCheck.Test.make ~name:"failures: random_admitted respects the environment"
+    ~count:200 QCheck.small_int
+    (fun seed ->
+       let rng = Rng.create seed in
+       let f =
+         Failures.random_admitted ~rng ~env:Failures.majority_environment
+           ~n:5 ~max_faulty:4 ~horizon:60 ()
+       in
+       Failures.admits Failures.majority_environment f)
+
 (* ------------------------------------------------------------------ *)
 (* Net                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -458,6 +490,32 @@ let test_sink_counters_matches_recorder () =
     Alcotest.(check int) "p95" 1 s.Sink.p95;
     Alcotest.(check int) "max" 1 s.Sink.max
 
+(* [tee a b] must forward each event to [a] then [b], event by event —
+   interleaved, never batched — so the second sink can rely on the first
+   one's state being current for the same event. *)
+let test_sink_tee_ordering () =
+  let log = ref [] in
+  let mk tag =
+    { Sink.on_input = (fun ~at:_ ~proc:_ _ -> log := (tag, "input") :: !log);
+      on_output = (fun ~at:_ ~proc:_ _ -> log := (tag, "output") :: !log);
+      on_send = (fun _ -> log := (tag, "send") :: !log);
+      on_deliver = (fun ~at:_ _ -> log := (tag, "deliver") :: !log);
+      on_drop = (fun ~at:_ _ -> log := (tag, "drop") :: !log);
+      on_step = (fun ~at:_ ~proc:_ -> log := (tag, "step") :: !log) }
+  in
+  let sink = Sink.tee (mk "a") (mk "b") in
+  let env = { Msg.src = 0; dst = 1; payload = Ping 0; sent_at = 3; uid = 7 } in
+  sink.Sink.on_step ~at:1 ~proc:0;
+  sink.Sink.on_send env;
+  sink.Sink.on_deliver ~at:5 env;
+  sink.Sink.on_drop ~at:6 env;
+  Alcotest.(check (list (pair string string))) "a before b, per event"
+    [ ("a", "step"); ("b", "step");
+      ("a", "send"); ("b", "send");
+      ("a", "deliver"); ("b", "deliver");
+      ("a", "drop"); ("b", "drop") ]
+    (List.rev !log)
+
 let test_sink_tee_and_jsonl () =
   let buf = Buffer.create 256 in
   let target = Trace.create ~n:3 in
@@ -617,7 +675,8 @@ let prop_engine_reliable_links =
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest
       [ prop_pqueue_sorts; prop_pqueue_differential; prop_pqueue_vs_model;
-        prop_random_pattern_has_correct; prop_engine_reliable_links ]
+        prop_random_pattern_has_correct; prop_random_pattern_t_resilient;
+        prop_random_admitted_env; prop_engine_reliable_links ]
   in
   Alcotest.run "simulator"
     [ ("pqueue",
@@ -665,6 +724,7 @@ let () =
       ("sink",
        [ Alcotest.test_case "counters matches recorder" `Quick
            test_sink_counters_matches_recorder;
+         Alcotest.test_case "tee ordering" `Quick test_sink_tee_ordering;
          Alcotest.test_case "tee and jsonl" `Quick test_sink_tee_and_jsonl;
          Alcotest.test_case "json escape" `Quick test_sink_json_escape;
          Alcotest.test_case "counters allocates less" `Slow
