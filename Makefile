@@ -13,10 +13,12 @@ test:
 
 check: build test
 
-# Adversarial smoke: faithful Algorithm 5 clean over the budget; every
-# seeded mutant found, shrunk and replayed from its repro file.
+# Adversarial smoke: both faithful targets (crash-stop and crash-recovery)
+# clean over the budget; every seeded mutant — the four Algorithm 5 bugs
+# and the skip-log-replay amnesia bug — found, shrunk and replayed from
+# its repro file.  Shrunk repro files land in _artifacts/smoke/.
 smoke:
-	dune exec bin/ecsim.exe -- explore --smoke --plans 500 -j 2
+	dune exec bin/ecsim.exe -- explore --smoke --plans 500 -j 2 --artifacts _artifacts/smoke
 
 # Requires ocamlformat (version pinned in .ocamlformat); a no-op check
 # elsewhere so environments without the formatter can still run `make check`.

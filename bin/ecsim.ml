@@ -359,64 +359,108 @@ let pp_explore_outcome (o : Explore.Explorer.outcome) =
     (if o.Explore.Explorer.digest = "" then "(run raised)"
      else o.Explore.Explorer.digest)
 
-(* The acceptance gate, CI-sized: the faithful Algorithm 5 survives the
-   whole budget clean, and the explorer finds every seeded mutant, shrinks
-   the finding to at most 3 adversities, and replays it deterministically
-   through a repro-file roundtrip. *)
-let explore_smoke ~domains ~budget ~seed =
+(* The acceptance gate, CI-sized: the faithful Algorithm 5 (crash-stop and
+   crash-recovery alike) survives the whole budget clean, and the explorer
+   finds every seeded mutant — protocol bugs and the recovery-path amnesia
+   bug — shrinks the finding to at most 3 adversities, and replays it
+   deterministically through a repro-file roundtrip.  When [artifacts] is
+   set, every shrunk finding (and any unexpected faithful flag) is written
+   there as a repro file, so CI can upload them on failure. *)
+let explore_smoke ~domains ~budget ~seed ~artifacts =
   let module E = Explore.Explorer in
   let module R = Explore.Repro in
-  let faithful = E.default_target in
-  Format.printf "smoke: faithful alg5 over %d plans...@." budget;
-  let r = E.explore ~domains faithful ~seed ~budget ~max_adversities:4 () in
-  match r.E.found with
-  | Some o ->
-    pp_explore_outcome o;
-    Error "faithful Algorithm 5 was flagged: explorer or protocol bug"
-  | None ->
-    Format.printf "  clean (%d plans)@." r.E.plans_run;
-    let check_mutant m =
-      let name = Etob_omega.mutation_name m in
-      let target = { faithful with E.mutation = Some m } in
-      let r = E.explore ~domains target ~seed ~budget ~max_adversities:4 () in
-      match r.E.found with
-      | None ->
-        Error
-          (Printf.sprintf "mutant %s: no violation within %d plans" name
-             budget)
-      | Some o ->
-        let s = E.shrink target o in
-        Format.printf
-          "smoke: mutant %-22s found at plan %d, shrunk %d -> %d adversities@."
-          name (r.E.plans_run - 1)
-          (Explore.Adversity.size o.E.plan)
-          (Explore.Adversity.size s.E.plan);
-        if Explore.Adversity.size s.E.plan > 3 then
-          Error
-            (Printf.sprintf "mutant %s: shrunk plan still has %d adversities"
-               name
-               (Explore.Adversity.size s.E.plan))
-        else begin
-          (* Repro determinism, through the text roundtrip. *)
-          let repro = R.of_outcome target s in
-          match R.of_string (R.to_string repro) with
-          | Error msg ->
-            Error (Printf.sprintf "mutant %s: repro roundtrip: %s" name msg)
-          | Ok repro ->
-            (match R.replay repro with
-             | Ok _ -> Ok ()
-             | Error msg ->
-               Error (Printf.sprintf "mutant %s: replay: %s" name msg))
+  let write_artifact name repro =
+    match artifacts with
+    | None -> ()
+    | Some dir ->
+      let rec mkdirs d =
+        if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+          mkdirs (Filename.dirname d);
+          Sys.mkdir d 0o755
         end
-    in
-    let rec all = function
-      | [] ->
-        print_endline "SMOKE PASSED";
-        Ok ()
-      | m :: rest ->
-        (match check_mutant m with Ok () -> all rest | Error _ as e -> e)
-    in
-    all Etob_omega.all_mutations
+      in
+      mkdirs dir;
+      let path = Filename.concat dir (name ^ ".repro") in
+      R.write path repro;
+      Format.printf "  repro artifact: %s@." path
+  in
+  let clean_gate label target =
+    Format.printf "smoke: faithful %s over %d plans...@." label budget;
+    let r = E.explore ~domains target ~seed ~budget ~max_adversities:4 () in
+    match r.E.found with
+    | Some o ->
+      pp_explore_outcome o;
+      write_artifact ("faithful-" ^ label) (R.of_outcome target o);
+      Error
+        (Printf.sprintf "faithful %s was flagged: explorer or protocol bug"
+           label)
+    | None ->
+      Format.printf "  clean (%d plans)@." r.E.plans_run;
+      Ok ()
+  in
+  let check_mutant name target =
+    let r = E.explore ~domains target ~seed ~budget ~max_adversities:4 () in
+    match r.E.found with
+    | None ->
+      Error
+        (Printf.sprintf "mutant %s: no violation within %d plans" name budget)
+    | Some o ->
+      let s = E.shrink target o in
+      Format.printf
+        "smoke: mutant %-22s found at plan %d, shrunk %d -> %d adversities@."
+        name (r.E.plans_run - 1)
+        (Explore.Adversity.size o.E.plan)
+        (Explore.Adversity.size s.E.plan);
+      write_artifact ("mutant-" ^ name) (R.of_outcome target s);
+      if Explore.Adversity.size s.E.plan > 3 then
+        Error
+          (Printf.sprintf "mutant %s: shrunk plan still has %d adversities"
+             name
+             (Explore.Adversity.size s.E.plan))
+      else begin
+        (* Repro determinism, through the text roundtrip. *)
+        let repro = R.of_outcome target s in
+        match R.of_string (R.to_string repro) with
+        | Error msg ->
+          Error (Printf.sprintf "mutant %s: repro roundtrip: %s" name msg)
+        | Ok repro ->
+          (match R.replay repro with
+           | Ok _ -> Ok ()
+           | Error msg ->
+             Error (Printf.sprintf "mutant %s: replay: %s" name msg))
+      end
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | (name, target) :: rest ->
+      (match check_mutant name target with
+       | Ok () -> all rest
+       | Error _ as e -> e)
+  in
+  let faithful = E.default_target in
+  let recovering = { faithful with E.recovery = true } in
+  let ( let* ) = Result.bind in
+  let* () = clean_gate "alg5" faithful in
+  let* () =
+    all
+      (List.map
+         (fun m ->
+            ( Etob_omega.mutation_name m,
+              { faithful with E.mutation = Some m } ))
+         Etob_omega.all_mutations)
+  in
+  (* Recovery gate: same story under crash-recovery adversities. *)
+  let* () = clean_gate "alg5+recovery" recovering in
+  let* () =
+    all
+      (List.map
+         (fun m ->
+            ( Recoverable.mutation_name m,
+              { recovering with E.rmutation = Some m } ))
+         Recoverable.all_mutations)
+  in
+  print_endline "SMOKE PASSED";
+  Ok ()
 
 let explore_cmd =
   let doc =
@@ -435,10 +479,26 @@ let explore_cmd =
   in
   let mutant_arg =
     let doc =
-      "Seed a known bug into Algorithm 5: skip-dependency-wait, \
-       forget-promote-prefix, drop-graph-union or disable-stale-guard."
+      "Seed a known bug: skip-dependency-wait, forget-promote-prefix, \
+       drop-graph-union or disable-stale-guard (Algorithm 5), or \
+       skip-log-replay (the crash-recovery path; implies $(b,--recovery))."
     in
     Arg.(value & opt (some string) None & info [ "mutant" ] ~docv:"NAME" ~doc)
+  in
+  let recovery_arg =
+    let doc =
+      "Explore the crash-recovery stack: Algorithm 5 under the durable \
+       write-ahead log and retransmission links, with downtime windows \
+       and disk faults among the generated adversities."
+    in
+    Arg.(value & flag & info [ "recovery" ] ~doc)
+  in
+  let artifacts_arg =
+    let doc =
+      "In smoke mode, write every shrunk finding as a repro file into this \
+       directory (created if needed) so CI can upload them on failure."
+    in
+    Arg.(value & opt (some string) None & info [ "artifacts" ] ~docv:"DIR" ~doc)
   in
   let domains_arg =
     let doc =
@@ -463,8 +523,8 @@ let explore_cmd =
     in
     Arg.(value & flag & info [ "smoke" ] ~doc)
   in
-  let run impl_name n seed deadline posts plans max_adv mutant domains out
-      replay smoke =
+  let run impl_name n seed deadline posts plans max_adv mutant recovery
+      domains out replay smoke artifacts =
     let module E = Explore.Explorer in
     match replay with
     | Some path ->
@@ -479,7 +539,7 @@ let explore_cmd =
           | Error msg -> `Error (false, "replay: " ^ msg)))
     | None ->
       if smoke then
-        match explore_smoke ~domains ~budget:plans ~seed with
+        match explore_smoke ~domains ~budget:plans ~seed ~artifacts with
         | Ok () -> `Ok ()
         | Error msg -> `Error (false, msg)
       else begin
@@ -487,12 +547,17 @@ let explore_cmd =
         | None ->
           `Error (false, "unknown implementation for explore: " ^ impl_name)
         | Some impl ->
+          (* A mutant name resolves in the Algorithm-5 namespace first,
+             then in the recovery-path namespace. *)
           (match
              Option.map
                (fun name ->
                   match Etob_omega.mutation_of_string name with
-                  | Some m -> m
-                  | None -> invalid_arg ("unknown mutant " ^ name))
+                  | Some m -> `Etob m
+                  | None ->
+                    (match Ec_core.Recoverable.mutation_of_string name with
+                     | Some m -> `Recovery m
+                     | None -> invalid_arg ("unknown mutant " ^ name)))
                mutant
            with
            | exception Invalid_argument msg ->
@@ -501,24 +566,35 @@ let explore_cmd =
                  Printf.sprintf "%s (known: %s)" msg
                    (String.concat ", "
                       (List.map Etob_omega.mutation_name
-                         Etob_omega.all_mutations)) )
-           | mutation ->
+                         Etob_omega.all_mutations
+                       @ List.map Ec_core.Recoverable.mutation_name
+                           Ec_core.Recoverable.all_mutations)) )
+           | parsed ->
+             let mutation =
+               match parsed with Some (`Etob m) -> Some m | _ -> None
+             in
+             let rmutation =
+               match parsed with Some (`Recovery m) -> Some m | _ -> None
+             in
              let target =
                { E.default_target with
                  E.impl;
                  mutation;
+                 rmutation;
+                 recovery = recovery || rmutation <> None;
                  n = (if n = 0 then E.default_target.E.n else n);
                  deadline;
                  posts = (if posts = 0 then E.default_target.E.posts else posts) }
              in
              Format.printf
-               "explore: impl=%s mutant=%s n=%d plans=%d max-adversities=%d \
-                domains=%d@."
+               "explore: impl=%s mutant=%s recovery=%b n=%d plans=%d \
+                max-adversities=%d domains=%d@."
                (E.impl_name target.E.impl)
-               (match target.E.mutation with
-                | None -> "none"
-                | Some m -> Etob_omega.mutation_name m)
-               target.E.n plans max_adv domains;
+               (match target.E.mutation, target.E.rmutation with
+                | Some m, _ -> Etob_omega.mutation_name m
+                | None, Some m -> Ec_core.Recoverable.mutation_name m
+                | None, None -> "none")
+               target.E.recovery target.E.n plans max_adv domains;
              let r =
                E.explore ~domains target ~seed ~budget:plans
                  ~max_adversities:max_adv ()
@@ -544,7 +620,8 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(ret (const run $ impl_arg $ n_arg $ seed_arg $ deadline_arg
                $ posts_arg $ plans_arg $ max_adv_arg $ mutant_arg
-               $ domains_arg $ out_arg $ replay_arg $ smoke_arg))
+               $ recovery_arg $ domains_arg $ out_arg $ replay_arg
+               $ smoke_arg $ artifacts_arg))
 
 (* --- cht --- *)
 

@@ -56,3 +56,72 @@ let rec is_prefix a b =
   | [], _ -> true
   | _, [] -> false
   | x :: a', y :: b' -> equal x y && is_prefix a' b'
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Single-line, space-free-tag encoding for write-ahead-log records (see
+   lib/persist and Recoverable): "origin sn hex(tag) deps" where deps is
+   "-" or comma-separated "origin.sn" pairs.  The tag is hex-encoded so a
+   record is always one line of space-separated fields regardless of
+   application content. *)
+
+let hex_of_string s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex h =
+  if String.length h mod 2 <> 0 then None
+  else
+    try
+      Some
+        (String.init (String.length h / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2))))
+    with Failure _ -> None
+
+let to_wire m =
+  let deps =
+    match m.deps with
+    | [] -> "-"
+    | deps ->
+      String.concat ","
+        (List.map (fun (p, sn) -> Printf.sprintf "%d.%d" p sn) deps)
+  in
+  Printf.sprintf "%d %d %s %s" m.origin m.sn (hex_of_string m.tag) deps
+
+let dep_of_string s =
+  match String.split_on_char '.' s with
+  | [ p; sn ] ->
+    (match int_of_string_opt p, int_of_string_opt sn with
+     | Some p, Some sn when p >= 0 && sn >= 0 -> Some (p, sn)
+     | _ -> None)
+  | _ -> None
+
+let of_wire line =
+  match String.split_on_char ' ' line with
+  | [ origin; sn; tag; deps ] ->
+    let deps =
+      if deps = "-" then Some []
+      else
+        let parts = String.split_on_char ',' deps in
+        let parsed = List.filter_map dep_of_string parts in
+        if List.length parsed = List.length parts then Some parsed else None
+    in
+    (match int_of_string_opt origin, int_of_string_opt sn,
+           string_of_hex tag, deps with
+     | Some origin, Some sn, Some tag, Some deps
+       when origin >= 0 && sn >= 0 ->
+       Some (make ~origin ~sn ~tag ~deps ())
+     | _ -> None)
+  | _ -> None
+
+let seq_to_wire ms = String.concat "|" (List.map to_wire ms)
+
+let seq_of_wire line =
+  if line = "" then Some []
+  else
+    let parts = String.split_on_char '|' line in
+    let parsed = List.filter_map of_wire parts in
+    if List.length parsed = List.length parts then Some parsed else None

@@ -34,3 +34,18 @@ val ids_of_seq : t list -> Id_set.t
 
 val is_prefix : t list -> t list -> bool
 (** [is_prefix a b]: sequence [a] is a prefix of sequence [b]. *)
+
+(** {2 Wire codec}
+
+    Single-line encoding used by the crash-recovery write-ahead log (see
+    lib/persist and {!Recoverable}); the tag is hex-encoded, so a message
+    is one line of space-separated fields and a sequence joins messages
+    with ['|']. *)
+
+val to_wire : t -> string
+val of_wire : string -> t option
+(** [None] on any malformed field (decode never raises). *)
+
+val seq_to_wire : t list -> string
+val seq_of_wire : string -> t list option
+

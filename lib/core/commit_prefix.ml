@@ -104,6 +104,12 @@ let create (ctx : Engine.ctx) ~omega ~etob ~promotion =
   let on_timer () = if omega () = ctx.Engine.self then try_commit t in
   (t, { Engine.on_message; on_timer; on_input = (fun _ -> ()) })
 
+(* Crash-recovery: reinstate a durably logged commitment and re-announce
+   it.  Commitments are externally visible promises ("not subject to
+   further changes"), so the recoverable wrapper logs them with a sync
+   barrier and the restored announcement extends the pre-crash one. *)
+let restore t seq = if seq <> [] then record t seq
+
 let marks_sent t = t.marks_sent
 
 let () =

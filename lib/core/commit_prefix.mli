@@ -29,4 +29,8 @@ val create :
 val committed : t -> App_msg.t list
 (** The longest locally known committed prefix. *)
 
+val restore : t -> App_msg.t list -> unit
+(** Crash-recovery: reinstate a durably logged commitment and re-announce
+    it (no-op for the empty prefix).  Used by {!Recoverable}. *)
+
 val marks_sent : t -> int

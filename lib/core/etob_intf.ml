@@ -51,6 +51,16 @@ let record_broadcast backend m =
   backend.last_own <- Some (App_msg.id m);
   backend.ctx.Engine.output (Etob_broadcast m)
 
+(* Recovery path (see Recoverable): reinstate replayed state without
+   emitting outputs or firing listeners — the caller decides what single
+   revision to announce afterwards. *)
+let restore_backend backend ~current ~next_sn ~last_own =
+  backend.current <- current;
+  backend.next_sn <- next_sn;
+  backend.last_own <- last_own
+
+let next_sn_of backend = backend.next_sn
+
 let set_delivered backend seq =
   backend.current <- seq;
   backend.ctx.Engine.output (Etob_deliver seq);

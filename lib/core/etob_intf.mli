@@ -30,5 +30,14 @@ val ctx_of : backend -> Engine.ctx
 val current_of : backend -> App_msg.t list
 val record_broadcast : backend -> App_msg.t -> unit
 val set_delivered : backend -> App_msg.t list -> unit
+
+val restore_backend :
+  backend -> current:App_msg.t list -> next_sn:int ->
+  last_own:App_msg.id option -> unit
+(** Reinstate state replayed from stable storage, silently: no output is
+    recorded and no listener fires.  Used by the crash-recovery wrapper
+    ({!Recoverable}); the caller announces the restored [d_i] itself. *)
+
+val next_sn_of : backend -> int
 val alloc_msg : backend -> ?tag:string -> unit -> App_msg.t
 val service_of : backend -> broadcast:(App_msg.t -> unit) -> service

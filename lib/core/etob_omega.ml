@@ -148,6 +148,33 @@ let create ?(tie_break = Causal_graph.default_tie_break) ?(stale_guard = true)
   let node = { Engine.on_message; on_timer; on_input } in
   (t, node)
 
+(* Crash-recovery: reinstate the state replayed from a stable store (see
+   Recoverable).  [msgs] are the known messages (graph nodes), [delivered]
+   the last durable value of d_i.  Everything else is recomputed the same
+   way the live protocol would: promote_i re-linearizes the dependency-
+   closed graph over the delivered prefix, and the allocation state
+   (next_sn, last own broadcast) is derived from the own messages among
+   [msgs] — which the wrapper logs durably before sending, precisely so
+   sequence numbers never regress across a restart.  The restored d_i is
+   announced as one output revision, marking the recovery in the trace. *)
+let restore t ~msgs ~delivered =
+  t.cg <- List.fold_left Causal_graph.add Causal_graph.empty msgs;
+  t.promote <-
+    Causal_graph.linearize ~tie_break:t.tie_break (Causal_graph.ready t.cg)
+      ~prefix:delivered;
+  let self = (Etob_intf.ctx_of t.backend).Engine.self in
+  let own_sns =
+    List.filter_map
+      (fun m -> if m.App_msg.origin = self then Some m.App_msg.sn else None)
+      (msgs @ delivered)
+  in
+  let next_sn = List.fold_left (fun acc sn -> max acc (sn + 1)) 0 own_sns in
+  let last_own =
+    if next_sn = 0 then None else Some (self, next_sn - 1)
+  in
+  Etob_intf.restore_backend t.backend ~current:delivered ~next_sn ~last_own;
+  Etob_intf.set_delivered t.backend delivered
+
 let service t = Etob_intf.service_of t.backend ~broadcast:(fun m -> broadcast t m)
 
 let graph t = t.cg

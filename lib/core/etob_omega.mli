@@ -46,6 +46,13 @@ val create :
     only for the ablation that shows claim (P2) needs it.  [mutation]
     installs one seeded bug (see {!mutation}). *)
 
+val restore : t -> msgs:App_msg.t list -> delivered:App_msg.t list -> unit
+(** Crash-recovery entry point, called from the engine's restart hook by
+    {!Recoverable}: reinstate the replayed graph nodes [msgs] and the last
+    durable [d_i] value [delivered], recompute [promote_i] and the
+    allocation state from them, and announce the restored [d_i] as one
+    output revision. *)
+
 val service : t -> Etob_intf.service
 
 val graph : t -> Causal_graph.t

@@ -256,12 +256,36 @@ let check_deps_present run =
     run.e_snapshots;
   of_violations (List.rev !violations)
 
+(* The paper assumes broadcast messages are distinct; the (origin, sn)
+   identification realizes the assumption as long as no process ever
+   re-allocates a sequence number.  A crash-recovered process that lost
+   its allocation state (amnesia — e.g. the skip-log-replay mutant of the
+   recoverable wrapper) breaks exactly this: it broadcasts a second,
+   different message under an already-used id.  We check the assumption
+   rather than assume it. *)
+let check_distinct_broadcasts run =
+  let violations = ref [] in
+  let seen = ref App_msg.Id_map.empty in
+  List.iter
+    (fun (t, p, m) ->
+       let id = App_msg.id m in
+       match App_msg.Id_map.find_opt id !seen with
+       | None -> seen := App_msg.Id_map.add id (t, p) !seen
+       | Some (t0, p0) ->
+         violations :=
+           str "distinct-broadcasts: id %a broadcast by %a at %d and again \
+                by %a at %d (sequence number reused)"
+             App_msg.pp_id id pp_proc p0 t0 pp_proc p t :: !violations)
+    run.e_broadcasts;
+  of_violations (List.rev !violations)
+
 type etob_report = {
   validity : verdict;
   no_creation : verdict;
   no_duplication : verdict;
   agreement : verdict;
   causal_order : verdict;
+  distinct_broadcasts : verdict;
   tau_stability : time;
   tau_total_order : time;
 }
@@ -272,6 +296,7 @@ let etob_report run =
     no_duplication = check_no_duplication run;
     agreement = check_agreement run;
     causal_order = check_causal_order run;
+    distinct_broadcasts = check_distinct_broadcasts run;
     tau_stability = stability_time run;
     tau_total_order = total_order_time run }
 
@@ -295,7 +320,8 @@ let etob_violations ?tau_bound r =
       ("no-creation", r.no_creation);
       ("no-duplication", r.no_duplication);
       ("agreement", r.agreement);
-      ("causal-order", r.causal_order) ]
+      ("causal-order", r.causal_order);
+      ("distinct-broadcasts", r.distinct_broadcasts) ]
   in
   let base =
     (* Some checkers already lead their messages with their own name. *)
@@ -327,9 +353,11 @@ let etob_violations ?tau_bound r =
 let pp_etob_report ppf r =
   Fmt.pf ppf
     "@[<v>validity: %a@,no-creation: %a@,no-duplication: %a@,agreement: %a@,\
-     causal-order: %a@,tau(stability)=%d tau(total-order)=%d@]"
+     causal-order: %a@,distinct-broadcasts: %a@,\
+     tau(stability)=%d tau(total-order)=%d@]"
     pp_verdict r.validity pp_verdict r.no_creation pp_verdict r.no_duplication
-    pp_verdict r.agreement pp_verdict r.causal_order r.tau_stability r.tau_total_order
+    pp_verdict r.agreement pp_verdict r.causal_order
+    pp_verdict r.distinct_broadcasts r.tau_stability r.tau_total_order
 
 (* The time by which every correct process has stably delivered m: the
    earliest t such that m is in d_p(t') for every correct p and t' >= t.

@@ -48,6 +48,12 @@ val check_deps_present : etob_run -> verdict
 (** Stronger, Algorithm-5-specific property: a delivered message's causal
     dependencies are themselves delivered. *)
 
+val check_distinct_broadcasts : etob_run -> verdict
+(** The paper's standing assumption that broadcast messages are distinct,
+    made checkable: no (origin, sn) id is broadcast twice.  A process that
+    recovers from a crash with amnesia (lost allocation state) is exactly
+    what breaks it. *)
+
 val orders_agree : App_msg.t list -> App_msg.t list -> bool
 (** Common messages of the two sequences appear in the same relative order. *)
 
@@ -57,12 +63,19 @@ type etob_report = {
   no_duplication : verdict;
   agreement : verdict;
   causal_order : verdict;
+  distinct_broadcasts : verdict;
   tau_stability : time;
   tau_total_order : time;
 }
 
 val etob_report : etob_run -> etob_report
+
 val etob_base_ok : etob_report -> bool
+(** The paper's four base TOB properties (validity, no-creation,
+    no-duplication, agreement) hold.  [distinct_broadcasts] is a check on
+    the model's {e assumption} rather than on the protocol, so it is
+    reported separately (and folded into {!etob_violations}). *)
+
 val is_strong_tob : etob_report -> bool
 (** All six strong TOB properties hold (tau = 0). *)
 

@@ -1,0 +1,414 @@
+(* Crash-recovery wrapper for Algorithm 5 (and its committed-prefix
+   replica): durable logs, checkpoint/restore, and re-established reliable
+   links for restarted processes.
+
+   The paper's model is crash-stop, so Algorithm 5 keeps everything in
+   volatile memory and relies on reliable links.  Under the engine's
+   crash-recovery extension both assumptions break: a restarting process
+   loses its state, and every message addressed to it during a downtime
+   window is gone.  This wrapper restores both invariants:
+
+   Durability.  The wrapper owns a [Persist.Store] write-ahead log:
+
+   - "m <msg>"  — a message known to the process (graph node).  Own
+     broadcasts are logged and synced *before* the send, so the allocation
+     state (next_sn) derived from them on replay can never regress — a
+     regressed sn would re-issue an already-used message id and violate
+     the paper's distinct-messages assumption (that is exactly the
+     [Skip_log_replay] mutant, which the explorer must catch).  Messages
+     learnt from update(CG_j) are logged and synced before the link-layer
+     acknowledgment, the classic log-before-ack rule: once a peer stops
+     retransmitting, the message must be recoverable locally.
+   - "d <seq>"  — a revision of the output d_i.  Logged without a sync
+     barrier: a lost suffix of d-revisions only sets the process back to
+     an older adopted promotion, which the leader's periodic promote
+     broadcast re-teaches — so this is where injected disk faults get to
+     bite without breaking any guarantee.
+   - "c <seq>"  — a committed-prefix announcement (when [commits] is on).
+     Synced: a commitment is an externally visible promise that must not
+     roll back across a restart.
+
+   Every [snapshot_every] appends the whole state is checkpointed with
+   [install_snapshot] (atomic, truncates the log) so replay stays short.
+
+   Restore.  On a post-crash open, the wrapper parses snapshot-then-log,
+   hands the surviving state to [Etob_omega.restore] (which recomputes
+   promote_i and the allocation state, and announces the restored d_i),
+   re-announces the committed prefix, and rebroadcasts update(CG_i) so
+   peers that progressed while this process was down resynchronize it —
+   and it them.
+
+   Reliable links.  Sender-side retransmission with per-destination
+   sequence numbers, receiver-side dedup, and bounded exponential backoff
+   ([ack_timeout] doubling up to [max_backoff]): every payload is framed,
+   retransmitted until acknowledged, and delivered to the protocol at
+   most once.  A message sent into a downtime window is therefore
+   re-delivered after the restart, which re-establishes the reliable-link
+   guarantee the protocol's liveness arguments need. *)
+
+open Simulator
+open Simulator.Types
+
+(* Frames carry the sender's incarnation epoch (its number of restarts,
+   read off the stable store): a restarted sender's sequence numbers start
+   over from 0, so without the epoch its peers' dedup sets would swallow
+   every post-restart frame as a duplicate of the old incarnation's. *)
+type Msg.payload +=
+  | Rlink of { epoch : int; seq : int; inner : Msg.payload }
+  | Rlink_ack of { epoch : int; seq : int }
+
+type config = {
+  snapshot_every : int;  (** checkpoint after this many log appends *)
+  ack_timeout : int;  (** initial retransmission timeout, in ticks *)
+  max_backoff : int;  (** retransmission backoff cap, in ticks *)
+}
+
+let default_config = { snapshot_every = 8; ack_timeout = 4; max_backoff = 32 }
+
+type mutation = Skip_log_replay
+
+let all_mutations = [ Skip_log_replay ]
+
+let mutation_name = function Skip_log_replay -> "skip-log-replay"
+
+let mutation_of_string s =
+  List.find_opt (fun m -> mutation_name m = s) all_mutations
+
+(* ------------------------------------------------------------------ *)
+(* Reliable-link layer                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Int_map = Map.Make (Int)
+module Int_set = Set.Make (Int)
+
+type pending = {
+  payload : Msg.payload;
+  mutable next_retry : time;
+  mutable backoff : int;
+}
+
+type link = {
+  lctx : Engine.ctx;  (* the raw engine ctx *)
+  lcfg : config;
+  epoch : int;  (* this incarnation's number (restarts so far) *)
+  next_seq : int array;  (* per destination *)
+  mutable unacked : pending Int_map.t array;  (* per destination *)
+  src_epoch : int array;  (* per source: highest incarnation seen *)
+  mutable seen : Int_set.t array;  (* per source: delivered frame seqs *)
+  mutable retransmitted : int;
+}
+
+let make_link lcfg ~epoch (ctx : Engine.ctx) =
+  { lctx = ctx;
+    lcfg;
+    epoch;
+    next_seq = Array.make ctx.Engine.n 0;
+    unacked = Array.make ctx.Engine.n Int_map.empty;
+    src_epoch = Array.make ctx.Engine.n (-1);
+    seen = Array.make ctx.Engine.n Int_set.empty;
+    retransmitted = 0 }
+
+let link_send link dst payload =
+  let seq = link.next_seq.(dst) in
+  link.next_seq.(dst) <- seq + 1;
+  let now = link.lctx.Engine.now () in
+  link.unacked.(dst) <-
+    Int_map.add seq
+      { payload; next_retry = now + link.lcfg.ack_timeout;
+        backoff = link.lcfg.ack_timeout }
+      link.unacked.(dst);
+  link.lctx.Engine.send dst (Rlink { epoch = link.epoch; seq; inner = payload })
+
+(* Retransmit every overdue unacknowledged frame, doubling its backoff up
+   to the cap.  Driven from the process's local timer. *)
+let link_retry link =
+  let now = link.lctx.Engine.now () in
+  Array.iteri
+    (fun dst pendings ->
+       Int_map.iter
+         (fun seq p ->
+            if now >= p.next_retry then begin
+              p.backoff <- min (2 * p.backoff) link.lcfg.max_backoff;
+              p.next_retry <- now + p.backoff;
+              link.retransmitted <- link.retransmitted + 1;
+              link.lctx.Engine.send dst
+                (Rlink { epoch = link.epoch; seq; inner = p.payload })
+            end)
+         pendings)
+    link.unacked
+
+(* A frame from a newer incarnation of [src] supersedes the old one's
+   dedup state; a frame from an older (dead) incarnation is dropped —
+   nobody retransmits it, and its content is covered by the restarted
+   sender's replay-and-rebroadcast.  Returns whether to deliver. *)
+let link_admit link ~src ~epoch ~seq =
+  if epoch < link.src_epoch.(src) then `Stale
+  else begin
+    if epoch > link.src_epoch.(src) then begin
+      link.src_epoch.(src) <- epoch;
+      link.seen.(src) <- Int_set.empty
+    end;
+    if Int_set.mem seq link.seen.(src) then `Duplicate
+    else begin
+      link.seen.(src) <- Int_set.add seq link.seen.(src);
+      `Deliver
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Write-ahead-log records                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One record per line: "m <msg>", "d <seq>", "c <seq>" (App_msg wire
+   forms).  A snapshot is the same records joined with newlines, replayed
+   before the log. *)
+
+type replayed = {
+  mutable r_msgs : App_msg.t list;  (* reversed arrival order *)
+  mutable r_ids : App_msg.Id_set.t;
+  mutable r_delivered : App_msg.t list;
+  mutable r_committed : App_msg.t list;
+}
+
+let replay_record acc line =
+  let payload tag =
+    let k = String.length tag in
+    if String.length line > k && String.sub line 0 k = tag
+    then Some (String.sub line k (String.length line - k))
+    else None
+  in
+  match payload "m " with
+  | Some wire ->
+    (match App_msg.of_wire wire with
+     | Some m when not (App_msg.Id_set.mem (App_msg.id m) acc.r_ids) ->
+       acc.r_msgs <- m :: acc.r_msgs;
+       acc.r_ids <- App_msg.Id_set.add (App_msg.id m) acc.r_ids
+     | _ -> ())
+  | None ->
+    (match payload "d " with
+     | Some wire ->
+       (match App_msg.seq_of_wire wire with
+        | Some seq -> acc.r_delivered <- seq
+        | None -> ())
+     | None ->
+       (match payload "c " with
+        | Some wire ->
+          (match App_msg.seq_of_wire wire with
+           | Some seq -> acc.r_committed <- seq
+           | None -> ())
+        | None -> ()))
+
+let replay (opening : Persist.Store.opening) =
+  let acc =
+    { r_msgs = []; r_ids = App_msg.Id_set.empty; r_delivered = [];
+      r_committed = [] }
+  in
+  (match opening.Persist.Store.snapshot with
+   | None -> ()
+   | Some snap ->
+     List.iter (replay_record acc) (String.split_on_char '\n' snap));
+  List.iter (replay_record acc) opening.Persist.Store.records;
+  acc
+
+(* ------------------------------------------------------------------ *)
+(* The wrapper                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  etob : Etob_omega.t;
+  link : link;
+  store : Persist.Store.t;
+  commit : Commit_prefix.t option;
+  restarted : bool;  (* this incarnation came from a post-crash open *)
+  mutable replayed_msgs : int;
+}
+
+let etob t = t.etob
+let commit_state t = t.commit
+let retransmitted t = t.link.retransmitted
+let was_restarted t = t.restarted
+let replayed_msgs t = t.replayed_msgs
+
+let create ?(config = default_config) ?mutation ?etob_mutation
+    ?(commits = false) ~store ~omega (ctx : Engine.ctx) =
+  let opening = Persist.Store.open_ store in
+  let amnesia = mutation = Some Skip_log_replay in
+  let epoch = (Persist.Store.stats store).Persist.Store.restarts in
+  let link = make_link config ~epoch ctx in
+  let lctx =
+    { ctx with
+      Engine.send = link_send link;
+      broadcast =
+        (fun payload ->
+           List.iter (fun q -> link_send link q payload)
+             (all_procs ctx.Engine.n)) }
+  in
+  let etob_t, etob_node = Etob_omega.create ?mutation:etob_mutation lctx ~omega in
+  let inner_service = Etob_omega.service etob_t in
+  let logged = ref App_msg.Id_set.empty in
+  let appends = ref 0 in
+  (* Replay snapshot-then-log into the protocol; the amnesia mutant skips
+     exactly this step and restarts from scratch. *)
+  let restored =
+    if opening.Persist.Store.restarted && not amnesia then begin
+      let acc = replay opening in
+      let msgs = List.rev acc.r_msgs in
+      Etob_omega.restore etob_t ~msgs ~delivered:acc.r_delivered;
+      logged := acc.r_ids;
+      Some acc
+    end
+    else None
+  in
+  let t =
+    { etob = etob_t;
+      link;
+      store;
+      commit = None;  (* patched below *)
+      restarted = opening.Persist.Store.restarted;
+      replayed_msgs =
+        (match restored with
+         | None -> 0
+         | Some acc -> App_msg.Id_set.cardinal acc.r_ids) }
+  in
+  let commit_parts =
+    if not commits then None
+    else begin
+      let ct, cnode =
+        Commit_prefix.create lctx ~omega ~etob:inner_service
+          ~promotion:(fun () -> Etob_omega.promotion etob_t)
+      in
+      (match restored with
+       | Some acc -> Commit_prefix.restore ct acc.r_committed
+       | None -> ());
+      Some (ct, cnode)
+    end
+  in
+  let t =
+    match commit_parts with
+    | Some (ct, _) -> { t with commit = Some ct }
+    | None -> t
+  in
+  let log_append line =
+    Persist.Store.append store line;
+    incr appends
+  in
+  (* d-revisions: logged on every delivery, deliberately without a sync
+     barrier (see the header comment).  Registered after the restore so
+     the replayed revision is not immediately re-appended. *)
+  inner_service.Etob_intf.on_deliver
+    (fun seq -> log_append ("d " ^ App_msg.seq_to_wire seq));
+  let log_msg m =
+    if not (App_msg.Id_set.mem (App_msg.id m) !logged) then begin
+      logged := App_msg.Id_set.add (App_msg.id m) !logged;
+      log_append ("m " ^ App_msg.to_wire m)
+    end
+  in
+  (* Log (and sync) every graph node not yet on disk; returns whether any
+     record was written, i.e. whether a barrier was taken. *)
+  let log_new_msgs () =
+    let before = !appends in
+    List.iter log_msg (Causal_graph.messages (Etob_omega.graph etob_t));
+    if !appends > before then Persist.Store.sync store
+  in
+  let last_committed_len =
+    ref (match restored with None -> 0 | Some acc -> List.length acc.r_committed)
+  in
+  let log_commit_growth () =
+    match t.commit with
+    | None -> ()
+    | Some ct ->
+      let c = Commit_prefix.committed ct in
+      if List.length c > !last_committed_len then begin
+        last_committed_len := List.length c;
+        log_append ("c " ^ App_msg.seq_to_wire c);
+        Persist.Store.sync store
+      end
+  in
+  let maybe_snapshot () =
+    if !appends >= config.snapshot_every then begin
+      appends := 0;
+      let lines =
+        List.map (fun m -> "m " ^ App_msg.to_wire m)
+          (Causal_graph.messages (Etob_omega.graph etob_t))
+        @ [ "d " ^ App_msg.seq_to_wire (inner_service.Etob_intf.current ()) ]
+        @ (match t.commit with
+           | Some ct -> [ "c " ^ App_msg.seq_to_wire (Commit_prefix.committed ct) ]
+           | None -> [])
+      in
+      Persist.Store.install_snapshot store (String.concat "\n" lines)
+    end
+  in
+  let after_event () =
+    log_new_msgs ();
+    log_commit_growth ();
+    maybe_snapshot ()
+  in
+  (* Peers may have progressed while this process was down (and its own
+     unacknowledged sends died with the old incarnation): rebroadcast the
+     restored graph once, through the retransmitting link. *)
+  (match restored with
+   | Some _ when Causal_graph.size (Etob_omega.graph etob_t) > 0 ->
+     lctx.Engine.broadcast (Etob_omega.Update (Etob_omega.graph etob_t))
+   | _ -> ());
+  let broadcast m =
+    (* Log-and-sync before the send: next_sn must survive any crash. *)
+    log_msg m;
+    Persist.Store.sync store;
+    inner_service.Etob_intf.broadcast m;
+    after_event ()
+  in
+  let dispatch_message ~src payload =
+    etob_node.Engine.on_message ~src payload;
+    (match commit_parts with
+     | Some (_, cnode) -> cnode.Engine.on_message ~src payload
+     | None -> ())
+  in
+  let on_message ~src payload =
+    match payload with
+    | Rlink { epoch; seq; inner } ->
+      (match link_admit link ~src ~epoch ~seq with
+       | `Stale -> ()  (* a dead incarnation's in-flight frame *)
+       | `Duplicate ->
+         (* Retransmission after a lost ack: re-acknowledge without
+            re-delivering. *)
+         ctx.Engine.send src (Rlink_ack { epoch; seq })
+       | `Deliver ->
+         dispatch_message ~src inner;
+         after_event ();
+         (* Acknowledge only once the new state is durable
+            (log-before-ack): the sender may now stop retransmitting. *)
+         ctx.Engine.send src (Rlink_ack { epoch; seq }))
+    | Rlink_ack { epoch; seq } ->
+      if epoch = link.epoch then
+        link.unacked.(src) <- Int_map.remove seq link.unacked.(src)
+    | other ->
+      (* Unframed payloads from non-recoverable peers: deliver directly. *)
+      dispatch_message ~src other;
+      after_event ()
+  in
+  let on_timer () =
+    link_retry link;
+    etob_node.Engine.on_timer ();
+    (match commit_parts with
+     | Some (_, cnode) -> cnode.Engine.on_timer ()
+     | None -> ());
+    after_event ()
+  in
+  let on_input = function
+    | Etob_intf.Broadcast_etob m ->
+      (* Handled here (not forwarded to the inner node) so the broadcast
+         goes through the durable path exactly once. *)
+      broadcast m
+    | input -> etob_node.Engine.on_input input
+  in
+  let service =
+    { inner_service with Etob_intf.broadcast }
+  in
+  (t, { Engine.on_message; on_timer; on_input }, service)
+
+let () =
+  Msg.register_payload_pp (fun ppf -> function
+    | Rlink { epoch; seq; inner } ->
+      Fmt.pf ppf "rlink[%d.%d](%a)" epoch seq Msg.pp_payload inner; true
+    | Rlink_ack { epoch; seq } -> Fmt.pf ppf "rlink-ack[%d.%d]" epoch seq; true
+    | _ -> false)

@@ -3,7 +3,14 @@
     At each process, Omega outputs a process id; if a correct process exists,
     there is a time after which it outputs the id of the same correct process
     at every correct process.  The prefix before that time is unconstrained,
-    so the oracle takes an explicit adversarial pre-behaviour. *)
+    so the oracle takes an explicit adversarial pre-behaviour.
+
+    Under crash-recovery patterns ({!Failures.crash_recover_at}), correct
+    means {e eventually up forever}: downtime windows do not disqualify a
+    process from leadership, so the stabilized output may name a process
+    that is currently down — legitimate, since Omega's specification only
+    constrains the eventual output, and the protocols above it must ride
+    out a down leader the same way they ride out the unstable prefix. *)
 
 open Simulator
 open Simulator.Types

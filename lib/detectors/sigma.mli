@@ -4,7 +4,12 @@
     output at any times intersect, and eventually every set output at a
     correct process contains only correct processes.  Per the paper, Sigma
     is exactly the computational gap between strong and eventual
-    consistency. *)
+    consistency.
+
+    Under crash-recovery patterns, correct means eventually up forever
+    (see {!Failures}): a process inside a downtime window may legally
+    appear in output quorums — quorum members need not be up, only
+    eventually-correct. *)
 
 open Simulator
 open Simulator.Types

@@ -25,6 +25,12 @@ type spec =
   | Duplicate of { from_time : time; until_time : time; copies : int }
   | Omega_flap of { until_time : time; period : int }
       (* Oracle rotates with [period] until [until_time], stable after *)
+  | Crash_recover of { proc : proc_id; at : time; recover_at : time }
+      (* a downtime window: volatile state lost at [at], process restarted
+         at [recover_at] — only meaningful for recoverable stacks *)
+  | Disk_fault of { proc : proc_id; kind : Persist.Store.fault }
+      (* damage [proc]'s dirty log tail at its next crash; armed on the
+         store pool by the runner ([apply] cannot see the stores) *)
 
 type t = spec list
 
@@ -32,8 +38,21 @@ let size = List.length
 
 let has_flap = List.exists (function Omega_flap _ -> true | _ -> false)
 
+let has_recovery =
+  List.exists (function Crash_recover _ | Disk_fault _ -> true | _ -> false)
+
 let crash_procs plan =
   List.filter_map (function Crash { proc; _ } -> Some proc | _ -> None) plan
+
+let recover_procs plan =
+  List.filter_map
+    (function Crash_recover { proc; _ } -> Some proc | _ -> None)
+    plan
+
+let disk_faults plan =
+  List.filter_map
+    (function Disk_fault { proc; kind } -> Some (proc, kind) | _ -> None)
+    plan
 
 (* The time from which the network and the detector behave nominally again
    — every window closed, every delayed message flushed.  Tau bounds are
@@ -49,7 +68,9 @@ let settle_time ~base_max plan =
             until_time + (base_max * factor)
           | Drop { until_time; _ } -> until_time
           | Duplicate { until_time; _ } -> until_time + base_max
-          | Omega_flap { until_time; _ } -> until_time))
+          | Omega_flap { until_time; _ } -> until_time
+          | Crash_recover { recover_at; _ } -> recover_at + base_max
+          | Disk_fault _ -> 0 (* bites at a crash; settles with its window *)))
     0 plan
 
 let complement ~n left =
@@ -91,8 +112,21 @@ let apply_spec (s : Scenario.setup) spec : Scenario.setup =
              { stabilize_at = until_time;
                pre = Detectors.Omega.Rotating period } }
      | Scenario.Elected _ -> s)
+  | Crash_recover { proc; at; recover_at } ->
+    { s with pattern = Failures.crash_recover_at s.pattern proc ~at ~recover_at }
+  | Disk_fault _ -> s
+    (* acts on the store pool, not the setup; see [disk_faults] *)
 
 let apply plan setup = List.fold_left apply_spec setup plan
+
+(* Arm the plan's disk faults on a store pool (in plan order, so several
+   faults against one process queue up FIFO, one per crash). *)
+let arm_disk_faults plan stores =
+  List.iter
+    (fun (proc, kind) ->
+       if proc >= 0 && proc < Array.length stores then
+         Persist.Store.arm_fault stores.(proc) kind)
+    (disk_faults plan)
 
 (* Strictly weaker variants of one adversity, strongest reduction first;
    the shrinker tries them in order.  Window halvings keep [from_time], so
@@ -128,6 +162,15 @@ let weaken spec =
     if until_time / 2 >= period then
       [ Omega_flap { until_time = until_time / 2; period } ]
     else []
+  | Crash_recover { proc; at; recover_at } ->
+    let len = recover_at - at in
+    if len <= 1 then []
+    else [ Crash_recover { proc; at; recover_at = at + (len / 2) } ]
+  | Disk_fault { proc; kind } ->
+    (match kind with
+     | Persist.Store.Lost_suffix k when k > 1 ->
+       [ Disk_fault { proc; kind = Persist.Store.Lost_suffix (k / 2) } ]
+     | _ -> [])
 
 (* ------------------------------------------------------------------ *)
 (* Stable text form (embedded in repro files)                          *)
@@ -154,6 +197,10 @@ let pp_spec ppf = function
     Fmt.pf ppf "dup from=%d until=%d copies=%d" from_time until_time copies
   | Omega_flap { until_time; period } ->
     Fmt.pf ppf "flap until=%d period=%d" until_time period
+  | Crash_recover { proc; at; recover_at } ->
+    Fmt.pf ppf "crashrec p=%d at=%d until=%d" proc at recover_at
+  | Disk_fault { proc; kind } ->
+    Fmt.pf ppf "disk p=%d kind=%s" proc (Persist.Store.fault_to_string kind)
 
 let pp ppf plan =
   if plan = [] then Fmt.pf ppf "(no adversities)"
@@ -227,6 +274,15 @@ let spec_of_line_exn line =
            until_time = int "until";
            copies = int "copies" }
      | "flap" -> Omega_flap { until_time = int "until"; period = int "period" }
+     | "crashrec" ->
+       let at = int "at" and recover_at = int "until" in
+       if recover_at <= at then
+         parse_fail "crashrec window is empty or inverted in %S" line;
+       Crash_recover { proc = int "p"; at; recover_at }
+     | "disk" ->
+       (match Persist.Store.fault_of_string (str "kind") with
+        | Some kind -> Disk_fault { proc = int "p"; kind }
+        | None -> parse_fail "unknown disk fault kind %S in %S" (str "kind") line)
      | k -> parse_fail "unknown adversity kind %S" k)
 
 let of_line line =

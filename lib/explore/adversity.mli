@@ -24,12 +24,32 @@ type spec =
   | Omega_flap of { until_time : time; period : int }
       (** The oracle rotates its leader with [period] until [until_time],
           then stabilizes (only meaningful for oracle setups). *)
+  | Crash_recover of { proc : proc_id; at : time; recover_at : time }
+      (** A downtime window: [proc] loses its volatile state at [at] and is
+          restarted at [recover_at] (see {!Simulator.Failures.crash_recover_at}
+          and the engine's restart hook).  Only meaningful for recoverable
+          stacks; a non-recoverable process simply restarts empty. *)
+  | Disk_fault of { proc : proc_id; kind : Persist.Store.fault }
+      (** Damage the dirty tail of [proc]'s stable store at its next crash.
+          [apply] ignores it (the setup carries no stores); runners arm it
+          on their pool via {!arm_disk_faults}. *)
 
 type t = spec list
 
 val size : t -> int
 val has_flap : t -> bool
+
+val has_recovery : t -> bool
+(** The plan contains a downtime window or a disk fault, i.e. it needs the
+    recoverable stack to be meaningful. *)
+
 val crash_procs : t -> proc_id list
+val recover_procs : t -> proc_id list
+val disk_faults : t -> (proc_id * Persist.Store.fault) list
+
+val arm_disk_faults : t -> Persist.Store.t array -> unit
+(** Arm the plan's disk faults on a store pool, in plan order (several
+    faults against one process queue FIFO, one per crash). *)
 
 val settle_time : base_max:int -> t -> time
 (** The time from which the network and detector behave nominally again:

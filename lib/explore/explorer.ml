@@ -35,6 +35,8 @@ type target = {
   timer_period : int;
   base_min : int;
   base_max : int;
+  recovery : bool;
+  rmutation : Recoverable.mutation option;
 }
 
 let default_target =
@@ -45,7 +47,9 @@ let default_target =
     posts = 12;
     timer_period = 2;
     base_min = 1;
-    base_max = 3 }
+    base_max = 3;
+    recovery = false;
+    rmutation = None }
 
 (* Names match the ecsim --impl catalogue. *)
 let impl_name = function
@@ -66,26 +70,44 @@ let impl_of_string = function
 let post_from = 8
 let post_every = 3
 
+(* Recovery headroom granted on top of a plan's settle time: a few promote
+   rounds plus message flushes.  Deliberately generous — the bound only
+   needs to separate "converged late" from "never converged". *)
+let slack target = (8 * target.timer_period) + (6 * target.base_max) + 10
+
+(* Recovery targets stretch the posting cadence across the horizon, so a
+   process restarted by a mid-run downtime window still posts afterwards —
+   the amnesia mutant only reuses a sequence number if its victim
+   broadcasts again after the restart. *)
+let post_every_of target =
+  if target.recovery then
+    max post_every
+      ((target.deadline - post_from - slack target) / max 1 target.posts)
+  else post_every
+
 let inputs target =
   Scenario.spread_posts ~n:target.n ~count:target.posts ~from_time:post_from
-    ~every:post_every
+    ~every:(post_every_of target)
 
 (* Start of the final full posting round: from here on every correct
    process posts (and therefore re-gossips its whole causality graph) at
    least once.  Drop windows must close before it, or a faithful run could
    lose messages for good and show a spurious validity violation. *)
 let drop_safe_until target =
-  post_from + (max 0 (target.posts - target.n) * post_every)
-
-(* Recovery headroom granted on top of a plan's settle time: a few promote
-   rounds plus message flushes.  Deliberately generous — the bound only
-   needs to separate "converged late" from "never converged". *)
-let slack target = (8 * target.timer_period) + (6 * target.base_max) + 10
+  post_from + (max 0 (target.posts - target.n) * post_every_of target)
 
 let tau_bound target plan =
+  let recovery = Adversity.has_recovery plan in
   match target.impl with
-  | Scenario.Algorithm_5 when not (Adversity.has_flap plan) -> 0
-  | _ -> Adversity.settle_time ~base_max:target.base_max plan + slack target
+  | Scenario.Algorithm_5 when not (Adversity.has_flap plan) && not recovery ->
+    0
+  | _ ->
+    Adversity.settle_time ~base_max:target.base_max plan
+    + slack target
+    (* a restarted process may wait out one full retransmission backoff
+       before the frames that resynchronize it are re-sent *)
+    + (if recovery then Recoverable.default_config.Recoverable.max_backoff
+       else 0)
 
 let base_setup target ~seed =
   { (Scenario.default ~n:target.n ~deadline:target.deadline) with
@@ -105,12 +127,32 @@ type outcome = {
   digest : string;  (* trace digest (hex); "" if the run raised *)
 }
 
+(* The recoverable stack wraps Algorithm 5 only; it runs whenever the
+   target opts in, a recovery mutation is seeded, or the plan itself
+   contains recovery adversities (downtime windows are only fair against a
+   stack that can replay its stable store). *)
+let uses_recovery target plan =
+  target.impl = Scenario.Algorithm_5
+  && (target.recovery || target.rmutation <> None
+      || Adversity.has_recovery plan)
+
 let run_plan target ~seed plan =
   match
     let setup = Adversity.apply plan (base_setup target ~seed) in
     let trace =
-      Scenario.run_etob ~inputs:(inputs target) ?mutation:target.mutation setup
-        target.impl
+      if uses_recovery target plan then begin
+        let stores = Persist.Store.pool ~n:target.n in
+        Adversity.arm_disk_faults plan stores;
+        let trace, _, _ =
+          Scenario.run_recoverable ~inputs:(inputs target)
+            ?mutation:target.rmutation ?etob_mutation:target.mutation ~stores
+            setup
+        in
+        trace
+      end
+      else
+        Scenario.run_etob ~inputs:(inputs target) ?mutation:target.mutation
+          setup target.impl
     in
     let report = Scenario.etob_report setup trace in
     let digest =
@@ -156,12 +198,18 @@ let random_spec target ~rng =
   (* Drops exist only for Algorithm 5, whose full-graph re-gossip makes a
      closed drop window recoverable; the quorum baselines have no such
      blanket retransmission, so dropping their messages could flag a
-     faithful run. *)
-  let kinds =
-    if target.impl = Scenario.Algorithm_5 && drop_safe_until target > 2 then 6
-    else 5
+     faithful run.  Recovery adversities exist only for recovery targets
+     (the recoverable stack wraps Algorithm 5). *)
+  let kind_pool =
+    [ 0; 1; 2; 3; 4 ]
+    @ (if target.impl = Scenario.Algorithm_5 && drop_safe_until target > 2
+       then [ 5 ]
+       else [])
+    @ (if target.recovery && target.impl = Scenario.Algorithm_5
+       then [ 6; 7 ]
+       else [])
   in
-  match Rng.int rng kinds with
+  match List.nth kind_pool (Rng.int rng (List.length kind_pool)) with
   | 0 when max_crashes target >= 1 ->
     Crash { proc = Rng.int rng target.n; at = Rng.int rng d }
   | 1 ->
@@ -192,34 +240,70 @@ let random_spec target ~rng =
   | 5 ->
     let from_time, until_time = window ~latest_until:(drop_safe_until target) in
     Drop { from_time; until_time; pct = 25 * (1 + Rng.int rng 4) }
+  | 6 ->
+    (* The window must close early enough for retransmission to catch the
+       restarted process up before the horizon. *)
+    let at, recover_at = window ~latest_until:healed_latest in
+    Crash_recover { proc = Rng.int rng target.n; at; recover_at }
+  | 7 ->
+    let kind =
+      match Rng.int rng 3 with
+      | 0 -> Persist.Store.Torn_tail
+      | 1 -> Persist.Store.Lost_suffix (1 + Rng.int rng 4)
+      | _ -> Persist.Store.Corrupt_record
+    in
+    Disk_fault { proc = Rng.int rng target.n; kind }
   | _ ->
     (* crash drawn but the environment admits none *)
     Duplicate { from_time = 0; until_time = target.base_max; copies = 1 }
 
 (* Enforce plan-level invariants the independent draws cannot see: the
    crash count stays admitted by the target's environment (one crash per
-   process), and at most one flap survives. *)
+   process), at most one flap survives, permanent crashes and downtime
+   windows never hit the same process, recovery adversities only target
+   the recoverable stack, and a disk fault without a crash to apply it at
+   is dead weight. *)
 let sanitize target plan =
   let crashes = ref 0 and flapped = ref false in
   let crashed = Hashtbl.create 4 in
+  let windowed = Hashtbl.create 4 in
+  let recovery_ok = target.impl = Scenario.Algorithm_5 in
+  let plan =
+    List.filter
+      (fun spec ->
+         match spec with
+         | Adversity.Crash { proc; _ } ->
+           if Hashtbl.mem crashed proc || Hashtbl.mem windowed proc
+              || !crashes >= max_crashes target
+           then false
+           else begin
+             Hashtbl.add crashed proc ();
+             incr crashes;
+             true
+           end
+         | Adversity.Omega_flap _ ->
+           if !flapped then false
+           else begin
+             flapped := true;
+             true
+           end
+         | Adversity.Crash_recover { proc; _ } ->
+           if (not recovery_ok) || Hashtbl.mem crashed proc
+              || Hashtbl.mem windowed proc
+           then false
+           else begin
+             Hashtbl.add windowed proc ();
+             true
+           end
+         | Adversity.Disk_fault _ -> recovery_ok
+         | _ -> true)
+      plan
+  in
+  let windows = Adversity.recover_procs plan in
   List.filter
-    (fun spec ->
-       match spec with
-       | Adversity.Crash { proc; _ } ->
-         if Hashtbl.mem crashed proc || !crashes >= max_crashes target then
-           false
-         else begin
-           Hashtbl.add crashed proc ();
-           incr crashes;
-           true
-         end
-       | Adversity.Omega_flap _ ->
-         if !flapped then false
-         else begin
-           flapped := true;
-           true
-         end
-       | _ -> true)
+    (function
+      | Adversity.Disk_fault { proc; _ } -> List.mem proc windows
+      | _ -> true)
     plan
 
 let random_plan target ~rng ~max_adversities =

@@ -25,10 +25,19 @@ type target = {
   timer_period : int;
   base_min : int;  (** base delay-model bounds *)
   base_max : int;
+  recovery : bool;
+      (** run the crash-recovery stack ({!Ec_core.Recoverable} around
+          Algorithm 5), generate recovery adversities (downtime windows,
+          disk faults), and stretch the posting cadence across the horizon
+          so restarted processes broadcast again *)
+  rmutation : Recoverable.mutation option;
+      (** seeded bug in the recovery path itself (implies the recovery
+          stack for this run) *)
 }
 
 val default_target : target
-(** Algorithm 5, unmutated: n=4, deadline=240, 12 posts, delays in [1,3]. *)
+(** Algorithm 5, unmutated: n=4, deadline=240, 12 posts, delays in [1,3],
+    no recovery. *)
 
 val impl_name : Scenario.etob_impl -> string
 (** Names match the [ecsim --impl] catalogue: alg5, paxos, alg1. *)
@@ -38,8 +47,19 @@ val impl_of_string : string -> Scenario.etob_impl option
 val inputs : target -> (time * proc_id * Simulator.Io.input) list
 val drop_safe_until : target -> time
 val slack : target -> int
+
 val tau_bound : target -> Adversity.t -> time
+(** [0] for Algorithm 5 under a never-flapping oracle and a recovery-free
+    plan; otherwise settle + slack, plus one retransmission backoff cap
+    when the plan restarts processes (recovery legitimately perturbs
+    stability around the restart). *)
+
 val base_setup : target -> seed:int -> Scenario.setup
+
+val uses_recovery : target -> Adversity.t -> bool
+(** This (target, plan) pair runs the recoverable stack: the target opts
+    in, seeds a recovery mutation, or the plan carries recovery
+    adversities. *)
 
 type outcome = {
   plan : Adversity.t;

@@ -42,8 +42,12 @@ let to_lines r =
     ^ (match t.Explorer.mutation with
        | None -> "none"
        | Some m -> Etob_omega.mutation_name m);
-    Printf.sprintf "n %d" t.Explorer.n;
-    Printf.sprintf "seed %d" r.seed;
+    Printf.sprintf "n %d" t.Explorer.n ]
+  @ (if t.Explorer.recovery then [ "recovery on" ] else [])
+  @ (match t.Explorer.rmutation with
+     | None -> []
+     | Some m -> [ "rmutant " ^ Recoverable.mutation_name m ])
+  @ [ Printf.sprintf "seed %d" r.seed;
     Printf.sprintf "deadline %d" t.Explorer.deadline;
     Printf.sprintf "timer-period %d" t.Explorer.timer_period;
     Printf.sprintf "posts %d" t.Explorer.posts;
@@ -65,9 +69,15 @@ exception Parse of string
 
 let parse_fail fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt
 
+(* Every parse error names the offending line — its number in the original
+   file and its content — so a hand-edited or truncated repro file fails
+   with something actionable, never an escaping exception. *)
 let of_string s =
   let lines =
-    List.filter (( <> ) "") (List.map String.trim (String.split_on_char '\n' s))
+    List.filteri
+      (fun _ (_, l) -> l <> "")
+      (List.mapi (fun i l -> (i + 1, String.trim l))
+         (String.split_on_char '\n' s))
   in
   let field line =
     match String.index_opt line ' ' with
@@ -76,32 +86,51 @@ let of_string s =
       ( String.sub line 0 i,
         String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
   in
+  let at lineno fmt =
+    Printf.ksprintf (fun m -> parse_fail "line %d: %s" lineno m) fmt
+  in
   let parse () =
     match lines with
-    | h :: rest when h = header ->
+    | (_, h) :: rest when h = header ->
       let target = ref Explorer.default_target in
       let seed = ref 0 in
       let digest = ref "" in
       let violations = ref [] in
-      let int v = match int_of_string_opt v with
+      let int lineno v = match int_of_string_opt v with
         | Some i -> i
-        | None -> parse_fail "expected an integer, got %S" v
+        | None -> at lineno "expected an integer, got %S" v
       in
       let rec headers = function
-        | [] -> parse_fail "missing plan section"
-        | line :: rest ->
+        | [] -> parse_fail "missing plan section (file truncated?)"
+        | (lineno, line) :: rest ->
           let key, v = field line in
+          let int v = int lineno v in
           (match key with
            | "impl" ->
              (match Explorer.impl_of_string v with
               | Some impl -> target := { !target with Explorer.impl }
-              | None -> parse_fail "unknown impl %S" v);
+              | None -> at lineno "unknown impl %S" v);
              headers rest
            | "mutant" ->
              (if v <> "none" then
                 match Etob_omega.mutation_of_string v with
                 | Some m -> target := { !target with Explorer.mutation = Some m }
-                | None -> parse_fail "unknown mutant %S" v);
+                | None -> at lineno "unknown mutant %S" v);
+             headers rest
+           | "recovery" ->
+             (match v with
+              | "on" | "true" ->
+                target := { !target with Explorer.recovery = true }
+              | "off" | "false" ->
+                target := { !target with Explorer.recovery = false }
+              | _ -> at lineno "recovery must be on or off, got %S" v);
+             headers rest
+           | "rmutant" ->
+             (if v <> "none" then
+                match Recoverable.mutation_of_string v with
+                | Some m ->
+                  target := { !target with Explorer.rmutation = Some m }
+                | None -> at lineno "unknown recovery mutant %S" v);
              headers rest
            | "n" -> target := { !target with Explorer.n = int v }; headers rest
            | "seed" -> seed := int v; headers rest
@@ -127,26 +156,38 @@ let of_string s =
              let plan_lines, tail =
                let rec take k acc = function
                  | rest when k = 0 -> (List.rev acc, rest)
-                 | [] -> parse_fail "plan section truncated"
+                 | [] ->
+                   parse_fail
+                     "plan section truncated: expected %d adversity lines"
+                     count
                  | l :: rest -> take (k - 1) (l :: acc) rest
                in
                take count [] rest
              in
              (match tail with
-              | [ "end" ] -> ()
-              | _ -> parse_fail "expected end after %d plan lines" count);
-             (match Adversity.of_lines plan_lines with
-              | Ok plan ->
-                { target = !target;
-                  seed = !seed;
-                  plan;
-                  digest = !digest;
-                  violations = List.rev !violations }
-              | Error msg -> parse_fail "%s" msg)
-           | k -> parse_fail "unknown header %S" k)
+              | [ (_, "end") ] -> ()
+              | (lineno, l) :: _ ->
+                at lineno "expected end after %d plan lines, got %S" count l
+              | [] -> parse_fail "missing end line (file truncated?)");
+             let plan =
+               List.map
+                 (fun (lineno, l) ->
+                    match Adversity.of_line l with
+                    | Ok spec -> spec
+                    | Error msg -> at lineno "%s" msg)
+                 plan_lines
+             in
+             { target = !target;
+               seed = !seed;
+               plan;
+               digest = !digest;
+               violations = List.rev !violations }
+           | k -> at lineno "unknown header %S" k)
       in
       headers rest
-    | _ -> parse_fail "not a %s file" header
+    | (lineno, l) :: _ ->
+      parse_fail "line %d: not a %s file (found %S)" lineno header l
+    | [] -> parse_fail "empty file: not a %s file" header
   in
   match parse () with r -> Ok r | exception Parse msg -> Error msg
 

@@ -15,10 +15,16 @@ type t = {
 val of_outcome : Explorer.target -> Explorer.outcome -> t
 
 val to_string : t -> string
+
 val of_string : string -> (t, string) result
+(** Parsing never raises: a malformed or truncated file yields [Error]
+    naming the offending line (original line number and content). *)
 
 val write : string -> t -> unit
+
 val read : string -> (t, string) result
+(** {!of_string} on the file's content; an unreadable file yields [Error]
+    with the system message. *)
 
 val replay : t -> (Explorer.outcome, string) result
 (** Re-run the recorded target/seed/plan.  [Ok] iff the run violates again

@@ -128,6 +128,44 @@ let run_etob ?(inputs = []) ?mutation setup impl =
 let etob_report setup trace =
   Properties.etob_report (Properties.etob_run_of_trace setup.pattern trace)
 
+(* The crash-recovery stack: Algorithm 5 under the Recoverable wrapper
+   (durable log + retransmission links), one stable store per process.
+   The driver here handles [Post] only: the wrapper's own node intercepts
+   Broadcast_etob (so the durable path runs exactly once), and stacking
+   the full [post_driver] beside it would dispatch every broadcast
+   twice. *)
+let recoverable_post_driver (service : Etob_intf.service) =
+  { Engine.on_message = (fun ~src:_ _ -> ());
+    on_timer = (fun () -> ());
+    on_input = (function
+      | Post tag -> service.Etob_intf.broadcast (service.Etob_intf.fresh_msg ~tag ())
+      | _ -> ()) }
+
+let recoverable_node ?rconfig ?mutation ?etob_mutation ?commits setup ~stores =
+  let omega_of = omega_module setup in
+  fun ctx ->
+    let omega, omega_node = omega_of ctx in
+    let t, node, service =
+      Recoverable.create ?config:rconfig ?mutation ?etob_mutation ?commits
+        ~store:stores.(ctx.Engine.self) ~omega ctx
+    in
+    (Engine.stack [ omega_node; node; recoverable_post_driver service ], t)
+
+let run_recoverable ?(inputs = []) ?rconfig ?mutation ?etob_mutation ?commits
+    ?stores setup =
+  let stores =
+    match stores with
+    | Some stores -> stores
+    | None -> Persist.Store.pool ~n:setup.n
+  in
+  let trace, handles =
+    Engine.run_with (engine_config setup)
+      ~make_node:(recoverable_node ?rconfig ?mutation ?etob_mutation ?commits
+                    setup ~stores)
+      ~inputs
+  in
+  (trace, handles, stores)
+
 (* The leaderless gossip-ordering baseline: no Omega anywhere. *)
 let run_gossip_order ?(inputs = []) setup =
   let make_node ctx =

@@ -74,6 +74,34 @@ val run_etob :
 
 val etob_report : setup -> Trace.t -> Properties.etob_report
 
+val recoverable_node :
+  ?rconfig:Recoverable.config ->
+  ?mutation:Recoverable.mutation ->
+  ?etob_mutation:Etob_omega.mutation ->
+  ?commits:bool ->
+  setup ->
+  stores:Persist.Store.t array ->
+  Engine.ctx ->
+  Engine.node * Recoverable.t
+(** One process of the crash-recovery stack (Algorithm 5 under
+    {!Ec_core.Recoverable}), drawing its stable store from [stores] —
+    usable directly as the engine's restart hook, since the store array
+    outlives the incarnations. *)
+
+val run_recoverable :
+  ?inputs:(time * proc_id * Io.input) list ->
+  ?rconfig:Recoverable.config ->
+  ?mutation:Recoverable.mutation ->
+  ?etob_mutation:Etob_omega.mutation ->
+  ?commits:bool ->
+  ?stores:Persist.Store.t array ->
+  setup ->
+  Trace.t * Recoverable.t array * Persist.Store.t array
+(** Run the crash-recovery stack under the setup's failure pattern
+    (including downtime windows).  Returns the trace, the latest
+    incarnation handles, and the stores (fresh ones unless [stores] is
+    given, e.g. with disk faults already armed). *)
+
 val run_gossip_order :
   ?inputs:(time * proc_id * Io.input) list -> setup -> Trace.t
 (** The leaderless gossip-ordering baseline (no Omega): converges only when

@@ -1,0 +1,82 @@
+(** Deterministic simulated stable storage: append-only write-ahead log
+    plus an atomically installed snapshot, per process.
+
+    A store outlives the automaton that writes to it: the harness creates
+    one per process per run, and a recoverable protocol re-opens it from
+    the engine's restart hook (see [Engine.run]'s crash-recovery
+    contract).
+
+    Durability model: everything appended before the last {!sync} barrier
+    survives any crash undamaged.  Records appended after the barrier form
+    the dirty tail, which injected disk faults can tear, lose or corrupt;
+    every record carries a checksum verified on {!open_}, and replay stops
+    at the first record that fails verification.  {!install_snapshot}
+    models write-then-rename: atomic, durable, truncates the log. *)
+
+type t
+
+type fault =
+  | Torn_tail  (** the newest dirty record was half-written at the crash *)
+  | Lost_suffix of int  (** the newest k dirty records never hit the disk *)
+  | Corrupt_record
+      (** the oldest dirty record is damaged on the medium; the checksum
+          detects it on replay, which then discards the whole tail *)
+
+val fault_to_string : fault -> string
+(** Stable text form ("torn", "lose:3", "corrupt") used by the explorer's
+    adversity plans and repro files. *)
+
+val fault_of_string : string -> fault option
+val pp_fault : Format.formatter -> fault -> unit
+
+val create : unit -> t
+(** An empty store: no snapshot, empty log, nothing armed. *)
+
+val pool : n:int -> t array
+(** One store per process. *)
+
+val append : t -> string -> unit
+(** Append one opaque record to the log (checksummed, not yet durable). *)
+
+val sync : t -> unit
+(** Durability barrier: every record appended so far survives any later
+    crash undamaged. *)
+
+val install_snapshot : t -> string -> unit
+(** Atomically replace the snapshot and truncate the log (implies
+    durability of the snapshot). *)
+
+val arm_fault : t -> fault -> unit
+(** Queue a disk fault; one armed fault is applied per crash, in arming
+    order, to the dirty tail only.  A fault with an empty dirty tail is a
+    no-op. *)
+
+type opening = {
+  snapshot : string option;
+  records : string list;
+      (** log records, oldest first: the checksum-verified prefix *)
+  restarted : bool;
+      (** true iff a previous incarnation opened this store and then
+          crashed without closing — i.e. this open is a post-crash
+          recovery, and one armed fault (if any) was just applied *)
+}
+
+val open_ : t -> opening
+(** Open the store for a (re)starting process and replay its durable
+    state.  On a post-crash open, the next armed fault is applied first,
+    then checksums are verified and the log is truncated to the verified
+    prefix. *)
+
+val log_length : t -> int
+
+type stats = {
+  appends : int;
+  syncs : int;
+  snapshots : int;
+  restarts : int;
+  records_lost : int;  (** dropped by faults or discarded after damage *)
+  corrupt_detected : int;  (** records that failed checksum verification *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -55,6 +55,8 @@ type event =
   | Deliver of Msg.envelope
   | Timer of proc_id
   | External_input of proc_id * Io.input
+  | Crash of proc_id  (* entry into a downtime window of the pattern *)
+  | Recover of proc_id  (* end of a downtime window: restart the process *)
 
 type config = {
   n : int;
@@ -158,10 +160,24 @@ let run_with config ~make_node ~inputs =
     Array.init config.n (fun p -> make_node (make_ctx state p))
   in
   let nodes = Array.map fst pairs in
+  (* Whether process p currently has a pending Timer event in the queue.
+     A timer chain dies when it fires while its process is down; Recover
+     starts a fresh chain only if the old one is gone, so a short downtime
+     window never doubles the timer rate. *)
+  let timer_running = Array.make config.n true in
   (* Stagger first timer fires so processes are not in lockstep. *)
   List.iter
     (fun p -> schedule state ~at:(1 + (p mod config.timer_period)) (Timer p))
     (all_procs config.n);
+  (* Crash/restart schedule from the pattern's downtime windows.  These
+     are scheduled before the run starts, so at equal times they order
+     before any same-time Deliver/Timer inserted while running: a freshly
+     restarted process sees the deliveries of its recovery instant. *)
+  List.iter
+    (fun (p, at, recover_at) ->
+       schedule state ~at (Crash p);
+       schedule state ~at:recover_at (Recover p))
+    (Failures.recovery_events config.pattern);
   List.iter
     (fun (t, p, input) ->
        if t < 0 then invalid_arg "Engine.run: negative input time";
@@ -187,11 +203,37 @@ let run_with config ~make_node ~inputs =
              nodes.(p).on_timer ();
              schedule state ~at:(at + config.timer_period) (Timer p)
            end
+           else timer_running.(p) <- false
          | External_input (p, input) ->
            if alive state p then begin
              sink.Sink.on_input ~at ~proc:p input;
              sink.Sink.on_step ~at ~proc:p;
              nodes.(p).on_input input
+           end
+         | Crash p ->
+           (* Drop the in-flight volatile state: the old automaton is
+              discarded; only what it put into its stable store (see
+              lib/persist) survives to the restart.  Deliveries, timers
+              and inputs during the window are already suppressed by the
+              [alive] guards above. *)
+           nodes.(p) <- idle_node;
+           sink.Sink.on_crash ~at ~proc:p
+         | Recover p ->
+           (* Restart hook: re-run the caller's [make_node] for p.  The
+              fresh automaton starts from its initial state (plus whatever
+              it replays from stable storage inside [make_node]); its ctx
+              draws from a freshly re-seeded per-process rng, so runs stay
+              deterministic.  Skipped if a permanent crash precedes the
+              restart. *)
+           if alive state p then begin
+             sink.Sink.on_recover ~at ~proc:p;
+             let pair = make_node (make_ctx state p) in
+             pairs.(p) <- pair;
+             nodes.(p) <- fst pair;
+             if not timer_running.(p) then begin
+               timer_running.(p) <- true;
+               schedule state ~at:(at + 1 + (p mod config.timer_period)) (Timer p)
+             end
            end);
         loop ()
       end

@@ -61,9 +61,22 @@ val run :
   make_node:(ctx -> node) ->
   inputs:(time * proc_id * Io.input) list ->
   Trace.t
-(** Run to the deadline and return the trace.  Crashed processes take no
-    steps from their crash time on; messages addressed to them are dropped;
-    all other messages are delivered after their model delay. *)
+(** Run to the deadline and return the trace.  Processes take no steps
+    while down (permanently crashed, or inside a downtime window of the
+    pattern); messages addressed to them are dropped; all other messages
+    are delivered after their model delay.
+
+    Crash-recovery: for every downtime window [(p, at, recover_at)] of
+    [config.pattern], the engine discards p's in-flight volatile state at
+    [at] (the automaton is dropped; nothing survives but what it wrote to
+    its own stable store) and restarts p at [recover_at] by invoking
+    [make_node] again with a fresh ctx — [make_node] is the per-process
+    restart hook, and is where a recoverable protocol replays its store
+    (see lib/persist and Ec_core.Recoverable).  The restarted process's
+    timers resume within one timer period.  Both transitions are reported
+    through the sink's [on_crash]/[on_recover]; the default recorder
+    ignores them, so crash-stop runs are byte-identical to pre-recovery
+    builds. *)
 
 val run_with :
   config ->
@@ -71,4 +84,5 @@ val run_with :
   inputs:(time * proc_id * Io.input) list ->
   Trace.t * 'a array
 (** Like {!run} but also returns one caller-chosen handle per process
-    (typically a view on the protocol's internal state). *)
+    (typically a view on the protocol's internal state).  If a process was
+    restarted, its slot holds the handle of the latest incarnation. *)

@@ -1,17 +1,34 @@
-(* Failure patterns and environments (Section 2 of the paper).
+(* Failure patterns and environments (Section 2 of the paper), extended
+   with crash-recovery.
 
-   A failure pattern is a function F : N -> 2^Pi giving the set of processes
-   crashed by each time; processes never recover.  We represent it compactly
-   as an optional crash time per process.  An environment is a set of failure
-   patterns; we represent environments as predicates plus generators. *)
+   The paper's failure pattern is a function F : N -> 2^Pi giving the set
+   of processes crashed by each time, and in the paper processes never
+   recover.  We generalize: a process may additionally go through finitely
+   many downtime windows [at, recover_at) during which it takes no steps
+   and receives no messages, after which it restarts (with whatever state
+   its stable store preserved — see lib/persist).  The crash-stop fragment
+   is untouched: a pattern built only from [none] / [crash_at] /
+   [of_crashes] has no downtime windows and behaves byte-identically to
+   the original representation.
+
+   Correctness keeps the paper's meaning adapted to crash-recovery in the
+   standard way: a process is *correct* iff it is eventually up forever,
+   i.e. it has no permanent crash time — downtime windows do not make it
+   faulty.  An environment is a set of failure patterns; we represent
+   environments as predicates plus generators. *)
 
 open Types
 
-type pattern = { n : int; crash_time : time option array }
+type pattern = {
+  n : int;
+  crash_time : time option array;  (* permanent (crash-stop) crashes *)
+  downtime : (time * time) list array;
+      (* per process: disjoint, ascending [at, recover_at) windows *)
+}
 
 let none ~n =
   if n < 2 then invalid_arg "Failures.none: need n >= 2";
-  { n; crash_time = Array.make n None }
+  { n; crash_time = Array.make n None; downtime = Array.make n [] }
 
 let crash_at pattern p t =
   if not (is_valid_proc ~n:pattern.n p) then invalid_arg "Failures.crash_at: bad proc";
@@ -26,15 +43,69 @@ let crash_at pattern p t =
 let of_crashes ~n crashes =
   List.fold_left (fun acc (p, t) -> crash_at acc p t) (none ~n) crashes
 
+(* Insert a downtime window, merging overlapping or touching windows so the
+   per-process list stays disjoint and ascending (the engine schedules
+   exactly one restart per window). *)
+let crash_recover_at pattern p ~at ~recover_at =
+  if not (is_valid_proc ~n:pattern.n p) then
+    invalid_arg "Failures.crash_recover_at: bad proc";
+  if at < 0 then invalid_arg "Failures.crash_recover_at: negative time";
+  if recover_at <= at then
+    invalid_arg "Failures.crash_recover_at: recovery must follow the crash";
+  let rec insert = function
+    | [] -> [ (at, recover_at) ]
+    | (a, b) :: rest ->
+      if recover_at < a then (at, recover_at) :: (a, b) :: rest
+      else if b < at then (a, b) :: insert rest
+      else
+        (* Overlap or touch: fuse, then keep fusing rightwards. *)
+        let rec fuse lo hi = function
+          | (a', b') :: rest' when a' <= hi -> fuse lo (max hi b') rest'
+          | rest' -> (lo, hi) :: rest'
+        in
+        fuse (min a at) (max b recover_at) rest
+  in
+  let downtime = Array.copy pattern.downtime in
+  downtime.(p) <- insert downtime.(p);
+  { pattern with downtime }
+
 let n pattern = pattern.n
 
 let crash_time pattern p = pattern.crash_time.(p)
 
+let downtimes pattern p = pattern.downtime.(p)
+
+let has_recovery pattern = Array.exists (fun w -> w <> []) pattern.downtime
+
+(* All downtime windows as (proc, at, recover_at), sorted by crash time
+   (ties by recovery time, then process id): the engine's restart
+   schedule. *)
+let recovery_events pattern =
+  let events = ref [] in
+  Array.iteri
+    (fun p windows ->
+       List.iter (fun (at, recover_at) -> events := (at, recover_at, p) :: !events)
+         windows)
+    pattern.downtime;
+  List.map (fun (at, recover_at, p) -> (p, at, recover_at))
+    (List.sort compare !events)
+
 let is_faulty pattern p = crash_time pattern p <> None
 let is_correct pattern p = crash_time pattern p = None
 
+let in_downtime pattern p t =
+  List.exists (fun (a, b) -> a <= t && t < b) pattern.downtime.(p)
+
 let is_alive pattern p t =
-  match crash_time pattern p with None -> true | Some tc -> t < tc
+  (match crash_time pattern p with None -> true | Some tc -> t < tc)
+  && not (in_downtime pattern p t)
+
+type status = Up | Down | Crashed
+
+let status pattern p t =
+  match crash_time pattern p with
+  | Some tc when t >= tc -> Crashed
+  | _ -> if in_downtime pattern p t then Down else Up
 
 let crashed_by pattern t =
   List.filter (fun p -> not (is_alive pattern p t)) (all_procs pattern.n)
@@ -116,8 +187,9 @@ let random_admitted ?(attempts = 100) ~rng ~env ~n ~max_faulty ~horizon () =
 
 let pp ppf pattern =
   let pp_one ppf p =
-    match crash_time pattern p with
-    | None -> Fmt.pf ppf "%a:ok" pp_proc p
-    | Some t -> Fmt.pf ppf "%a:crash@%d" pp_proc p t
+    (match crash_time pattern p with
+     | None -> Fmt.pf ppf "%a:ok" pp_proc p
+     | Some t -> Fmt.pf ppf "%a:crash@%d" pp_proc p t);
+    List.iter (fun (a, b) -> Fmt.pf ppf "~down@%d-%d" a b) pattern.downtime.(p)
   in
   Fmt.pf ppf "{%a}" (Fmt.list ~sep:Fmt.comma pp_one) (all_procs pattern.n)

@@ -1,8 +1,20 @@
-(** Failure patterns and environments (Section 2 of the paper).
+(** Failure patterns and environments (Section 2 of the paper), extended
+    with crash-recovery.
 
     A failure pattern is a function [F : N -> 2^Pi] giving the set of
-    processes crashed by each time; processes never recover.  An environment
-    is a set of failure patterns. *)
+    processes down at each time.  The paper's model is crash-stop; this
+    module additionally supports finitely many downtime windows
+    [[at, recover_at)] per process, during which the process takes no
+    steps and loses every message addressed to it, after which the engine
+    restarts it (see {!Engine}).  Patterns built only from {!none},
+    {!crash_at} and {!of_crashes} have no downtime windows and keep the
+    original crash-stop semantics exactly.
+
+    Correctness keeps the paper's meaning adapted to crash-recovery in
+    the standard way: a process is {e correct} iff it is eventually up
+    forever — i.e. it has no permanent crash time.  Downtime windows do
+    not make a process faulty.  An environment is a set of failure
+    patterns. *)
 
 open Types
 
@@ -12,27 +24,61 @@ val none : n:int -> pattern
 (** The failure-free pattern over [n >= 2] processes. *)
 
 val crash_at : pattern -> proc_id -> time -> pattern
-(** [crash_at f p t] crashes [p] at time [t] (keeps the earlier time if [p]
-    was already crashed). *)
+(** [crash_at f p t] permanently crashes [p] at time [t] (keeps the
+    earlier time if [p] was already crashed).  This is the paper's
+    crash-stop event: [p] never takes a step at or after [t]. *)
 
 val of_crashes : n:int -> (proc_id * time) list -> pattern
 
+val crash_recover_at : pattern -> proc_id -> at:time -> recover_at:time -> pattern
+(** [crash_recover_at f p ~at ~recover_at] adds a downtime window
+    [[at, recover_at)]: [p] crashes at [at], takes no steps and receives
+    nothing while down, and restarts at [recover_at].  Requires
+    [0 <= at < recover_at]; overlapping or touching windows are merged.
+    A permanent crash before [recover_at] takes precedence: the process
+    then never restarts. *)
+
 val n : pattern -> int
+
 val crash_time : pattern -> proc_id -> time option
+(** The permanent crash time, if any.  Downtime windows are not reported
+    here; see {!downtimes}. *)
+
+val downtimes : pattern -> proc_id -> (time * time) list
+(** The disjoint, ascending downtime windows of [p]. *)
+
+val has_recovery : pattern -> bool
+(** Some process has at least one downtime window. *)
+
+val recovery_events : pattern -> (proc_id * time * time) list
+(** Every downtime window as [(p, at, recover_at)], sorted by crash time:
+    the engine's crash/restart schedule. *)
 
 val is_faulty : pattern -> proc_id -> bool
-(** [p] eventually crashes in this pattern. *)
+(** [p] permanently crashes in this pattern.  A process that only goes
+    through downtime windows is not faulty. *)
 
 val is_correct : pattern -> proc_id -> bool
+(** [p] is eventually up forever: it has no permanent crash time (it may
+    still have downtime windows). *)
 
 val is_alive : pattern -> proc_id -> time -> bool
-(** [is_alive f p t] holds iff [p] has not crashed by time [t]. *)
+(** [is_alive f p t] holds iff [p] is up at time [t]: it has not
+    permanently crashed by [t] and [t] lies in none of its downtime
+    windows. *)
+
+type status = Up | Down | Crashed
+
+val status : pattern -> proc_id -> time -> status
+(** The view behind {!is_alive}: [Up] = taking steps now, [Down] = inside
+    a downtime window (will restart), [Crashed] = permanently crashed. *)
 
 val crashed_by : pattern -> time -> proc_id list
-(** [F(t)]: processes crashed by time [t]. *)
+(** [F(t)]: processes down at time [t] (permanently crashed or inside a
+    downtime window). *)
 
 val correct : pattern -> proc_id list
-(** [correct(F)], ascending. *)
+(** [correct(F)], ascending: processes that are eventually up forever. *)
 
 val faulty : pattern -> proc_id list
 (** [faulty(F)], ascending. *)
@@ -55,9 +101,10 @@ val admits : environment -> pattern -> bool
 
 val random :
   rng:Rng.t -> n:int -> max_faulty:int -> horizon:time -> pattern
-(** A deterministic random pattern with at most [max_faulty < n] crashes, all
-    at times within [0, horizon].  The result is guaranteed (and internally
-    asserted) to be admitted by [t_resilient max_faulty]. *)
+(** A deterministic random crash-stop pattern with at most
+    [max_faulty < n] crashes, all at times within [0, horizon].  The
+    result is guaranteed (and internally asserted) to be admitted by
+    [t_resilient max_faulty]. *)
 
 val random_admitted :
   ?attempts:int ->

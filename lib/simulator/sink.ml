@@ -22,6 +22,8 @@ type t = {
   on_deliver : at:time -> Msg.envelope -> unit;
   on_drop : at:time -> Msg.envelope -> unit;
   on_step : at:time -> proc:proc_id -> unit;
+  on_crash : at:time -> proc:proc_id -> unit;
+  on_recover : at:time -> proc:proc_id -> unit;
 }
 
 let null =
@@ -30,7 +32,9 @@ let null =
     on_send = (fun _ -> ());
     on_deliver = (fun ~at:_ _ -> ());
     on_drop = (fun ~at:_ _ -> ());
-    on_step = (fun ~at:_ ~proc:_ -> ()) }
+    on_step = (fun ~at:_ ~proc:_ -> ());
+    on_crash = (fun ~at:_ ~proc:_ -> ());
+    on_recover = (fun ~at:_ ~proc:_ -> ()) }
 
 let tee a b =
   { on_input = (fun ~at ~proc i -> a.on_input ~at ~proc i; b.on_input ~at ~proc i);
@@ -38,7 +42,9 @@ let tee a b =
     on_send = (fun env -> a.on_send env; b.on_send env);
     on_deliver = (fun ~at env -> a.on_deliver ~at env; b.on_deliver ~at env);
     on_drop = (fun ~at env -> a.on_drop ~at env; b.on_drop ~at env);
-    on_step = (fun ~at ~proc -> a.on_step ~at ~proc; b.on_step ~at ~proc) }
+    on_step = (fun ~at ~proc -> a.on_step ~at ~proc; b.on_step ~at ~proc);
+    on_crash = (fun ~at ~proc -> a.on_crash ~at ~proc; b.on_crash ~at ~proc);
+    on_recover = (fun ~at ~proc -> a.on_recover ~at ~proc; b.on_recover ~at ~proc) }
 
 (* ------------------------------------------------------------------ *)
 (* Full recorder: the historical Trace.t behaviour                     *)
@@ -50,7 +56,11 @@ let recorder trace =
     on_send = (fun _ -> Trace.count_sent trace);
     on_deliver = (fun ~at:_ _ -> Trace.count_delivered trace);
     on_drop = (fun ~at:_ _ -> Trace.count_dropped trace);
-    on_step = (fun ~at:_ ~proc:_ -> Trace.count_step trace) }
+    on_step = (fun ~at:_ ~proc:_ -> Trace.count_step trace);
+    (* Crash/restart marks carry no input/output history, so the recorder
+       ignores them: traces of crash-stop runs stay byte-identical. *)
+    on_crash = (fun ~at:_ ~proc:_ -> ());
+    on_recover = (fun ~at:_ ~proc:_ -> ()) }
 
 (* ------------------------------------------------------------------ *)
 (* Counters-only sink with per-process latency histograms              *)
@@ -99,7 +109,9 @@ let counters_sink c =
         c.delivered <- c.delivered + 1;
         samples_push c.latency.(env.Msg.dst) (at - env.Msg.sent_at));
     on_drop = (fun ~at:_ _ -> c.dropped <- c.dropped + 1);
-    on_step = (fun ~at:_ ~proc:_ -> c.steps <- c.steps + 1) }
+    on_step = (fun ~at:_ ~proc:_ -> c.steps <- c.steps + 1);
+    on_crash = (fun ~at ~proc:_ -> if at > c.last_time then c.last_time <- at);
+    on_recover = (fun ~at ~proc:_ -> if at > c.last_time then c.last_time <- at) }
 
 let sent c = c.sent
 let delivered c = c.delivered
@@ -174,4 +186,21 @@ let jsonl ~emit =
     on_drop = (fun ~at env ->
         line {|{"ev":"drop","t":%d,"src":%d,"dst":%d,"uid":%d}|}
           at env.Msg.src env.Msg.dst env.Msg.uid);
-    on_step = (fun ~at:_ ~proc:_ -> ()) }
+    on_step = (fun ~at:_ ~proc:_ -> ());
+    on_crash = (fun ~at ~proc ->
+        line {|{"ev":"crash","t":%d,"proc":%d}|} at proc);
+    on_recover = (fun ~at ~proc ->
+        line {|{"ev":"recover","t":%d,"proc":%d}|} at proc) }
+
+(* Exception-safe file-backed jsonl sink: the channel is flushed and
+   closed even when the run raises mid-sweep. *)
+let with_jsonl path f =
+  let oc = Out_channel.open_text path in
+  Fun.protect
+    ~finally:(fun () ->
+        (try Out_channel.flush oc with Sys_error _ -> ());
+        Out_channel.close_noerr oc)
+    (fun () ->
+       f (jsonl ~emit:(fun s ->
+           Out_channel.output_string oc s;
+           Out_channel.output_char oc '\n')))

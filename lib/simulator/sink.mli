@@ -16,6 +16,10 @@ type t = {
   on_deliver : at:time -> Msg.envelope -> unit;
   on_drop : at:time -> Msg.envelope -> unit;
   on_step : at:time -> proc:proc_id -> unit;
+  on_crash : at:time -> proc:proc_id -> unit;
+      (** the process enters a downtime window of the failure pattern *)
+  on_recover : at:time -> proc:proc_id -> unit;
+      (** the engine restarted the process (see {!Engine.run_with}) *)
 }
 
 val null : t
@@ -25,7 +29,9 @@ val tee : t -> t -> t
 (** [tee a b] forwards every event to [a] then [b]. *)
 
 val recorder : Trace.t -> t
-(** The historical behaviour: record entries and counters into [trace]. *)
+(** The historical behaviour: record entries and counters into [trace].
+    Crash/recover marks are ignored, so traces of crash-stop runs are
+    byte-identical to pre-recovery builds. *)
 
 (** {2 Counters-only sink} *)
 
@@ -64,3 +70,8 @@ val jsonl : emit:(string -> unit) -> t
     message payloads stay opaque and are identified by uid/src/dst/times. *)
 
 val json_escape : string -> string
+
+val with_jsonl : string -> (t -> 'a) -> 'a
+(** [with_jsonl path f] opens [path], passes [f] a {!jsonl} sink writing
+    one event per line, and flushes and closes the channel whether [f]
+    returns or raises (bracket style). *)

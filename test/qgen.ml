@@ -97,6 +97,49 @@ let plan_arb ~n ~deadline =
     (plan_gen ~n ~deadline)
 
 (* ------------------------------------------------------------------ *)
+(* Recovery plans: downtime windows and disk faults                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash-recover windows and disk faults over processes 1..n-1.  Windows
+   may overlap, touch, or sit anywhere in the horizon, and disk faults
+   may target processes that never restart (then they are no-ops): safety
+   has to hold over the whole space, so nothing here is sanitized the way
+   [Explorer.random_plan] sanitizes its liveness-friendly plans. *)
+let recovery_spec_gen ~n ~deadline =
+  let open QCheck.Gen in
+  let* proc = int_range 1 (n - 1) in
+  frequency
+    [ ( 3,
+        let* at = int_range 1 (deadline - 2) in
+        let* len = int_range 1 (deadline - at) in
+        return (Adversity.Crash_recover { proc; at; recover_at = at + len }) );
+      ( 1,
+        let* kind =
+          oneofl
+            [ Persist.Store.Torn_tail;
+              Persist.Store.Lost_suffix 1;
+              Persist.Store.Lost_suffix 3;
+              Persist.Store.Corrupt_record ]
+        in
+        return (Adversity.Disk_fault { proc; kind }) ) ]
+
+(* A recovery plan: at least one recovery-flavoured spec, mixed with the
+   unclamped crash-stop specs of [spec_gen]. *)
+let recovery_plan_gen ~n ~deadline =
+  let open QCheck.Gen in
+  let* base = list_size (int_range 0 2) (spec_gen ~n ~deadline) in
+  let* rec_specs =
+    list_size (int_range 1 3) (recovery_spec_gen ~n ~deadline)
+  in
+  return (base @ rec_specs)
+
+let recovery_plan_arb ~n ~deadline =
+  QCheck.make
+    ~print:(fun plan -> String.concat "; " (Adversity.to_lines plan))
+    ~shrink:(QCheck.Shrink.list ~shrink:spec_shrink)
+    (recovery_plan_gen ~n ~deadline)
+
+(* ------------------------------------------------------------------ *)
 (* Base delay-model bounds (Net.uniform parameters)                    *)
 (* ------------------------------------------------------------------ *)
 

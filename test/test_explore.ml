@@ -196,6 +196,126 @@ let test_repro_replay_rejects_wrong_digest () =
      | Ok _ -> Alcotest.fail "digest mismatch must fail the replay")
 
 (* ------------------------------------------------------------------ *)
+(* Recovery: explorer, repro format, parse errors                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The recovery analogue of the mutation-test harness: restarting with
+   amnesia must be caught within a smoke-sized budget, shrink small, and
+   leave a replayable repro (whose text form carries the recovery
+   headers). *)
+let test_explore_finds_recovery_mutants () =
+  List.iter
+    (fun m ->
+       let name = Recoverable.mutation_name m in
+       let t =
+         { Explorer.default_target with
+           Explorer.recovery = true;
+           rmutation = Some m }
+       in
+       let e = Explorer.explore t ~seed:1 ~budget:200 ~max_adversities:4 () in
+       match e.Explorer.found with
+       | None -> Alcotest.failf "mutant %s not found within 200 plans" name
+       | Some o ->
+         let shrunk = Explorer.shrink t o in
+         Alcotest.(check bool) (name ^ ": still violates") true
+           (shrunk.Explorer.violations <> []);
+         Alcotest.(check bool) (name ^ ": shrunk to <= 3 adversities") true
+           (Adversity.size shrunk.Explorer.plan <= 3);
+         let repro = Repro.of_outcome t shrunk in
+         (match Repro.of_string (Repro.to_string repro) with
+          | Error e -> Alcotest.failf "%s: repro parse: %s" name e
+          | Ok reread ->
+            Alcotest.(check bool) (name ^ ": recovery header survives") true
+              reread.Repro.target.Explorer.recovery;
+            Alcotest.(check bool) (name ^ ": rmutant header survives") true
+              (reread.Repro.target.Explorer.rmutation = Some m);
+            (match Repro.replay reread with
+             | Ok _ -> ()
+             | Error e -> Alcotest.failf "%s: replay: %s" name e)))
+    Recoverable.all_mutations
+
+(* A faithful run under a recovery plan must stay clean — the explorer's
+   recovery adversities themselves are not violations. *)
+let test_explore_faithful_recovery_clean () =
+  let t = { Explorer.default_target with Explorer.recovery = true } in
+  let e = Explorer.explore t ~seed:1 ~budget:60 ~max_adversities:4 () in
+  match e.Explorer.found with
+  | None -> ()
+  | Some o ->
+    Alcotest.failf "faithful recoverable stack flagged: %s; plan: %s"
+      (String.concat "; " o.Explorer.violations)
+      (String.concat "; " (Adversity.to_lines o.Explorer.plan))
+
+(* Malformed and truncated repro files fail with the offending line
+   named, never an escaping exception. *)
+let test_repro_parse_errors_name_the_line () =
+  let t =
+    { Explorer.default_target with
+      Explorer.recovery = true;
+      rmutation = Some Recoverable.Skip_log_replay }
+  in
+  let repro =
+    { Repro.target = t;
+      seed = 7;
+      plan =
+        [ Adversity.Crash_recover { proc = 1; at = 40; recover_at = 80 };
+          Adversity.Disk_fault { proc = 1; kind = Persist.Store.Torn_tail } ];
+      digest = String.make 32 'a';
+      violations = [ "distinct-broadcasts: something" ] }
+  in
+  let text = Repro.to_string repro in
+  (* The well-formed file parses back to the same value. *)
+  (match Repro.of_string text with
+   | Ok r ->
+     Alcotest.(check bool) "roundtrip" true
+       (r.Repro.plan = repro.Repro.plan && r.Repro.seed = 7
+        && r.Repro.target.Explorer.recovery
+        && r.Repro.target.Explorer.rmutation
+           = Some Recoverable.Skip_log_replay)
+   | Error e -> Alcotest.failf "well-formed file rejected: %s" e);
+  let expect_error label mangled fragment =
+    match Repro.of_string mangled with
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+    | Error msg ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        m = 0 || go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S names the problem (%S)" label msg fragment)
+        true (contains msg fragment)
+  in
+  expect_error "empty file" "" "empty file";
+  expect_error "wrong header" "not a repro\nimpl alg5\n" "line 1";
+  let lines = String.split_on_char '\n' text in
+  let mangle i f =
+    String.concat "\n" (List.mapi (fun j l -> if j = i then f l else l) lines)
+  in
+  (* Line 4 is "n 4": break its integer and expect the line number. *)
+  expect_error "bad integer" (mangle 3 (fun _ -> "n four")) "line 4";
+  expect_error "unknown header" (mangle 6 (fun _ -> "meteor 9")) "line 7";
+  (* Claim more plan lines than the file holds. *)
+  expect_error "truncated plan"
+    (String.concat "\n"
+       (List.map (fun l -> if l = "plan 2" then "plan 5" else l) lines))
+    "plan section truncated";
+  (* Drop the end line. *)
+  expect_error "missing end"
+    (String.concat "\n" (List.filter (fun l -> l <> "end") lines))
+    "missing end";
+  (* Damage one adversity line inside the plan section. *)
+  expect_error "bad adversity"
+    (String.concat "\n"
+       (List.map
+          (fun l ->
+             if String.length l >= 8 && String.sub l 0 8 = "crashrec"
+             then "crashrec p=1 at=80 until=40"
+             else l)
+          lines))
+    "line"
+
+(* ------------------------------------------------------------------ *)
 (* Safety under arbitrary adversity (property-based)                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -218,6 +338,32 @@ let prop_causal_order_under_any_plan =
          r.Properties.causal_order.Properties.ok
          && r.Properties.no_creation.Properties.ok
          && r.Properties.no_duplication.Properties.ok)
+
+(* The recoverable stack's safety net: under arbitrary downtime windows
+   and disk faults (on top of the usual unclamped adversity), the
+   faithful stack must never reorder causally, forge, duplicate — or
+   reuse a sequence number, which is exactly what the durable log is for.
+   Liveness is legitimately lost under such plans and is not asserted. *)
+let prop_recovery_safety_under_any_plan =
+  QCheck.Test.make
+    ~name:"recoverable alg5: safety under arbitrary windows and disk faults"
+    ~count:40
+    QCheck.(
+      pair
+        (Qgen.recovery_plan_arb ~n:4 ~deadline:240)
+        (pair small_nat Qgen.delay_bounds_arb))
+    (fun (plan, (seed, (base_min, base_max))) ->
+       let t =
+         { (target None) with Explorer.recovery = true; base_min; base_max }
+       in
+       let o = Explorer.run_plan t ~seed plan in
+       match o.Explorer.report with
+       | None -> false (* the run raised *)
+       | Some r ->
+         r.Properties.causal_order.Properties.ok
+         && r.Properties.no_creation.Properties.ok
+         && r.Properties.no_duplication.Properties.ok
+         && r.Properties.distinct_broadcasts.Properties.ok)
 
 (* Random failure patterns stay inside their declared contract. *)
 let prop_random_pattern_within_contract =
@@ -309,6 +455,14 @@ let () =
            test_explore_finds_all_mutants;
          Alcotest.test_case "replay rejects wrong digest" `Quick
            test_repro_replay_rejects_wrong_digest ]);
+      ("recovery",
+       [ Alcotest.test_case "finds recovery mutants" `Quick
+           test_explore_finds_recovery_mutants;
+         Alcotest.test_case "faithful recovery clean" `Quick
+           test_explore_faithful_recovery_clean;
+         Alcotest.test_case "repro parse errors name the line" `Quick
+           test_repro_parse_errors_name_the_line ]
+       @ qc [ prop_recovery_safety_under_any_plan ]);
       ("properties",
        qc
          [ prop_causal_order_under_any_plan;

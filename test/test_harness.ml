@@ -243,6 +243,102 @@ let test_timeline_renders () =
   Alcotest.(check bool) "blank after crash" true
     (String.length p2_line > 0 && p2_line.[String.length p2_line - 1] = ' ')
 
+(* ------------------------------------------------------------------ *)
+(* Crash-recovery stack                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The crash-stop model is untouched by the recovery machinery: a run
+   with a permanent crash replays the committed golden trace
+   byte-for-byte (captured before the recovery runtime landed). *)
+let test_golden_crash_trace_byte_identical () =
+  let setup =
+    { (Harness.Scenario.default ~n:4 ~deadline:160) with
+      seed = 13;
+      delay = Net.uniform ~min:1 ~max:4;
+      pattern = Failures.of_crashes ~n:4 [ (3, 40) ] }
+  in
+  let inputs =
+    Harness.Scenario.spread_posts ~n:4 ~count:8 ~from_time:6 ~every:6
+  in
+  let trace =
+    Harness.Scenario.run_etob ~inputs setup Harness.Scenario.Algorithm_5
+  in
+  let got = Format.asprintf "%a" Trace.pp trace in
+  let golden =
+    In_channel.with_open_bin "golden_crash_trace.txt" In_channel.input_all
+  in
+  if got <> golden then begin
+    let got_path = "golden_crash_trace.got.txt" in
+    Out_channel.with_open_bin got_path (fun oc ->
+        Out_channel.output_string oc got);
+    Alcotest.failf
+      "golden crash trace mismatch (%d vs %d bytes); inspect with:\n  diff %s %s"
+      (String.length golden) (String.length got)
+      (Filename.concat (Sys.getcwd ()) "golden_crash_trace.txt")
+      (Filename.concat (Sys.getcwd ()) got_path)
+  end
+
+let recovery_setup =
+  { (Harness.Scenario.default ~n:4 ~deadline:300) with
+    seed = 3;
+    delay = Net.uniform ~min:1 ~max:3;
+    pattern =
+      Failures.crash_recover_at (Failures.none ~n:4) 1 ~at:60 ~recover_at:140 }
+
+let recovery_inputs =
+  Harness.Scenario.spread_posts ~n:4 ~count:12 ~from_time:8 ~every:20
+
+let test_recoverable_clean_recovery () =
+  let trace, handles, stores =
+    Harness.Scenario.run_recoverable ~inputs:recovery_inputs recovery_setup
+  in
+  let report = Harness.Scenario.etob_report recovery_setup trace in
+  Alcotest.(check bool) "base ETOB properties hold" true
+    (Properties.etob_base_ok report);
+  Alcotest.(check bool) "no sequence number reused" true
+    report.Properties.distinct_broadcasts.Properties.ok;
+  Alcotest.(check bool) "restarted handle knows it" true
+    (Recoverable.was_restarted handles.(1));
+  Alcotest.(check bool) "replay recovered pre-crash messages" true
+    (Recoverable.replayed_msgs handles.(1) > 0);
+  Alcotest.(check bool) "links retransmitted into the window" true
+    (Array.exists (fun h -> Recoverable.retransmitted h > 0) handles);
+  Alcotest.(check int) "one restart on the victim's store" 1
+    (Persist.Store.stats stores.(1)).Persist.Store.restarts
+
+let test_recoverable_deterministic () =
+  let show () =
+    let trace, _, _ =
+      Harness.Scenario.run_recoverable ~inputs:recovery_inputs recovery_setup
+    in
+    Format.asprintf "%a" Trace.pp trace
+  in
+  Alcotest.(check string) "same config, same trace" (show ()) (show ())
+
+let test_recoverable_amnesia_caught () =
+  let trace, _, _ =
+    Harness.Scenario.run_recoverable ~inputs:recovery_inputs
+      ~mutation:Recoverable.Skip_log_replay recovery_setup
+  in
+  let report = Harness.Scenario.etob_report recovery_setup trace in
+  Alcotest.(check bool) "skipping the replay reuses sequence numbers" false
+    report.Properties.distinct_broadcasts.Properties.ok
+
+(* A run without downtime windows exercises the same wrapped stack and
+   must stay clean: the log/retransmission layer is behaviour-preserving
+   when nobody crashes. *)
+let test_recoverable_no_window_clean () =
+  let setup =
+    { recovery_setup with pattern = Failures.none ~n:4 }
+  in
+  let trace, handles, _ =
+    Harness.Scenario.run_recoverable ~inputs:recovery_inputs setup
+  in
+  let report = Harness.Scenario.etob_report setup trace in
+  Alcotest.(check bool) "clean" true (Properties.etob_base_ok report);
+  Alcotest.(check bool) "nobody restarted" false
+    (Array.exists Recoverable.was_restarted handles)
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest [ prop_stats_bounds ] in
   Alcotest.run "harness"
@@ -272,4 +368,15 @@ let () =
            test_sweep_merged_latency_stats ]);
       ("timeline",
        [ Alcotest.test_case "renders" `Quick test_timeline_renders ]);
+      ("recovery",
+       [ Alcotest.test_case "golden crash trace byte-identical" `Quick
+           test_golden_crash_trace_byte_identical;
+         Alcotest.test_case "clean recovery" `Quick
+           test_recoverable_clean_recovery;
+         Alcotest.test_case "deterministic" `Quick
+           test_recoverable_deterministic;
+         Alcotest.test_case "amnesia caught" `Quick
+           test_recoverable_amnesia_caught;
+         Alcotest.test_case "no window stays clean" `Quick
+           test_recoverable_no_window_clean ]);
     ]

@@ -175,6 +175,64 @@ let test_environments () =
   Alcotest.(check bool) "2-resilient rejects" false
     (Failures.admits (Failures.t_resilient 2) minority)
 
+let test_failures_recovery_windows () =
+  let f =
+    Failures.crash_recover_at (Failures.none ~n:3) 1 ~at:10 ~recover_at:20
+  in
+  Alcotest.(check (list (pair int int))) "window" [ (10, 20) ]
+    (Failures.downtimes f 1);
+  Alcotest.(check bool) "has recovery" true (Failures.has_recovery f);
+  Alcotest.(check bool) "windows do not make a process faulty" false
+    (Failures.is_faulty f 1);
+  Alcotest.(check bool) "still correct" true (Failures.is_correct f 1);
+  Alcotest.(check bool) "up before" true (Failures.is_alive f 1 9);
+  Alcotest.(check bool) "down at crash" false (Failures.is_alive f 1 10);
+  Alcotest.(check bool) "down until recovery" false (Failures.is_alive f 1 19);
+  Alcotest.(check bool) "up at recovery" true (Failures.is_alive f 1 20);
+  Alcotest.(check bool) "status Down mid-window" true
+    (Failures.status f 1 15 = Failures.Down);
+  Alcotest.(check bool) "status Up after" true
+    (Failures.status f 1 20 = Failures.Up);
+  Alcotest.(check (list int)) "F(15) counts the down process" [ 1 ]
+    (Failures.crashed_by f 15)
+
+let test_failures_windows_merge () =
+  let f = Failures.none ~n:2 in
+  let f = Failures.crash_recover_at f 0 ~at:10 ~recover_at:20 in
+  let f = Failures.crash_recover_at f 0 ~at:15 ~recover_at:25 in
+  let f = Failures.crash_recover_at f 0 ~at:25 ~recover_at:30 in
+  Alcotest.(check (list (pair int int))) "overlap and touch fuse"
+    [ (10, 30) ] (Failures.downtimes f 0);
+  let f = Failures.crash_recover_at f 0 ~at:40 ~recover_at:45 in
+  Alcotest.(check (list (pair int int))) "disjoint windows kept ascending"
+    [ (10, 30); (40, 45) ] (Failures.downtimes f 0);
+  Alcotest.check_raises "empty window rejected"
+    (Invalid_argument "Failures.crash_recover_at: recovery must follow the crash")
+    (fun () -> ignore (Failures.crash_recover_at f 0 ~at:5 ~recover_at:5))
+
+let test_failures_recovery_events_sorted () =
+  let f = Failures.none ~n:3 in
+  let f = Failures.crash_recover_at f 2 ~at:5 ~recover_at:9 in
+  let f = Failures.crash_recover_at f 0 ~at:12 ~recover_at:30 in
+  let f = Failures.crash_recover_at f 2 ~at:14 ~recover_at:18 in
+  Alcotest.(check (list (triple int int int))) "schedule by crash time"
+    [ (2, 5, 9); (0, 12, 30); (2, 14, 18) ]
+    (Failures.recovery_events f)
+
+(* A permanent crash inside a downtime window wins: the process never
+   restarts (and is faulty). *)
+let test_failures_permanent_crash_wins () =
+  let f =
+    Failures.crash_recover_at (Failures.none ~n:2) 1 ~at:10 ~recover_at:20
+  in
+  let f = Failures.crash_at f 1 15 in
+  Alcotest.(check bool) "faulty" true (Failures.is_faulty f 1);
+  Alcotest.(check bool) "Down before the permanent crash" true
+    (Failures.status f 1 12 = Failures.Down);
+  Alcotest.(check bool) "Crashed from then on" true
+    (Failures.status f 1 25 = Failures.Crashed);
+  Alcotest.(check bool) "never back up" false (Failures.is_alive f 1 50)
+
 let prop_random_pattern_has_correct =
   QCheck.Test.make ~name:"failures: random pattern keeps a correct process"
     ~count:200 QCheck.(pair small_int small_int)
@@ -363,6 +421,61 @@ let test_engine_message_to_crashed_dropped_at_delivery () =
     (fun (_, p, _, _) -> Alcotest.(check int) "only p0 delivers" 0 p)
     (got_events trace)
 
+let test_engine_recovery_restarts_node () =
+  let pattern =
+    Failures.crash_recover_at (Failures.none ~n:3) 2 ~at:1 ~recover_at:10
+  in
+  let config = { (Engine.default_config ~n:3 ~deadline:30) with pattern } in
+  let trace = Engine.run config ~make_node:ping_node ~inputs:[] in
+  let events = got_events trace in
+  (* p0/p1 ping while p2 is down (deliveries to p2 are dropped: 2 x 2);
+     the restarted p2 gets fresh volatile state — [fired] is false again —
+     so it pings after recovery, reaching all three.  2x2 + 3 = 7. *)
+  Alcotest.(check int) "7 deliveries" 7 (List.length events);
+  List.iter
+    (fun (t, p, k, _) ->
+       if p = 2 || k = 2 then
+         Alcotest.(check bool) "p2 activity only after recovery" true (t >= 10))
+    events;
+  Alcotest.(check bool) "restarted p2 pinged" true
+    (List.exists (fun (_, _, k, _) -> k = 2) events);
+  Alcotest.(check bool) "deliveries to the down p2 dropped" true
+    (Trace.dropped trace >= 2)
+
+(* run_with hands back the latest incarnation's handle. *)
+let test_engine_run_with_latest_incarnation () =
+  let pattern =
+    Failures.crash_recover_at (Failures.none ~n:3) 1 ~at:5 ~recover_at:12
+  in
+  let config = { (Engine.default_config ~n:3 ~deadline:30) with pattern } in
+  let incarnations = Array.make 3 0 in
+  let make_node (ctx : Engine.ctx) =
+    incarnations.(ctx.Engine.self) <- incarnations.(ctx.Engine.self) + 1;
+    (Engine.idle_node, incarnations.(ctx.Engine.self))
+  in
+  let _, handles = Engine.run_with config ~make_node ~inputs:[] in
+  Alcotest.(check (array int)) "restarted slot holds the second incarnation"
+    [| 1; 2; 1 |] handles
+
+let test_engine_crash_recover_marks () =
+  let marks = ref [] in
+  let sink =
+    { Sink.null with
+      Sink.on_crash = (fun ~at ~proc -> marks := ("crash", at, proc) :: !marks);
+      on_recover = (fun ~at ~proc -> marks := ("recover", at, proc) :: !marks)
+    }
+  in
+  let pattern =
+    Failures.crash_recover_at (Failures.none ~n:2) 1 ~at:5 ~recover_at:12
+  in
+  let config =
+    { (Engine.default_config ~n:2 ~deadline:30) with pattern; sink = Some sink }
+  in
+  ignore (Engine.run config ~make_node:ping_node ~inputs:[]);
+  Alcotest.(check (list (triple string int int))) "both transitions reported"
+    [ ("crash", 5, 1); ("recover", 12, 1) ]
+    (List.rev !marks)
+
 let test_engine_timer_cadence () =
   let ticks = ref [] in
   let make_node (ctx : Engine.ctx) =
@@ -501,7 +614,9 @@ let test_sink_tee_ordering () =
       on_send = (fun _ -> log := (tag, "send") :: !log);
       on_deliver = (fun ~at:_ _ -> log := (tag, "deliver") :: !log);
       on_drop = (fun ~at:_ _ -> log := (tag, "drop") :: !log);
-      on_step = (fun ~at:_ ~proc:_ -> log := (tag, "step") :: !log) }
+      on_step = (fun ~at:_ ~proc:_ -> log := (tag, "step") :: !log);
+      on_crash = (fun ~at:_ ~proc:_ -> log := (tag, "crash") :: !log);
+      on_recover = (fun ~at:_ ~proc:_ -> log := (tag, "recover") :: !log) }
   in
   let sink = Sink.tee (mk "a") (mk "b") in
   let env = { Msg.src = 0; dst = 1; payload = Ping 0; sent_at = 3; uid = 7 } in
@@ -547,6 +662,22 @@ let test_sink_tee_and_jsonl () =
   in
   Alcotest.(check int) "one deliver line per delivery" 9 (count "deliver");
   Alcotest.(check int) "sends match recorder" (Trace.sent target) (count "send")
+
+(* Bracket semantics: the channel is flushed and closed even when the
+   observed run raises, and the result passes through when it returns. *)
+let test_sink_with_jsonl_closes_on_raise () =
+  let path = Filename.temp_file "ecsim_jsonl" ".jsonl" in
+  (try
+     Sink.with_jsonl path (fun sink ->
+         sink.Sink.on_crash ~at:3 ~proc:1;
+         raise Exit)
+   with Exit -> ());
+  let content = In_channel.with_open_bin path In_channel.input_all in
+  Alcotest.(check string) "event flushed before the exception escaped"
+    "{\"ev\":\"crash\",\"t\":3,\"proc\":1}\n" content;
+  Alcotest.(check int) "result passes through" 7
+    (Sink.with_jsonl path (fun _ -> 7));
+  Sys.remove path
 
 let test_sink_json_escape () =
   Alcotest.(check string) "quotes and backslashes" {|a\"b\\c\nd|}
@@ -693,7 +824,14 @@ let () =
        [ Alcotest.test_case "basics" `Quick test_failures_basics;
          Alcotest.test_case "crashed_by monotone" `Quick test_failures_crashed_by_monotone;
          Alcotest.test_case "double crash" `Quick test_failures_double_crash_keeps_earliest;
-         Alcotest.test_case "environments" `Quick test_environments ]);
+         Alcotest.test_case "environments" `Quick test_environments;
+         Alcotest.test_case "recovery windows" `Quick
+           test_failures_recovery_windows;
+         Alcotest.test_case "windows merge" `Quick test_failures_windows_merge;
+         Alcotest.test_case "recovery events sorted" `Quick
+           test_failures_recovery_events_sorted;
+         Alcotest.test_case "permanent crash wins" `Quick
+           test_failures_permanent_crash_wins ]);
       ("net",
        [ Alcotest.test_case "constant" `Quick test_net_constant;
          Alcotest.test_case "uniform bounds" `Quick test_net_uniform_bounds;
@@ -711,6 +849,12 @@ let () =
          Alcotest.test_case "crashed take no steps" `Quick test_engine_crashed_take_no_steps;
          Alcotest.test_case "drop at delivery" `Quick
            test_engine_message_to_crashed_dropped_at_delivery;
+         Alcotest.test_case "recovery restarts node" `Quick
+           test_engine_recovery_restarts_node;
+         Alcotest.test_case "run_with latest incarnation" `Quick
+           test_engine_run_with_latest_incarnation;
+         Alcotest.test_case "crash/recover marks" `Quick
+           test_engine_crash_recover_marks;
          Alcotest.test_case "timer cadence" `Quick test_engine_timer_cadence;
          Alcotest.test_case "inputs" `Quick test_engine_inputs_delivered_in_time;
          Alcotest.test_case "inputs to crashed dropped" `Quick
@@ -726,6 +870,8 @@ let () =
            test_sink_counters_matches_recorder;
          Alcotest.test_case "tee ordering" `Quick test_sink_tee_ordering;
          Alcotest.test_case "tee and jsonl" `Quick test_sink_tee_and_jsonl;
+         Alcotest.test_case "with_jsonl closes on raise" `Quick
+           test_sink_with_jsonl_closes_on_raise;
          Alcotest.test_case "json escape" `Quick test_sink_json_escape;
          Alcotest.test_case "counters allocates less" `Slow
            test_sink_counters_allocates_less ]);
