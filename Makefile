@@ -1,7 +1,7 @@
 # Developer entry points.  `make check` is the tier-1 gate used by CI and
 # by every PR: it must stay green.
 
-.PHONY: all check build test smoke fmt bench clean
+.PHONY: all check build test smoke soak fmt bench clean
 
 all: build
 
@@ -13,12 +13,25 @@ test:
 
 check: build test
 
-# Adversarial smoke: both faithful targets (crash-stop and crash-recovery)
-# clean over the budget; every seeded mutant — the four Algorithm 5 bugs
-# and the skip-log-replay amnesia bug — found, shrunk and replayed from
-# its repro file.  Shrunk repro files land in _artifacts/smoke/.
+# Adversarial smoke: all three faithful targets (crash-stop,
+# crash-recovery, and anti-entropy-under-watchdog with message-losing
+# partitions) clean over the budget; every seeded mutant — the four
+# Algorithm 5 bugs, the skip-log-replay amnesia bug and the skip-digest
+# anti-entropy bug — found, shrunk and replayed from its repro file.
+# Shrunk repro files land in _artifacts/smoke/.
 smoke:
 	dune exec bin/ecsim.exe -- explore --smoke --plans 500 -j 2 --artifacts _artifacts/smoke
+
+# Long-budget liveness soak: the partition-hardened stack (anti-entropy
+# digests under the convergence watchdog) explored far past the CI
+# budget, with and without crash-recovery adversities in the mix.  Any
+# finding is shrunk and written as a repro under _artifacts/soak/.
+soak:
+	mkdir -p _artifacts/soak
+	dune exec bin/ecsim.exe -- explore --ae --watchdog --plans 5000 -j 4 \
+	  -o _artifacts/soak/ae-watchdog.repro
+	dune exec bin/ecsim.exe -- explore --ae --watchdog --recovery --plans 5000 -j 4 \
+	  -o _artifacts/soak/ae-watchdog-recovery.repro
 
 # Requires ocamlformat (version pinned in .ocamlformat); a no-op check
 # elsewhere so environments without the formatter can still run `make check`.

@@ -848,6 +848,107 @@ let e17 () =
   row "  wrote %s" path
 
 (* ------------------------------------------------------------------ *)
+(* E18: lossy-partition heal — anti-entropy digest vs flood            *)
+(* ------------------------------------------------------------------ *)
+
+(* Algorithm 5 plus the anti-entropy layer under a lossy partition that
+   isolates one process across most of the workload: cross-block traffic
+   is LOST (not buffered), so after the heal the isolated replica and the
+   majority must re-teach each other whatever each side missed.  Digest
+   mode (constant-size summaries answered with O(missing) deltas) is
+   compared with the Flood strawman (periodic full-set pushes): both must
+   converge — the watchdog verdict and heal-to-convergence time are
+   reported — but the digest run must carry strictly fewer application
+   messages in its repair traffic.  That inequality is enforced, not just
+   printed.  Besides the table, emits machine-readable
+   BENCH_partition.json. *)
+let e18 () =
+  section "E18" "lossy-partition heal: anti-entropy digest vs flood repair traffic";
+  let n = 4 and deadline = 240 in
+  let from_time = 40 and until_time = 120 in
+  let spec = { Net.blocks = [ [ 0; 1; 2 ]; [ 3 ] ]; from_time; until_time } in
+  let inputs = Harness.Scenario.spread_posts ~n ~count:12 ~from_time:8 ~every:8 in
+  let last_post = 8 + (11 * 8) in
+  let mode_name = function
+    | Anti_entropy.Digest -> "digest"
+    | Anti_entropy.Flood -> "flood"
+  in
+  row "  p3 cut off by a LOSSY partition [%d, %d); 12 posts up to t=%d; n=%d"
+    from_time until_time last_post n;
+  row "  %-8s %-10s %-9s %-9s %-8s %-8s %-9s %-8s %-6s" "mode" "converged"
+    "heal2cvg" "digests" "deltas" "floods" "payload" "learned" "causal";
+  let run_mode mode =
+    let setup =
+      { (Harness.Scenario.default ~n ~deadline) with
+        delay = Net.uniform ~min:1 ~max:3;
+        faults = Net.lossy_partition spec;
+        omega = oracle 0 }
+    in
+    let trace, handles =
+      Harness.Scenario.run_etob_ae ~inputs
+        ~ae_config:{ Anti_entropy.default_config with Anti_entropy.mode }
+        setup
+    in
+    let run = Properties.etob_run_of_trace setup.Harness.Scenario.pattern trace in
+    let report = Properties.etob_report run in
+    let settle = max until_time last_post in
+    let converged_at =
+      match Harness.Watchdog.check ~settle ~bound:(deadline - settle) run with
+      | Harness.Watchdog.Converged { at } -> at
+      | Harness.Watchdog.Stalled _ -> -1
+    in
+    let sum f =
+      Array.fold_left
+        (fun acc (_, ae) -> acc + f (Anti_entropy.stats ae))
+        0 handles
+    in
+    let digests = sum (fun s -> s.Anti_entropy.digests_sent)
+    and deltas = sum (fun s -> s.Anti_entropy.deltas_sent)
+    and floods = sum (fun s -> s.Anti_entropy.floods_sent)
+    and payload = sum (fun s -> s.Anti_entropy.delta_msgs + s.Anti_entropy.flood_msgs)
+    and learned = sum (fun s -> s.Anti_entropy.learned) in
+    let causal = report.Properties.causal_order in
+    let heal2cvg = if converged_at < 0 then -1 else converged_at - until_time in
+    row "  %-8s %-10d %-9d %-9d %-8d %-8d %-9d %-8d %-6s" (mode_name mode)
+      converged_at heal2cvg digests deltas floods payload learned
+      (verdict_mark causal);
+    ( converged_at, payload,
+      Printf.sprintf
+        "    {\"mode\": \"%s\", \"converged_at\": %d, \
+         \"heal_to_convergence\": %d, \"digests_sent\": %d, \
+         \"deltas_sent\": %d, \"floods_sent\": %d, \"payload_msgs\": %d, \
+         \"learned\": %d, \"causal_order_ok\": %b}"
+        (mode_name mode) converged_at heal2cvg digests deltas floods payload
+        learned causal.Properties.ok )
+  in
+  let d_at, d_payload, d_json = run_mode Anti_entropy.Digest in
+  let f_at, f_payload, f_json = run_mode Anti_entropy.Flood in
+  row "  expected: both modes converge shortly after the heal; the digest run's";
+  row "  repair payload is strictly smaller than the flood run's (enforced)";
+  if d_at < 0 || f_at < 0 then
+    failwith "E18: a mode failed to converge after the partition healed";
+  if d_payload >= f_payload then
+    failwith
+      (Printf.sprintf "E18: digest payload %d not < flood payload %d"
+         d_payload f_payload);
+  let json =
+    Printf.sprintf
+      "{\n  \"experiment\": \"E18\",\n  \"n\": %d,\n  \"deadline\": %d,\n  \
+       \"partition\": {\"isolated\": 3, \"from\": %d, \"until\": %d, \
+       \"lossy\": true},\n  \"digest_payload_strictly_smaller\": true,\n  \
+       \"results\": [\n%s\n  ]\n}\n"
+      n deadline from_time until_time
+      (String.concat ",\n" [ d_json; f_json ])
+  in
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench"
+    then Filename.concat "bench" "BENCH_partition.json"
+    else "BENCH_partition.json"
+  in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc json);
+  row "  wrote %s" path
+
+(* ------------------------------------------------------------------ *)
 (* E10: substrate micro-benchmarks (Bechamel)                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -919,25 +1020,34 @@ let e10 () =
 
 (* ------------------------------------------------------------------ *)
 
+let experiments =
+  [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E11", e11); ("E12", e12);
+    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
+    ("E18", e18); ("E10", e10) ]
+
+(* No arguments runs every experiment; otherwise each argument names one
+   (case-insensitive), e.g. `dune exec bench/main.exe -- E18 E17`. *)
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  List.iter
+    (fun a ->
+       if not (List.mem_assoc (String.uppercase_ascii a) experiments) then begin
+         Printf.eprintf "unknown experiment %s; known: %s\n" a
+           (String.concat " " (List.map fst experiments));
+         exit 2
+       end)
+    args;
+  let selected =
+    if args = [] then experiments
+    else
+      List.filter
+        (fun (id, _) ->
+           List.exists (fun a -> String.uppercase_ascii a = id) args)
+        experiments
+  in
   print_endline "Reproduction benchmarks: The Weakest Failure Detector for";
   print_endline "Eventual Consistency (Dubois, Guerraoui, Kuznetsov, Petit, Sens,";
   print_endline "PODC 2015). One section per experiment in DESIGN.md.";
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
-  e15 ();
-  e16 ();
-  e17 ();
-  e10 ();
+  List.iter (fun (_, f) -> f ()) selected;
   print_endline "\nAll experiment tables printed."

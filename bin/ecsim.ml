@@ -459,6 +459,23 @@ let explore_smoke ~domains ~budget ~seed ~artifacts =
               { recovering with E.rmutation = Some m } ))
          Recoverable.all_mutations)
   in
+  (* Partition liveness gate: the anti-entropy stack under the watchdog.
+     Generated plans now include message-LOSING partitions (split-brain,
+     minority isolation, one-way links, flapping bridges) that heal far
+     past the last post — only the digest exchange can repair them, and
+     the watchdog checks that every correct process actually converges.
+     The faithful stack must survive clean; the skip-digest mutant (the
+     layer that never advertises) must be caught. *)
+  let partitioned = { faithful with E.ae = true; watchdog = true } in
+  let* () = clean_gate "alg5+ae+watchdog" partitioned in
+  let* () =
+    all
+      (List.map
+         (fun m ->
+            ( Anti_entropy.mutation_name m,
+              { partitioned with E.ae_mutation = Some m } ))
+         Anti_entropy.all_mutations)
+  in
   print_endline "SMOKE PASSED";
   Ok ()
 
@@ -480,8 +497,9 @@ let explore_cmd =
   let mutant_arg =
     let doc =
       "Seed a known bug: skip-dependency-wait, forget-promote-prefix, \
-       drop-graph-union or disable-stale-guard (Algorithm 5), or \
-       skip-log-replay (the crash-recovery path; implies $(b,--recovery))."
+       drop-graph-union or disable-stale-guard (Algorithm 5), \
+       skip-log-replay (the crash-recovery path; implies $(b,--recovery)), \
+       or skip-digest (the anti-entropy layer; implies $(b,--ae))."
     in
     Arg.(value & opt (some string) None & info [ "mutant" ] ~docv:"NAME" ~doc)
   in
@@ -492,6 +510,22 @@ let explore_cmd =
        and disk faults among the generated adversities."
     in
     Arg.(value & flag & info [ "recovery" ] ~doc)
+  in
+  let ae_arg =
+    let doc =
+      "Stack the anti-entropy digest layer beside Algorithm 5 and admit \
+       message-losing partitions (split-brain, minority isolation, one-way \
+       links, flapping bridges) among the generated adversities."
+    in
+    Arg.(value & flag & info [ "ae" ] ~doc)
+  in
+  let watchdog_arg =
+    let doc =
+      "Check liveness, not just safety: after each plan's adversities \
+       settle, every correct process must reach the converged state within \
+       the computed progress bound or the plan is flagged."
+    in
+    Arg.(value & flag & info [ "watchdog" ] ~doc)
   in
   let artifacts_arg =
     let doc =
@@ -523,8 +557,8 @@ let explore_cmd =
     in
     Arg.(value & flag & info [ "smoke" ] ~doc)
   in
-  let run impl_name n seed deadline posts plans max_adv mutant recovery
-      domains out replay smoke artifacts =
+  let run impl_name n seed deadline posts plans max_adv mutant recovery ae
+      watchdog domains out replay smoke artifacts =
     let module E = Explore.Explorer in
     match replay with
     | Some path ->
@@ -548,7 +582,7 @@ let explore_cmd =
           `Error (false, "unknown implementation for explore: " ^ impl_name)
         | Some impl ->
           (* A mutant name resolves in the Algorithm-5 namespace first,
-             then in the recovery-path namespace. *)
+             then recovery-path, then anti-entropy. *)
           (match
              Option.map
                (fun name ->
@@ -557,7 +591,10 @@ let explore_cmd =
                   | None ->
                     (match Ec_core.Recoverable.mutation_of_string name with
                      | Some m -> `Recovery m
-                     | None -> invalid_arg ("unknown mutant " ^ name)))
+                     | None ->
+                       (match Anti_entropy.mutation_of_string name with
+                        | Some m -> `Ae m
+                        | None -> invalid_arg ("unknown mutant " ^ name))))
                mutant
            with
            | exception Invalid_argument msg ->
@@ -568,7 +605,9 @@ let explore_cmd =
                       (List.map Etob_omega.mutation_name
                          Etob_omega.all_mutations
                        @ List.map Ec_core.Recoverable.mutation_name
-                           Ec_core.Recoverable.all_mutations)) )
+                           Ec_core.Recoverable.all_mutations
+                       @ List.map Anti_entropy.mutation_name
+                           Anti_entropy.all_mutations)) )
            | parsed ->
              let mutation =
                match parsed with Some (`Etob m) -> Some m | _ -> None
@@ -576,25 +615,35 @@ let explore_cmd =
              let rmutation =
                match parsed with Some (`Recovery m) -> Some m | _ -> None
              in
+             let ae_mutation =
+               match parsed with Some (`Ae m) -> Some m | _ -> None
+             in
              let target =
                { E.default_target with
                  E.impl;
                  mutation;
                  rmutation;
+                 ae_mutation;
                  recovery = recovery || rmutation <> None;
+                 ae = ae || ae_mutation <> None;
+                 watchdog;
                  n = (if n = 0 then E.default_target.E.n else n);
                  deadline;
                  posts = (if posts = 0 then E.default_target.E.posts else posts) }
              in
              Format.printf
-               "explore: impl=%s mutant=%s recovery=%b n=%d plans=%d \
-                max-adversities=%d domains=%d@."
+               "explore: impl=%s mutant=%s recovery=%b ae=%b watchdog=%b \
+                n=%d plans=%d max-adversities=%d domains=%d@."
                (E.impl_name target.E.impl)
-               (match target.E.mutation, target.E.rmutation with
-                | Some m, _ -> Etob_omega.mutation_name m
-                | None, Some m -> Ec_core.Recoverable.mutation_name m
-                | None, None -> "none")
-               target.E.recovery target.E.n plans max_adv domains;
+               (match
+                  target.E.mutation, target.E.rmutation, target.E.ae_mutation
+                with
+                | Some m, _, _ -> Etob_omega.mutation_name m
+                | None, Some m, _ -> Ec_core.Recoverable.mutation_name m
+                | None, None, Some m -> Anti_entropy.mutation_name m
+                | None, None, None -> "none")
+               target.E.recovery target.E.ae target.E.watchdog target.E.n
+               plans max_adv domains;
              let r =
                E.explore ~domains target ~seed ~budget:plans
                  ~max_adversities:max_adv ()
@@ -620,8 +669,8 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(ret (const run $ impl_arg $ n_arg $ seed_arg $ deadline_arg
                $ posts_arg $ plans_arg $ max_adv_arg $ mutant_arg
-               $ recovery_arg $ domains_arg $ out_arg $ replay_arg
-               $ smoke_arg $ artifacts_arg))
+               $ recovery_arg $ ae_arg $ watchdog_arg $ domains_arg
+               $ out_arg $ replay_arg $ smoke_arg $ artifacts_arg))
 
 (* --- cht --- *)
 

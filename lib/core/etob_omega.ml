@@ -76,6 +76,35 @@ let broadcast t m =
   t.cg <- Causal_graph.add t.cg m;
   (Etob_intf.ctx_of t.backend).Engine.broadcast (Update t.cg)
 
+(* UpdatePromote: extend the promotion sequence to a causal linearization
+   of the (dependency-closed part of the) current graph.  The dependency
+   wait: only the part of the graph whose causal past has fully arrived is
+   promotable.  A message can carry a dependency this process has never
+   seen as a graph node (its deps come from an adopted promote, and the
+   dependency's own update may still be in flight); promoting it now would
+   lock it into the prefix ahead of the dependency and permanently violate
+   causal order. *)
+let update_promote t =
+  let promotable =
+    match t.mutation with
+    | Some Skip_dependency_wait -> t.cg
+    | _ -> Causal_graph.ready t.cg
+  in
+  let prefix =
+    match t.mutation with
+    | Some Forget_promote_prefix -> []
+    | _ -> t.promote
+  in
+  t.promote <- Causal_graph.linearize ~tie_break:t.tie_break promotable ~prefix
+
+(* Anti-entropy entry point (see Anti_entropy): merge a batch of messages
+   learnt out-of-band — a digest-exchange delta, not an update(CG_j) — into
+   the graph and re-run UpdatePromote, exactly as if their updates had
+   arrived.  Idempotent: already-known messages change nothing. *)
+let learn t msgs =
+  t.cg <- List.fold_left Causal_graph.add t.cg msgs;
+  update_promote t
+
 let create ?(tie_break = Causal_graph.default_tie_break) ?(stale_guard = true)
     ?mutation (ctx : Engine.ctx) ~omega =
   let stale_guard =
@@ -99,23 +128,7 @@ let create ?(tie_break = Causal_graph.default_tie_break) ?(stale_guard = true)
       (match t.mutation with
        | Some Drop_graph_union -> t.cg <- cg_j
        | _ -> t.cg <- Causal_graph.union t.cg cg_j);
-      (* The dependency wait: only the part of the graph whose causal past
-         has fully arrived is promotable.  A message can carry a dependency
-         this process has never seen as a graph node (its deps come from an
-         adopted promote, and the dependency's own update may still be in
-         flight); promoting it now would lock it into the prefix ahead of
-         the dependency and permanently violate causal order. *)
-      let promotable =
-        match t.mutation with
-        | Some Skip_dependency_wait -> t.cg
-        | _ -> Causal_graph.ready t.cg
-      in
-      let prefix =
-        match t.mutation with
-        | Some Forget_promote_prefix -> []
-        | _ -> t.promote
-      in
-      t.promote <- Causal_graph.linearize ~tie_break:t.tie_break promotable ~prefix;
+      update_promote t;
       t.updates_handled <- t.updates_handled + 1
     | Promote_seq promote_j ->
       (* Adopt only from the currently trusted leader, and ignore stale

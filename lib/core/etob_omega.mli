@@ -53,6 +53,12 @@ val restore : t -> msgs:App_msg.t list -> delivered:App_msg.t list -> unit
     allocation state from them, and announce the restored [d_i] as one
     output revision. *)
 
+val learn : t -> App_msg.t list -> unit
+(** Anti-entropy entry point (see {!Anti_entropy}): merge a batch of
+    messages learnt out-of-band — a digest-exchange delta rather than an
+    update(CG_j) — into the causality graph and re-run UpdatePromote,
+    exactly as if their updates had arrived.  Idempotent. *)
+
 val service : t -> Etob_intf.service
 
 val graph : t -> Causal_graph.t

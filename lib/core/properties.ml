@@ -69,6 +69,12 @@ let d_at run p t =
 
 let correct_procs run = Failures.correct run.e_pattern
 
+let revisions run p = run.e_snapshots.(p)
+
+let broadcasts run = run.e_broadcasts
+
+let horizon run = run.e_horizon
+
 let broadcast_time run m =
   List.find_map
     (fun (t, _, m') -> if App_msg.equal m m' then Some t else None)

@@ -28,6 +28,18 @@ val final_d : etob_run -> proc_id -> App_msg.t list
 val d_at : etob_run -> proc_id -> time -> App_msg.t list
 val broadcast_time : etob_run -> App_msg.t -> time option
 
+val revisions : etob_run -> proc_id -> (time * App_msg.t list) list
+(** The chronological revisions of [d_p] — what the liveness watchdog
+    ({!Harness.Watchdog}) scans for convergence progress. *)
+
+val broadcasts : etob_run -> (time * proc_id * App_msg.t) list
+(** Every broadcastETOB event of the run, chronological. *)
+
+val horizon : etob_run -> time
+(** The run horizon (time of the last trace event). *)
+
+val correct_procs : etob_run -> proc_id list
+
 val check_validity : etob_run -> verdict
 (** TOB-Validity. *)
 

@@ -47,15 +47,6 @@
    guarantee the protocol's liveness arguments need. *)
 
 open Simulator
-open Simulator.Types
-
-(* Frames carry the sender's incarnation epoch (its number of restarts,
-   read off the stable store): a restarted sender's sequence numbers start
-   over from 0, so without the epoch its peers' dedup sets would swallow
-   every post-restart frame as a duplicate of the old incarnation's. *)
-type Msg.payload +=
-  | Rlink of { epoch : int; seq : int; inner : Msg.payload }
-  | Rlink_ack of { epoch : int; seq : int }
 
 type config = {
   snapshot_every : int;  (** checkpoint after this many log appends *)
@@ -74,86 +65,13 @@ let mutation_name = function Skip_log_replay -> "skip-log-replay"
 let mutation_of_string s =
   List.find_opt (fun m -> mutation_name m = s) all_mutations
 
-(* ------------------------------------------------------------------ *)
-(* Reliable-link layer                                                 *)
-(* ------------------------------------------------------------------ *)
-
-module Int_map = Map.Make (Int)
-module Int_set = Set.Make (Int)
-
-type pending = {
-  payload : Msg.payload;
-  mutable next_retry : time;
-  mutable backoff : int;
-}
-
-type link = {
-  lctx : Engine.ctx;  (* the raw engine ctx *)
-  lcfg : config;
-  epoch : int;  (* this incarnation's number (restarts so far) *)
-  next_seq : int array;  (* per destination *)
-  mutable unacked : pending Int_map.t array;  (* per destination *)
-  src_epoch : int array;  (* per source: highest incarnation seen *)
-  mutable seen : Int_set.t array;  (* per source: delivered frame seqs *)
-  mutable retransmitted : int;
-}
-
-let make_link lcfg ~epoch (ctx : Engine.ctx) =
-  { lctx = ctx;
-    lcfg;
-    epoch;
-    next_seq = Array.make ctx.Engine.n 0;
-    unacked = Array.make ctx.Engine.n Int_map.empty;
-    src_epoch = Array.make ctx.Engine.n (-1);
-    seen = Array.make ctx.Engine.n Int_set.empty;
-    retransmitted = 0 }
-
-let link_send link dst payload =
-  let seq = link.next_seq.(dst) in
-  link.next_seq.(dst) <- seq + 1;
-  let now = link.lctx.Engine.now () in
-  link.unacked.(dst) <-
-    Int_map.add seq
-      { payload; next_retry = now + link.lcfg.ack_timeout;
-        backoff = link.lcfg.ack_timeout }
-      link.unacked.(dst);
-  link.lctx.Engine.send dst (Rlink { epoch = link.epoch; seq; inner = payload })
-
-(* Retransmit every overdue unacknowledged frame, doubling its backoff up
-   to the cap.  Driven from the process's local timer. *)
-let link_retry link =
-  let now = link.lctx.Engine.now () in
-  Array.iteri
-    (fun dst pendings ->
-       Int_map.iter
-         (fun seq p ->
-            if now >= p.next_retry then begin
-              p.backoff <- min (2 * p.backoff) link.lcfg.max_backoff;
-              p.next_retry <- now + p.backoff;
-              link.retransmitted <- link.retransmitted + 1;
-              link.lctx.Engine.send dst
-                (Rlink { epoch = link.epoch; seq; inner = p.payload })
-            end)
-         pendings)
-    link.unacked
-
-(* A frame from a newer incarnation of [src] supersedes the old one's
-   dedup state; a frame from an older (dead) incarnation is dropped —
-   nobody retransmits it, and its content is covered by the restarted
-   sender's replay-and-rebroadcast.  Returns whether to deliver. *)
-let link_admit link ~src ~epoch ~seq =
-  if epoch < link.src_epoch.(src) then `Stale
-  else begin
-    if epoch > link.src_epoch.(src) then begin
-      link.src_epoch.(src) <- epoch;
-      link.seen.(src) <- Int_set.empty
-    end;
-    if Int_set.mem seq link.seen.(src) then `Duplicate
-    else begin
-      link.seen.(src) <- Int_set.add seq link.seen.(src);
-      `Deliver
-    end
-  end
+(* The reliable-link layer lives in {!Retransmit} (factored out in PR 4 so
+   the anti-entropy component and future subsystems reuse it); this
+   wrapper owns one link per incarnation and keeps its historical framing
+   behaviour — [Rlink]/[Rlink_ack] payloads, backoff, dedup — unchanged. *)
+let link_config config =
+  { Retransmit.ack_timeout = config.ack_timeout;
+    max_backoff = config.max_backoff }
 
 (* ------------------------------------------------------------------ *)
 (* Write-ahead-log records                                             *)
@@ -216,7 +134,7 @@ let replay (opening : Persist.Store.opening) =
 
 type t = {
   etob : Etob_omega.t;
-  link : link;
+  link : Retransmit.t;
   store : Persist.Store.t;
   commit : Commit_prefix.t option;
   restarted : bool;  (* this incarnation came from a post-crash open *)
@@ -225,26 +143,39 @@ type t = {
 
 let etob t = t.etob
 let commit_state t = t.commit
-let retransmitted t = t.link.retransmitted
+let retransmitted t = Retransmit.retransmitted t.link
 let was_restarted t = t.restarted
 let replayed_msgs t = t.replayed_msgs
 
 let create ?(config = default_config) ?mutation ?etob_mutation
-    ?(commits = false) ~store ~omega (ctx : Engine.ctx) =
+    ?(commits = false) ?anti_entropy ?ae_mutation ~store ~omega
+    (ctx : Engine.ctx) =
   let opening = Persist.Store.open_ store in
   let amnesia = mutation = Some Skip_log_replay in
   let epoch = (Persist.Store.stats store).Persist.Store.restarts in
-  let link = make_link config ~epoch ctx in
+  let link = Retransmit.create ~config:(link_config config) ~epoch ctx in
   let lctx =
     { ctx with
-      Engine.send = link_send link;
-      broadcast =
-        (fun payload ->
-           List.iter (fun q -> link_send link q payload)
-             (all_procs ctx.Engine.n)) }
+      Engine.send = Retransmit.send link;
+      broadcast = Retransmit.broadcast link }
   in
   let etob_t, etob_node = Etob_omega.create ?mutation:etob_mutation lctx ~omega in
   let inner_service = Etob_omega.service etob_t in
+  (* The anti-entropy layer (when enabled) sends through the raw ctx, not
+     the retransmitting link: digests are periodic and deltas re-answer
+     fresh digests, so the layer is its own retransmission mechanism and
+     framing it would only add ack traffic.  Messages it learns flow into
+     the write-ahead log through [after_event] like any other graph
+     growth. *)
+  let ae_node =
+    match anti_entropy, ae_mutation with
+    | None, None -> Engine.idle_node
+    | config, mutation ->
+      snd
+        (Anti_entropy.create ?config ?mutation ctx
+           ~graph:(fun () -> Etob_omega.graph etob_t)
+           ~learn:(Etob_omega.learn etob_t))
+  in
   let logged = ref App_msg.Id_set.empty in
   let appends = ref 0 in
   (* Replay snapshot-then-log into the protocol; the amnesia mutant skips
@@ -359,36 +290,38 @@ let create ?(config = default_config) ?mutation ?etob_mutation
   in
   let dispatch_message ~src payload =
     etob_node.Engine.on_message ~src payload;
+    ae_node.Engine.on_message ~src payload;
     (match commit_parts with
      | Some (_, cnode) -> cnode.Engine.on_message ~src payload
      | None -> ())
   in
   let on_message ~src payload =
     match payload with
-    | Rlink { epoch; seq; inner } ->
-      (match link_admit link ~src ~epoch ~seq with
+    | Retransmit.Rlink { epoch; seq; inner } ->
+      (match Retransmit.admit link ~src ~epoch ~seq with
        | `Stale -> ()  (* a dead incarnation's in-flight frame *)
        | `Duplicate ->
          (* Retransmission after a lost ack: re-acknowledge without
             re-delivering. *)
-         ctx.Engine.send src (Rlink_ack { epoch; seq })
+         ctx.Engine.send src (Retransmit.Rlink_ack { epoch; seq })
        | `Deliver ->
          dispatch_message ~src inner;
          after_event ();
          (* Acknowledge only once the new state is durable
             (log-before-ack): the sender may now stop retransmitting. *)
-         ctx.Engine.send src (Rlink_ack { epoch; seq }))
-    | Rlink_ack { epoch; seq } ->
-      if epoch = link.epoch then
-        link.unacked.(src) <- Int_map.remove seq link.unacked.(src)
+         ctx.Engine.send src (Retransmit.Rlink_ack { epoch; seq }))
+    | Retransmit.Rlink_ack { epoch; seq } -> Retransmit.ack link ~src ~epoch ~seq
     | other ->
-      (* Unframed payloads from non-recoverable peers: deliver directly. *)
+      (* Unframed payloads from non-recoverable peers (and the
+         anti-entropy layer, which is its own retransmission mechanism):
+         deliver directly. *)
       dispatch_message ~src other;
       after_event ()
   in
   let on_timer () =
-    link_retry link;
+    Retransmit.retry link;
     etob_node.Engine.on_timer ();
+    ae_node.Engine.on_timer ();
     (match commit_parts with
      | Some (_, cnode) -> cnode.Engine.on_timer ()
      | None -> ());
@@ -405,10 +338,3 @@ let create ?(config = default_config) ?mutation ?etob_mutation
     { inner_service with Etob_intf.broadcast }
   in
   (t, { Engine.on_message; on_timer; on_input }, service)
-
-let () =
-  Msg.register_payload_pp (fun ppf -> function
-    | Rlink { epoch; seq; inner } ->
-      Fmt.pf ppf "rlink[%d.%d](%a)" epoch seq Msg.pp_payload inner; true
-    | Rlink_ack { epoch; seq } -> Fmt.pf ppf "rlink-ack[%d.%d]" epoch seq; true
-    | _ -> false)

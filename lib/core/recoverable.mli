@@ -13,16 +13,10 @@
     which the leader re-teaches); committed prefixes are logged with a
     barrier (externally visible promises). *)
 
-open Simulator
 open Simulator.Types
 
-type Msg.payload +=
-  | Rlink of { epoch : int; seq : int; inner : Msg.payload }
-      (** A retransmission-layer frame around a protocol payload.  [epoch]
-          is the sender incarnation's restart count: receivers key their
-          dedup state on it, so a restarted sender (whose [seq] starts
-          over) is not swallowed as a duplicate of its former self. *)
-  | Rlink_ack of { epoch : int; seq : int }
+(** The retransmission frames ([Rlink]/[Rlink_ack]) live in {!Retransmit},
+    the reusable link layer this wrapper drives. *)
 
 type config = {
   snapshot_every : int;  (** checkpoint after this many log appends *)
@@ -50,10 +44,12 @@ val create :
   ?mutation:mutation ->
   ?etob_mutation:Etob_omega.mutation ->
   ?commits:bool ->
+  ?anti_entropy:Anti_entropy.config ->
+  ?ae_mutation:Anti_entropy.mutation ->
   store:Persist.Store.t ->
   omega:(unit -> proc_id) ->
-  Engine.ctx ->
-  t * Engine.node * Etob_intf.service
+  Simulator.Engine.ctx ->
+  t * Simulator.Engine.node * Etob_intf.service
 (** Build one process of the recoverable stack: open (or re-open) [store],
     replay snapshot-then-log into a fresh Algorithm-5 instance, and wrap
     its node and service so every send is framed and retransmitted until
@@ -63,9 +59,13 @@ val create :
     outlives the incarnations ({!Persist.Store.pool}).
 
     [commits] additionally stacks the committed-prefix component
-    ({!Commit_prefix}) under the same log.  [etob_mutation] seeds a bug in
-    the wrapped protocol; [mutation] seeds a bug in the recovery path
-    itself. *)
+    ({!Commit_prefix}) under the same log.  [anti_entropy] (or
+    [ae_mutation]) additionally stacks the {!Anti_entropy} digest-exchange
+    component beside the protocol — it sends unframed (it is its own
+    retransmission mechanism) and everything it learns flows into the
+    write-ahead log like any other graph growth.  [etob_mutation] seeds a
+    bug in the wrapped protocol; [mutation] seeds a bug in the recovery
+    path itself; [ae_mutation] seeds one in the anti-entropy layer. *)
 
 val etob : t -> Etob_omega.t
 val commit_state : t -> Commit_prefix.t option

@@ -15,6 +15,27 @@ type spec =
   | Crash of { proc : proc_id; at : time }
   | Partition of { left : proc_id list; from_time : time; until_time : time }
       (* [left] vs everyone else, healing at [until_time] *)
+  | Lossy_partition of {
+      left : proc_id list;
+      from_time : time;
+      until_time : time;
+    }
+      (* like [Partition], but cross-block sends are DROPPED, not buffered:
+         recovering the lost traffic is the protocol's problem *)
+  | Oneway_partition of {
+      left : proc_id list;
+      from_time : time;
+      until_time : time;
+    }
+      (* asymmetric: sends from [left] to the rest are dropped, the reverse
+         direction still flows *)
+  | Flapping_partition of {
+      left : proc_id list;
+      from_time : time;
+      until_time : time;
+      period : int;
+    }
+      (* lossy, cut for [period] ticks / healed for [period], repeating *)
   | Delay_spike of {
       link : (proc_id * proc_id) option;  (* None = every link *)
       from_time : time;
@@ -41,6 +62,16 @@ let has_flap = List.exists (function Omega_flap _ -> true | _ -> false)
 let has_recovery =
   List.exists (function Crash_recover _ | Disk_fault _ -> true | _ -> false)
 
+(* The plan can silently lose messages: lossy/one-way/flapping partitions
+   drop cross-block sends on the floor (unlike the buffering [Partition]),
+   so liveness needs either post-heal re-gossip or the anti-entropy
+   layer. *)
+let has_partition_loss =
+  List.exists
+    (function
+      | Lossy_partition _ | Oneway_partition _ | Flapping_partition _ -> true
+      | _ -> false)
+
 let crash_procs plan =
   List.filter_map (function Crash { proc; _ } -> Some proc | _ -> None) plan
 
@@ -64,6 +95,12 @@ let settle_time ~base_max plan =
          (match spec with
           | Crash { at; _ } -> at
           | Partition { until_time; _ } -> until_time + base_max
+          (* lossy windows buffer nothing, so the network is nominal the
+             moment they close; catching up on what was LOST is protocol
+             work, accounted for in the caller's slack, not here *)
+          | Lossy_partition { until_time; _ }
+          | Oneway_partition { until_time; _ }
+          | Flapping_partition { until_time; _ } -> until_time
           | Delay_spike { until_time; factor; _ } ->
             until_time + (base_max * factor)
           | Drop { until_time; _ } -> until_time
@@ -90,6 +127,25 @@ let apply_spec (s : Scenario.setup) spec : Scenario.setup =
     let blocks = [ left; complement ~n:s.n left ] in
     { s with
       delay = Net.partitioned { Net.blocks; from_time; until_time } ~base:s.delay }
+  | Lossy_partition { left; from_time; until_time } ->
+    let blocks = [ left; complement ~n:s.n left ] in
+    { s with
+      faults =
+        Net.compose_faults
+          [ s.faults;
+            Net.lossy_partition { Net.blocks; from_time; until_time } ] }
+  | Oneway_partition { left; from_time; until_time } ->
+    { s with
+      faults =
+        Net.compose_faults
+          [ s.faults; Net.oneway_partition ~from_block:left ~from_time ~until_time ] }
+  | Flapping_partition { left; from_time; until_time; period } ->
+    let blocks = [ left; complement ~n:s.n left ] in
+    { s with
+      faults =
+        Net.compose_faults
+          [ s.faults;
+            Net.flapping_partition ~blocks ~from_time ~until_time ~period ] }
   | Delay_spike { link; from_time; until_time; factor } ->
     let only = Option.map (fun l -> [ l ]) link in
     { s with delay = Net.slow_links ?only ~from_time ~until_time ~factor s.delay }
@@ -142,6 +198,19 @@ let weaken spec =
   | Partition { left; from_time; until_time } ->
     halve_until ~from_time ~until_time (fun until_time ->
         Partition { left; from_time; until_time })
+  (* The lossy family weakens only by closing earlier (halve_until keeps
+     [from_time]), so a weakened plan's settle time — and tau bound — never
+     grows.  Shrinking a flap's period would lengthen individual down
+     windows, which is not strictly weaker, so the period stays. *)
+  | Lossy_partition { left; from_time; until_time } ->
+    halve_until ~from_time ~until_time (fun until_time ->
+        Lossy_partition { left; from_time; until_time })
+  | Oneway_partition { left; from_time; until_time } ->
+    halve_until ~from_time ~until_time (fun until_time ->
+        Oneway_partition { left; from_time; until_time })
+  | Flapping_partition { left; from_time; until_time; period } ->
+    halve_until ~from_time ~until_time (fun until_time ->
+        Flapping_partition { left; from_time; until_time; period })
   | Delay_spike { link; from_time; until_time; factor } ->
     (if factor > 2 then
        [ Delay_spike { link; from_time; until_time; factor = factor / 2 } ]
@@ -184,6 +253,15 @@ let pp_spec ppf = function
   | Partition { left; from_time; until_time } ->
     Fmt.pf ppf "partition left=%a from=%d until=%d" pp_procs left from_time
       until_time
+  | Lossy_partition { left; from_time; until_time } ->
+    Fmt.pf ppf "lossy left=%a from=%d until=%d" pp_procs left from_time
+      until_time
+  | Oneway_partition { left; from_time; until_time } ->
+    Fmt.pf ppf "oneway left=%a from=%d until=%d" pp_procs left from_time
+      until_time
+  | Flapping_partition { left; from_time; until_time; period } ->
+    Fmt.pf ppf "flapping left=%a from=%d until=%d period=%d" pp_procs left
+      from_time until_time period
   | Delay_spike { link; from_time; until_time; factor } ->
     let pp_link ppf = function
       | None -> Fmt.pf ppf "all"
@@ -241,14 +319,28 @@ let spec_of_line_exn line =
       | Some v -> v
       | None -> parse_fail "field %s is not an integer in %S" k line
     in
+    let procs k =
+      List.filter_map int_of_string_opt (String.split_on_char ',' (str k))
+    in
     (match kind with
      | "crash" -> Crash { proc = int "p"; at = int "at" }
      | "partition" ->
-       let left =
-         List.filter_map int_of_string_opt
-           (String.split_on_char ',' (str "left"))
-       in
-       Partition { left; from_time = int "from"; until_time = int "until" }
+       Partition
+         { left = procs "left"; from_time = int "from"; until_time = int "until" }
+     | "lossy" ->
+       Lossy_partition
+         { left = procs "left"; from_time = int "from"; until_time = int "until" }
+     | "oneway" ->
+       Oneway_partition
+         { left = procs "left"; from_time = int "from"; until_time = int "until" }
+     | "flapping" ->
+       let period = int "period" in
+       if period < 1 then parse_fail "flapping period must be >= 1 in %S" line;
+       Flapping_partition
+         { left = procs "left";
+           from_time = int "from";
+           until_time = int "until";
+           period }
      | "spike" ->
        let link =
          match str "link" with

@@ -11,6 +11,32 @@ type spec =
   | Partition of { left : proc_id list; from_time : time; until_time : time }
       (** [left] vs everyone else; cross-block messages are delayed until
           the partition heals at [until_time] (nothing is lost). *)
+  | Lossy_partition of {
+      left : proc_id list;
+      from_time : time;
+      until_time : time;
+    }
+      (** Like [Partition], but cross-block sends in the window are
+          {e dropped}, not buffered ({!Simulator.Net.lossy_partition}):
+          recovering the lost traffic is the protocol's problem (re-gossip
+          or {!Ec_core.Anti_entropy}). *)
+  | Oneway_partition of {
+      left : proc_id list;
+      from_time : time;
+      until_time : time;
+    }
+      (** Asymmetric link failure: sends from [left] to the rest are
+          dropped while the reverse direction flows
+          ({!Simulator.Net.oneway_partition}). *)
+  | Flapping_partition of {
+      left : proc_id list;
+      from_time : time;
+      until_time : time;
+      period : int;
+    }
+      (** Lossy partition flapping over the window: cut for [period] ticks,
+          healed for [period], repeating
+          ({!Simulator.Net.flapping_partition}). *)
   | Delay_spike of {
       link : (proc_id * proc_id) option;  (** [None] = every link *)
       from_time : time;
@@ -42,6 +68,10 @@ val has_flap : t -> bool
 val has_recovery : t -> bool
 (** The plan contains a downtime window or a disk fault, i.e. it needs the
     recoverable stack to be meaningful. *)
+
+val has_partition_loss : t -> bool
+(** The plan can silently lose messages (a lossy, one-way or flapping
+    partition), so convergence needs post-heal re-gossip or anti-entropy. *)
 
 val crash_procs : t -> proc_id list
 val recover_procs : t -> proc_id list

@@ -37,6 +37,9 @@ type target = {
   base_max : int;
   recovery : bool;
   rmutation : Recoverable.mutation option;
+  ae : bool;
+  ae_mutation : Anti_entropy.mutation option;
+  watchdog : bool;
 }
 
 let default_target =
@@ -49,7 +52,10 @@ let default_target =
     base_min = 1;
     base_max = 3;
     recovery = false;
-    rmutation = None }
+    rmutation = None;
+    ae = false;
+    ae_mutation = None;
+    watchdog = false }
 
 (* Names match the ecsim --impl catalogue. *)
 let impl_name = function
@@ -96,6 +102,40 @@ let inputs target =
 let drop_safe_until target =
   post_from + (max 0 (target.posts - target.n) * post_every_of target)
 
+(* The time of the last post: nothing can converge before the workload
+   ends, so the watchdog's settle point is at least this. *)
+let last_post target =
+  post_from + (max 0 (target.posts - 1) * post_every_of target)
+
+(* The anti-entropy stack only wraps Algorithm 5 (it reads and feeds the
+   causality graph); it runs whenever the target opts in or seeds an
+   anti-entropy mutation. *)
+let uses_ae target =
+  target.impl = Scenario.Algorithm_5
+  && (target.ae || target.ae_mutation <> None)
+
+(* Worst-case post-heal catch-up time of the digest exchange: the laggard's
+   next digest broadcast (up to [every] timer rounds away), one full resend
+   backoff (its pre-heal digest may be byte-identical, so peers wait out
+   the armed backoff before re-answering), and delta delivery. *)
+let ae_catchup target =
+  let ae = Anti_entropy.default_config in
+  ((ae.Anti_entropy.every + ae.Anti_entropy.max_backoff + 2)
+   * target.timer_period)
+  + (2 * target.base_max)
+
+(* Latest admissible heal time for message-LOSING partition windows.
+   Without anti-entropy, a lost message is re-taught only by the full-graph
+   re-gossip riding later posts, so — exactly like drop windows — the
+   partition must close before the final full posting round.  With
+   anti-entropy the digest exchange recovers losses regardless of the
+   workload, so windows may extend much later (this is what lets the
+   watchdog catch the skip-digest mutant: past [drop_safe_until] nothing
+   but anti-entropy can repair the damage). *)
+let lossy_safe_until target =
+  if uses_ae target then target.deadline - slack target - ae_catchup target
+  else drop_safe_until target
+
 let tau_bound target plan =
   let recovery = Adversity.has_recovery plan in
   match target.impl with
@@ -107,6 +147,11 @@ let tau_bound target plan =
     (* a restarted process may wait out one full retransmission backoff
        before the frames that resynchronize it are re-sent *)
     + (if recovery then Recoverable.default_config.Recoverable.max_backoff
+       else 0)
+    (* a partition-isolated process may catch up only through the digest
+       exchange, whose cadence and backoff add to legitimate lateness *)
+    + (if uses_ae target && Adversity.has_partition_loss plan
+       then ae_catchup target
        else 0)
 
 let base_setup target ~seed =
@@ -136,6 +181,22 @@ let uses_recovery target plan =
   && (target.recovery || target.rmutation <> None
       || Adversity.has_recovery plan)
 
+(* Convergence headroom granted to the watchdog past the settle point.
+   Like [tau_bound], generous on purpose: a stalled replica stays stalled
+   forever, so any finite bound separates the two — a tight one would only
+   risk flagging a faithful late joiner. *)
+let watchdog_bound target plan =
+  slack target
+  + (if uses_ae target then ae_catchup target else 0)
+  + (if uses_recovery target plan
+     then Recoverable.default_config.Recoverable.max_backoff
+     else 0)
+
+(* The watchdog's settle point: the environment has calmed down AND the
+   workload has finished (convergence cannot precede the last post). *)
+let watchdog_settle target plan =
+  max (Adversity.settle_time ~base_max:target.base_max plan) (last_post target)
+
 let run_plan target ~seed plan =
   match
     let setup = Adversity.apply plan (base_setup target ~seed) in
@@ -145,26 +206,41 @@ let run_plan target ~seed plan =
         Adversity.arm_disk_faults plan stores;
         let trace, _, _ =
           Scenario.run_recoverable ~inputs:(inputs target)
-            ?mutation:target.rmutation ?etob_mutation:target.mutation ~stores
-            setup
+            ?mutation:target.rmutation ?etob_mutation:target.mutation
+            ?ae:(if uses_ae target then Some Anti_entropy.default_config
+                 else None)
+            ?ae_mutation:target.ae_mutation ~stores setup
         in
         trace
       end
+      else if uses_ae target then
+        fst
+          (Scenario.run_etob_ae ~inputs:(inputs target)
+             ?mutation:target.mutation ?ae_mutation:target.ae_mutation setup)
       else
         Scenario.run_etob ~inputs:(inputs target) ?mutation:target.mutation
           setup target.impl
     in
-    let report = Scenario.etob_report setup trace in
+    let run = Properties.etob_run_of_trace setup.Scenario.pattern trace in
+    let report = Properties.etob_report run in
+    let liveness =
+      if not target.watchdog then []
+      else
+        Harness.Watchdog.violations
+          (Harness.Watchdog.check ~settle:(watchdog_settle target plan)
+             ~bound:(watchdog_bound target plan) run)
+    in
     let digest =
       Digest.to_hex (Digest.string (Format.asprintf "%a" Trace.pp trace))
     in
-    (report, digest)
+    (report, liveness, digest)
   with
-  | report, digest ->
+  | report, liveness, digest ->
     { plan;
       seed;
       violations =
-        Properties.etob_violations ~tau_bound:(tau_bound target plan) report;
+        Properties.etob_violations ~tau_bound:(tau_bound target plan) report
+        @ liveness;
       report = Some report;
       digest }
   | exception e ->
@@ -200,6 +276,13 @@ let random_spec target ~rng =
      blanket retransmission, so dropping their messages could flag a
      faithful run.  Recovery adversities exist only for recovery targets
      (the recoverable stack wraps Algorithm 5). *)
+  (* A nonempty proper subset of the processes, drawn uniformly-ish. *)
+  let random_side () =
+    match List.filter (fun _ -> Rng.int rng 2 = 0) (all_procs target.n) with
+    | [] -> [ 0 ]
+    | l when List.length l = target.n -> [ 0 ]
+    | l -> l
+  in
   let kind_pool =
     [ 0; 1; 2; 3; 4 ]
     @ (if target.impl = Scenario.Algorithm_5 && drop_safe_until target > 2
@@ -207,6 +290,18 @@ let random_spec target ~rng =
        else [])
     @ (if target.recovery && target.impl = Scenario.Algorithm_5
        then [ 6; 7 ]
+       else [])
+      (* Message-LOSING partitions are only fair against Algorithm 5, whose
+         full-graph re-gossip (or anti-entropy layer) can recover the loss;
+         see [lossy_safe_until] for the window clamp.  They join the pool
+         only for partition-aware targets (anti-entropy or watchdog on):
+         that is where they have teeth — and legacy targets keep drawing
+         exactly the plans they always did, so recorded repros and tuned
+         search budgets stay valid. *)
+    @ (if target.impl = Scenario.Algorithm_5
+          && (uses_ae target || target.watchdog)
+          && lossy_safe_until target > 2
+       then [ 8; 9; 10; 11 ]
        else [])
   in
   match List.nth kind_pool (Rng.int rng (List.length kind_pool)) with
@@ -253,6 +348,28 @@ let random_spec target ~rng =
       | _ -> Persist.Store.Corrupt_record
     in
     Disk_fault { proc = Rng.int rng target.n; kind }
+  | 8 ->
+    (* Split-brain: a contiguous run of n/2 processes against the rest. *)
+    let off = Rng.int rng target.n in
+    let left =
+      List.init (max 1 (target.n / 2)) (fun i -> (off + i) mod target.n)
+    in
+    let from_time, until_time = window ~latest_until:(lossy_safe_until target) in
+    Lossy_partition { left; from_time; until_time }
+  | 9 ->
+    (* Minority isolation: one process alone behind the loss. *)
+    let from_time, until_time = window ~latest_until:(lossy_safe_until target) in
+    Lossy_partition { left = [ Rng.int rng target.n ]; from_time; until_time }
+  | 10 ->
+    let from_time, until_time = window ~latest_until:(lossy_safe_until target) in
+    Oneway_partition { left = random_side (); from_time; until_time }
+  | 11 ->
+    let from_time, until_time = window ~latest_until:(lossy_safe_until target) in
+    Flapping_partition
+      { left = random_side ();
+        from_time;
+        until_time;
+        period = 1 + Rng.int rng (2 * target.timer_period) }
   | _ ->
     (* crash drawn but the environment admits none *)
     Duplicate { from_time = 0; until_time = target.base_max; copies = 1 }

@@ -33,6 +33,18 @@ type target = {
   rmutation : Recoverable.mutation option;
       (** seeded bug in the recovery path itself (implies the recovery
           stack for this run) *)
+  ae : bool;
+      (** stack the anti-entropy digest exchange
+          ({!Ec_core.Anti_entropy}) beside Algorithm 5, and let generated
+          message-losing partitions heal much later (anti-entropy, not the
+          workload's re-gossip, repairs them) *)
+  ae_mutation : Anti_entropy.mutation option;
+      (** seeded bug in the anti-entropy layer (implies the layer for this
+          run) — the skip-digest negative control the watchdog must flag *)
+  watchdog : bool;
+      (** check convergence-progress liveness ({!Harness.Watchdog}) on
+          every run: a correct process that has not reached the union of
+          final delivered sets by settle + bound is a violation *)
 }
 
 val default_target : target
@@ -47,6 +59,30 @@ val impl_of_string : string -> Scenario.etob_impl option
 val inputs : target -> (time * proc_id * Simulator.Io.input) list
 val drop_safe_until : target -> time
 val slack : target -> int
+
+val last_post : target -> time
+(** When the workload ends; convergence cannot precede it. *)
+
+val uses_ae : target -> bool
+(** This target stacks the anti-entropy layer (opt-in or seeded
+    anti-entropy mutation; Algorithm 5 only). *)
+
+val ae_catchup : target -> int
+(** Worst-case post-heal catch-up time of the digest exchange: next digest
+    broadcast + one full resend backoff + delta delivery. *)
+
+val lossy_safe_until : target -> time
+(** Latest admissible heal time for generated message-losing partitions:
+    before the final full posting round without anti-entropy (re-gossip
+    must repair the loss), far later with it. *)
+
+val watchdog_settle : target -> Adversity.t -> time
+(** When the watchdog starts its countdown: adversities settled and the
+    workload finished. *)
+
+val watchdog_bound : target -> Adversity.t -> int
+(** Convergence headroom past the settle point (slack + anti-entropy
+    catch-up + retransmission backoff where applicable). *)
 
 val tau_bound : target -> Adversity.t -> time
 (** [0] for Algorithm 5 under a never-flapping oracle and a recovery-free

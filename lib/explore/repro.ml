@@ -47,6 +47,11 @@ let to_lines r =
   @ (match t.Explorer.rmutation with
      | None -> []
      | Some m -> [ "rmutant " ^ Recoverable.mutation_name m ])
+  @ (if t.Explorer.ae then [ "ae on" ] else [])
+  @ (match t.Explorer.ae_mutation with
+     | None -> []
+     | Some m -> [ "ae-mutant " ^ Anti_entropy.mutation_name m ])
+  @ (if t.Explorer.watchdog then [ "watchdog on" ] else [])
   @ [ Printf.sprintf "seed %d" r.seed;
     Printf.sprintf "deadline %d" t.Explorer.deadline;
     Printf.sprintf "timer-period %d" t.Explorer.timer_period;
@@ -131,6 +136,28 @@ let of_string s =
                 | Some m ->
                   target := { !target with Explorer.rmutation = Some m }
                 | None -> at lineno "unknown recovery mutant %S" v);
+             headers rest
+           | "ae" ->
+             (match v with
+              | "on" | "true" -> target := { !target with Explorer.ae = true }
+              | "off" | "false" ->
+                target := { !target with Explorer.ae = false }
+              | _ -> at lineno "ae must be on or off, got %S" v);
+             headers rest
+           | "ae-mutant" ->
+             (if v <> "none" then
+                match Anti_entropy.mutation_of_string v with
+                | Some m ->
+                  target := { !target with Explorer.ae_mutation = Some m }
+                | None -> at lineno "unknown anti-entropy mutant %S" v);
+             headers rest
+           | "watchdog" ->
+             (match v with
+              | "on" | "true" ->
+                target := { !target with Explorer.watchdog = true }
+              | "off" | "false" ->
+                target := { !target with Explorer.watchdog = false }
+              | _ -> at lineno "watchdog must be on or off, got %S" v);
              headers rest
            | "n" -> target := { !target with Explorer.n = int v }; headers rest
            | "seed" -> seed := int v; headers rest

@@ -128,6 +128,28 @@ let run_etob ?(inputs = []) ?mutation setup impl =
 let etob_report setup trace =
   Properties.etob_report (Properties.etob_run_of_trace setup.pattern trace)
 
+(* Algorithm 5 plus the anti-entropy catch-up component: the
+   partition-hardened crash-stop stack.  AE reads the protocol's graph and
+   feeds digest-exchange deltas back through [Etob_omega.learn], so an
+   isolated replica resynchronizes after a lossy partition heals. *)
+let etob_ae_node ?mutation ?ae_config ?ae_mutation setup =
+  let omega_of = omega_module setup in
+  fun ctx ->
+    let omega, omega_node = omega_of ctx in
+    let t, node = Etob_omega.create ?mutation ctx ~omega in
+    let ae, ae_node =
+      Anti_entropy.create ?config:ae_config ?mutation:ae_mutation ctx
+        ~graph:(fun () -> Etob_omega.graph t)
+        ~learn:(Etob_omega.learn t)
+    in
+    ( Engine.stack [ omega_node; node; ae_node; post_driver (Etob_omega.service t) ],
+      (t, ae) )
+
+let run_etob_ae ?(inputs = []) ?mutation ?ae_config ?ae_mutation setup =
+  Engine.run_with (engine_config setup)
+    ~make_node:(etob_ae_node ?mutation ?ae_config ?ae_mutation setup)
+    ~inputs
+
 (* The crash-recovery stack: Algorithm 5 under the Recoverable wrapper
    (durable log + retransmission links), one stable store per process.
    The driver here handles [Post] only: the wrapper's own node intercepts
@@ -141,18 +163,20 @@ let recoverable_post_driver (service : Etob_intf.service) =
       | Post tag -> service.Etob_intf.broadcast (service.Etob_intf.fresh_msg ~tag ())
       | _ -> ()) }
 
-let recoverable_node ?rconfig ?mutation ?etob_mutation ?commits setup ~stores =
+let recoverable_node ?rconfig ?mutation ?etob_mutation ?commits ?ae
+    ?ae_mutation setup ~stores =
   let omega_of = omega_module setup in
   fun ctx ->
     let omega, omega_node = omega_of ctx in
     let t, node, service =
       Recoverable.create ?config:rconfig ?mutation ?etob_mutation ?commits
-        ~store:stores.(ctx.Engine.self) ~omega ctx
+        ?anti_entropy:ae ?ae_mutation ~store:stores.(ctx.Engine.self) ~omega
+        ctx
     in
     (Engine.stack [ omega_node; node; recoverable_post_driver service ], t)
 
 let run_recoverable ?(inputs = []) ?rconfig ?mutation ?etob_mutation ?commits
-    ?stores setup =
+    ?ae ?ae_mutation ?stores setup =
   let stores =
     match stores with
     | Some stores -> stores
@@ -161,7 +185,7 @@ let run_recoverable ?(inputs = []) ?rconfig ?mutation ?etob_mutation ?commits
   let trace, handles =
     Engine.run_with (engine_config setup)
       ~make_node:(recoverable_node ?rconfig ?mutation ?etob_mutation ?commits
-                    setup ~stores)
+                    ?ae ?ae_mutation setup ~stores)
       ~inputs
   in
   (trace, handles, stores)

@@ -74,11 +74,26 @@ val run_etob :
 
 val etob_report : setup -> Trace.t -> Properties.etob_report
 
+val run_etob_ae :
+  ?inputs:(time * proc_id * Io.input) list ->
+  ?mutation:Etob_omega.mutation ->
+  ?ae_config:Anti_entropy.config ->
+  ?ae_mutation:Anti_entropy.mutation ->
+  setup ->
+  Trace.t * (Etob_omega.t * Anti_entropy.t) array
+(** Algorithm 5 plus the {!Ec_core.Anti_entropy} catch-up component: the
+    partition-hardened crash-stop stack.  Returns the per-process protocol
+    and anti-entropy handles so tests and benches can read
+    {!Ec_core.Anti_entropy.stats} (e.g. E18's digest-vs-flood traffic
+    comparison). *)
+
 val recoverable_node :
   ?rconfig:Recoverable.config ->
   ?mutation:Recoverable.mutation ->
   ?etob_mutation:Etob_omega.mutation ->
   ?commits:bool ->
+  ?ae:Anti_entropy.config ->
+  ?ae_mutation:Anti_entropy.mutation ->
   setup ->
   stores:Persist.Store.t array ->
   Engine.ctx ->
@@ -94,6 +109,8 @@ val run_recoverable :
   ?mutation:Recoverable.mutation ->
   ?etob_mutation:Etob_omega.mutation ->
   ?commits:bool ->
+  ?ae:Anti_entropy.config ->
+  ?ae_mutation:Anti_entropy.mutation ->
   ?stores:Persist.Store.t array ->
   setup ->
   Trace.t * Recoverable.t array * Persist.Store.t array

@@ -58,17 +58,21 @@ type partition_spec = {
   until_time : time;
 }
 
-let block_of spec p =
+let block_index blocks p =
   let rec find i = function
     | [] -> None
     | b :: rest -> if List.mem p b then Some i else find (i + 1) rest
   in
-  find 0 spec.blocks
+  find 0 blocks
 
-let same_block spec p q =
-  match block_of spec p, block_of spec q with
+let block_of spec p = block_index spec.blocks p
+
+let same_block_of blocks p q =
+  match block_index blocks p, block_index blocks q with
   | Some i, Some j -> i = j
   | _, _ -> true (* processes outside every block are unaffected *)
+
+let same_block spec p q = same_block_of spec.blocks p q
 
 let partitioned spec ~base =
   if spec.until_time < spec.from_time then
@@ -81,6 +85,55 @@ let partitioned spec ~base =
        then spec.until_time - now + d
        else d)
     base
+
+(* Multi-window partition schedules.  A schedule is a list of disjoint
+   [(from, until)] windows in increasing order; during each window,
+   cross-block messages are buffered until that window's own heal time
+   (plus their base delay) — the single-window [partitioned] semantics
+   repeated.  A one-window schedule computes exactly the same delays as
+   [partitioned], so existing callers stay byte-identical. *)
+let check_schedule ~name windows =
+  let rec go prev = function
+    | [] -> ()
+    | (f, u) :: rest ->
+      if u < f then invalid_arg (name ^ ": window with until < from");
+      if f < prev then
+        invalid_arg (name ^ ": windows must be disjoint and increasing");
+      go u rest
+  in
+  go min_int windows
+
+let window_closing windows now =
+  List.find_map
+    (fun (f, u) -> if now >= f && now < u then Some u else None)
+    windows
+
+let partitioned_windows ~blocks ~windows ~base =
+  check_schedule ~name:"Net.partitioned_windows" windows;
+  lift
+    (fun base ~src ~dst ~now ~rng ->
+       let d = base ~src ~dst ~now ~rng in
+       match window_closing windows now with
+       | Some heal when not (same_block_of blocks src dst) -> heal - now + d
+       | _ -> d)
+    base
+
+(* Alternating up/down windows: the partition is down (cut) for [down]
+   ticks, then up (healed) for [up] ticks, starting down at [from_time],
+   clipped to [until_time] — a flapping bridge.  [repeating_windows
+   ~from_time ~until_time ~down ~up] is the schedule of the cut spans. *)
+let repeating_windows ~from_time ~until_time ~down ~up =
+  if down < 1 || up < 1 then
+    invalid_arg "Net.repeating_windows: down and up must be >= 1";
+  if until_time < from_time then
+    invalid_arg "Net.repeating_windows: until_time < from_time";
+  let rec go t acc =
+    if t >= until_time then List.rev acc
+    else
+      let u = min until_time (t + down) in
+      go (u + up) ((t, u) :: acc)
+  in
+  go from_time []
 
 (* An asynchrony burst: during [from, until), delays are inflated by
    [factor].  Used to exercise the "no bound on delay between steps"
@@ -214,6 +267,49 @@ let duplicate_window ?only ~from_time ~until_time copies =
        if in_window ~from_time ~until_time now && on_link only src dst then
          Duplicate copies
        else Deliver)
+
+(* Lossy partitions: unlike [partitioned] (which buffers cross-block
+   sends until heal — reliable links, just late), these *drop* every
+   cross-block send inside the window.  Nothing is retransmitted at this
+   layer; recovery is the protocol's problem (re-gossip, anti-entropy),
+   which is exactly what the partition-hardening machinery exercises.
+   Deterministic: no randomness is consumed. *)
+let lossy_partition_windows ~blocks ~windows =
+  check_schedule ~name:"Net.lossy_partition_windows" windows;
+  Fault_stateless
+    (fun ~src ~dst ~now ~rng:_ ->
+       match window_closing windows now with
+       | Some _ when not (same_block_of blocks src dst) -> Drop
+       | _ -> Deliver)
+
+let lossy_partition spec =
+  check_window ~name:"Net.lossy_partition" ~from_time:spec.from_time
+    ~until_time:spec.until_time;
+  lossy_partition_windows ~blocks:spec.blocks
+    ~windows:[ (spec.from_time, spec.until_time) ]
+
+(* A one-way (asymmetric) partition: during the window, sends from a
+   member of [from_block] to a process outside it are dropped, while the
+   reverse direction still flows.  This is the adversary against which
+   timeout-based leader emulations misbehave: a process may keep hearing
+   a leader it cannot answer. *)
+let oneway_partition ~from_block ~from_time ~until_time =
+  check_window ~name:"Net.oneway_partition" ~from_time ~until_time;
+  Fault_stateless
+    (fun ~src ~dst ~now ~rng:_ ->
+       if in_window ~from_time ~until_time now
+       && List.mem src from_block
+       && not (List.mem dst from_block)
+       then Drop
+       else Deliver)
+
+(* A flapping lossy partition: the cut is down for [period] ticks, up for
+   [period] ticks, repeating over [from_time, until_time). *)
+let flapping_partition ~blocks ~from_time ~until_time ~period =
+  if period < 1 then invalid_arg "Net.flapping_partition: period must be >= 1";
+  check_window ~name:"Net.flapping_partition" ~from_time ~until_time;
+  lossy_partition_windows ~blocks
+    ~windows:(repeating_windows ~from_time ~until_time ~down:period ~up:period)
 
 let is_no_faults = function No_faults -> true | _ -> false
 

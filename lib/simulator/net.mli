@@ -52,6 +52,22 @@ val partitioned : partition_spec -> base:model -> model
 (** Cross-block messages sent during the partition are delivered only after
     it heals (plus their base delay); nothing is lost. *)
 
+val partitioned_windows :
+  blocks:proc_id list list -> windows:(time * time) list -> base:model -> model
+(** Multi-window generalization of {!partitioned}: [windows] is a list of
+    disjoint [(from, until)] spans in increasing order, and cross-block
+    messages sent inside a window are buffered until that window's own
+    heal time.  A one-window schedule computes exactly the delays of
+    {!partitioned}, so single-window callers stay byte-identical.  Raises
+    [Invalid_argument] on overlapping, decreasing or inverted windows. *)
+
+val repeating_windows :
+  from_time:time -> until_time:time -> down:int -> up:int -> (time * time) list
+(** The alternating schedule that starts down (cut) at [from_time] for
+    [down] ticks, heals for [up] ticks, and repeats until [until_time]
+    (the last window is clipped to it): the flapping-bridge shape, usable
+    with both {!partitioned_windows} and {!lossy_partition_windows}. *)
+
 val slow_period :
   from_time:time -> until_time:time -> factor:int -> base:model -> model
 (** Inflate delays by [factor] during a window — an asynchrony burst. *)
@@ -120,6 +136,33 @@ val duplicate_window :
   from_time:time -> until_time:time -> int -> fault_model
 (** Deliver [copies >= 1] extra copies of each message sent during the
     window, each with an independently drawn delay. *)
+
+val lossy_partition : partition_spec -> fault_model
+(** A {e lossy} partition: every cross-block send inside the window is
+    dropped — not buffered as {!partitioned} does.  Recovering the lost
+    traffic is the protocol's problem (full-graph re-gossip, or the
+    anti-entropy layer of [Ec_core.Anti_entropy]).  Deterministic; no
+    randomness is consumed. *)
+
+val lossy_partition_windows :
+  blocks:proc_id list list -> windows:(time * time) list -> fault_model
+(** {!lossy_partition} over a multi-window schedule (see
+    {!partitioned_windows} for the window discipline). *)
+
+val oneway_partition :
+  from_block:proc_id list -> from_time:time -> until_time:time -> fault_model
+(** An asymmetric partition: during the window, sends {e from} a member of
+    [from_block] to a process outside it are dropped, while the reverse
+    direction still flows.  One-way links are the adversary under which
+    timeout-based leader emulations misbehave (see
+    [Detectors.Omega.module_of] docs). *)
+
+val flapping_partition :
+  blocks:proc_id list list ->
+  from_time:time -> until_time:time -> period:int -> fault_model
+(** A flapping lossy partition: cut for [period] ticks, healed for
+    [period] ticks, repeating over the window
+    ({!repeating_windows} + {!lossy_partition_windows}). *)
 
 val compose_faults : fault_model list -> fault_model
 (** Combine fault models: any [Drop] wins, [Duplicate] extras add up.

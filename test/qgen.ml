@@ -140,6 +140,52 @@ let recovery_plan_arb ~n ~deadline =
     (recovery_plan_gen ~n ~deadline)
 
 (* ------------------------------------------------------------------ *)
+(* Message-losing partition schedules                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Lossy, one-way and flapping partitions anywhere in the horizon —
+   including schedules that never heal before the deadline or cut the
+   leader off asymmetrically.  Safety has to survive arbitrary message
+   loss; liveness is legitimately lost under such plans and is never
+   asserted over this space. *)
+let partition_loss_spec_gen ~n ~deadline =
+  let open QCheck.Gen in
+  let* left = subset_gen n in
+  frequency
+    [ ( 2,
+        let* from_time, until_time = window_gen deadline in
+        return (Adversity.Lossy_partition { left; from_time; until_time }) );
+      ( 1,
+        let* from_time, until_time = window_gen deadline in
+        return (Adversity.Oneway_partition { left; from_time; until_time }) );
+      ( 1,
+        let* from_time, until_time = window_gen deadline in
+        let* period = int_range 1 6 in
+        return
+          (Adversity.Flapping_partition { left; from_time; until_time; period })
+      ) ]
+
+(* Partition-loss schedules composed with crash-recovery plans and a
+   sprinkle of the generic unclamped adversity: the causal-order QCheck
+   property of test_partition.ml runs over exactly this space. *)
+let partition_recovery_plan_gen ~n ~deadline =
+  let open QCheck.Gen in
+  let* base = list_size (int_range 0 2) (spec_gen ~n ~deadline) in
+  let* losses =
+    list_size (int_range 1 3) (partition_loss_spec_gen ~n ~deadline)
+  in
+  let* rec_specs =
+    list_size (int_range 0 2) (recovery_spec_gen ~n ~deadline)
+  in
+  return (base @ losses @ rec_specs)
+
+let partition_recovery_plan_arb ~n ~deadline =
+  QCheck.make
+    ~print:(fun plan -> String.concat "; " (Adversity.to_lines plan))
+    ~shrink:(QCheck.Shrink.list ~shrink:spec_shrink)
+    (partition_recovery_plan_gen ~n ~deadline)
+
+(* ------------------------------------------------------------------ *)
 (* Base delay-model bounds (Net.uniform parameters)                    *)
 (* ------------------------------------------------------------------ *)
 
