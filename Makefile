@@ -1,7 +1,7 @@
 # Developer entry points.  `make check` is the tier-1 gate used by CI and
 # by every PR: it must stay green.
 
-.PHONY: all check build test smoke soak fmt bench clean
+.PHONY: all check build test lint smoke soak fmt bench clean
 
 all: build
 
@@ -12,6 +12,14 @@ test:
 	dune runtest
 
 check: build test
+
+# Determinism & protocol-hygiene static analysis (DESIGN.md §12): flags
+# unseeded randomness, wall-clock leakage, unordered Hashtbl iteration,
+# polymorphic compare in protocol modules, Marshal/== outside lib/persist
+# and unsealed library modules.  A hard CI gate: exits 1 on any finding
+# that is not covered by a justified `detlint:` allowlist comment.
+lint:
+	dune exec bin/detlint.exe -- lib bin test
 
 # Adversarial smoke: all three faithful targets (crash-stop,
 # crash-recovery, and anti-entropy-under-watchdog with message-losing

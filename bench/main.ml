@@ -949,6 +949,65 @@ let e18 () =
   row "  wrote %s" path
 
 (* ------------------------------------------------------------------ *)
+(* E19: detlint hygiene gate — scan speed and cleanliness              *)
+(* ------------------------------------------------------------------ *)
+
+(* The determinism linter of lib/lint (DESIGN.md §12) over the same roots
+   CI gates on.  Two properties are enforced, not just printed: the tree
+   is clean (zero findings — allowlisted suppressions are fine), and the
+   whole scan stays comfortably interactive, under a 5 s budget, so the
+   gate never becomes the slow part of the feedback loop.  Emits
+   machine-readable BENCH_lint.json. *)
+let e19 () =
+  section "E19" "detlint static-analysis gate: scan speed and cleanliness";
+  let roots = List.filter Sys.file_exists [ "lib"; "bin"; "test" ] in
+  if List.length roots < 3 then
+    row "  skipped: not run from the repository root (lib/ bin/ test/ missing)"
+  else begin
+    let budget = 5.0 in
+    let t0 = Sys.time () in
+    let result =
+      match Lint.Driver.scan ~strict:false roots with
+      | Ok r -> r
+      | Error e -> failwith ("E19: detlint scan error: " ^ e)
+    in
+    let elapsed = Sys.time () -. t0 in
+    let findings = List.length result.Lint.Driver.findings in
+    let allowed = List.length result.Lint.Driver.allowed in
+    row "  %-14s %-10s %-10s %-12s %-8s" "files_scanned" "findings"
+      "allowed" "elapsed_s" "budget_s";
+    row "  %-14d %-10d %-10d %-12.3f %-8.1f" result.Lint.Driver.files
+      findings allowed elapsed budget;
+    row "  expected: zero findings and the scan finishes within budget \
+         (both enforced)";
+    List.iter
+      (fun f -> row "  unexpected finding: %s" (Format.asprintf "%a" Lint.Finding.pp_human f))
+      result.Lint.Driver.findings;
+    if findings > 0 then
+      failwith (Printf.sprintf "E19: detlint found %d findings" findings);
+    if elapsed >= budget then
+      failwith
+        (Printf.sprintf "E19: detlint scan took %.3f s (budget %.1f s)"
+           elapsed budget);
+    let json =
+      Printf.sprintf
+        "{\n  \"experiment\": \"E19\",\n  \"roots\": [\"lib\", \"bin\", \
+         \"test\"],\n  \"files_scanned\": %d,\n  \"findings\": %d,\n  \
+         \"allowlisted\": %d,\n  \"elapsed_seconds\": %.3f,\n  \
+         \"budget_seconds\": %.1f,\n  \"clean\": true,\n  \
+         \"within_budget\": true\n}\n"
+        result.Lint.Driver.files findings allowed elapsed budget
+    in
+    let path =
+      if Sys.file_exists "bench" && Sys.is_directory "bench"
+      then Filename.concat "bench" "BENCH_lint.json"
+      else "BENCH_lint.json"
+    in
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc json);
+    row "  wrote %s" path
+  end
+
+(* ------------------------------------------------------------------ *)
 (* E10: substrate micro-benchmarks (Bechamel)                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1024,7 +1083,7 @@ let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("E10", e10) ]
+    ("E18", e18); ("E19", e19); ("E10", e10) ]
 
 (* No arguments runs every experiment; otherwise each argument names one
    (case-insensitive), e.g. `dune exec bench/main.exe -- E18 E17`. *)

@@ -1,0 +1,42 @@
+(* detlint — the determinism & protocol-hygiene gate (DESIGN.md §12).
+
+   Usage: detlint [--strict] [--json FILE] [--verbose] [PATH...]
+
+   Scans the given roots (default: lib bin test) and exits 0 when no
+   unallowlisted finding remains, 1 when findings stand, 2 on errors
+   (unparseable file, malformed allowlist directive, bad usage).  CI
+   runs this as a hard gate on every push; `make lint` runs it locally. *)
+
+let () =
+  let strict = ref false in
+  let json_path = ref "" in
+  let verbose = ref false in
+  let roots = ref [] in
+  let spec =
+    [ ("--strict", Arg.Set strict,
+       " fixture mode: apply path-scoped rules (D4/D6) to every file");
+      ("--json", Arg.Set_string json_path,
+       "FILE also write the machine-readable report to FILE");
+      ("--verbose", Arg.Set verbose,
+       " list allowlisted (suppressed) findings with their justifications") ]
+  in
+  let usage = "detlint [--strict] [--json FILE] [--verbose] [PATH...]" in
+  Arg.parse (Arg.align spec) (fun p -> roots := p :: !roots) usage;
+  let roots =
+    match List.rev !roots with [] -> [ "lib"; "bin"; "test" ] | rs -> rs
+  in
+  match Lint.Driver.scan ~strict:!strict roots with
+  | Error e ->
+    prerr_endline ("detlint: error: " ^ e);
+    exit 2
+  | Ok result ->
+    if !json_path <> "" then
+      Out_channel.with_open_text !json_path (fun oc ->
+          Out_channel.output_string oc (Lint.Report.to_json result));
+    if !verbose then
+      List.iter
+        (fun (f, reason) ->
+           Format.printf "%a  (allowed: %s)@." Lint.Finding.pp_human f reason)
+        result.Lint.Driver.allowed;
+    Format.printf "%a" Lint.Report.pp_human result;
+    exit (if result.Lint.Driver.findings = [] then 0 else 1)

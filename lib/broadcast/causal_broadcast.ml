@@ -42,6 +42,7 @@ let create (ctx : Engine.ctx) ~deliver =
     match List.find_opt (deliverable t.clock) t.holdback with
     | None -> ()
     | Some p ->
+      (* detlint: allow D5 removes exactly the cell find_opt returned; structural <> would also drop distinct holdback entries that happen to be equal *)
       t.holdback <- List.filter (fun q -> q != p) t.holdback;
       t.clock <- Vector_clock.tick t.clock p.p_origin;
       t.delivered_count <- t.delivered_count + 1;

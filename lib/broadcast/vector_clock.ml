@@ -47,7 +47,7 @@ let concurrent a b = (not (leq a b)) && not (leq b a)
 let compare_lex a b =
   if Array.length a <> Array.length b then
     invalid_arg "Vector_clock.compare_lex: size mismatch";
-  compare (Array.to_list a) (Array.to_list b)
+  List.compare Int.compare (Array.to_list a) (Array.to_list b)
 
 let sum t = Array.fold_left ( + ) 0 t
 

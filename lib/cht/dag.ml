@@ -50,7 +50,14 @@ let build ~pattern ~sampler ~period ~gossip ~rounds =
         cells := (time, p, k) :: !cells
     done
   done;
-  let ordered = List.sort compare (List.rev !cells) in
+  let compare_cell (t1, p1, k1) (t2, p2, k2) =
+    let c = Int.compare t1 t2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare p1 p2 in
+      if c <> 0 then c else Int.compare k1 k2
+  in
+  let ordered = List.sort compare_cell (List.rev !cells) in
   let vertices =
     Array.of_list
       (List.mapi
@@ -175,8 +182,9 @@ let extensions t ~last ~used ~width =
            Hashtbl.replace per_proc v.v_proc (sofar @ [ v ])
        end)
     t.vertices;
+  (* detlint: sorted — accumulation order is discarded by the v_id sort below *)
   Hashtbl.fold (fun _ vs acc -> vs @ acc) per_proc []
-  |> List.sort (fun a b -> compare a.v_id b.v_id)
+  |> List.sort (fun a b -> Int.compare a.v_id b.v_id)
 
 (* CHT property checks (Appendix B.2), used by the test suite. *)
 

@@ -308,7 +308,8 @@ let stabilization ~pattern per_round =
     | [] -> None
     | outputs :: rest ->
       (match agree outputs with
-       | Some v when List.for_all (fun o -> agree o = Some v) rest -> Some (i, v)
+       | Some v when List.for_all (fun o -> Option.equal Int.equal (agree o) (Some v)) rest ->
+         Some (i, v)
        | Some _ | None -> scan (i + 1) rest)
   in
   scan 0 per_round

@@ -11,12 +11,12 @@ type t =
   | Suspects of proc_id list
 
 let leader p = Leader p
-let suspects ps = Suspects (List.sort_uniq compare ps)
+let suspects ps = Suspects (List.sort_uniq Int.compare ps)
 
 let compare a b =
   match a, b with
-  | Leader p, Leader q -> Stdlib.compare p q
-  | Suspects ps, Suspects qs -> Stdlib.compare ps qs
+  | Leader p, Leader q -> Int.compare p q
+  | Suspects ps, Suspects qs -> List.compare Int.compare ps qs
   | Leader _, Suspects _ -> -1
   | Suspects _, Leader _ -> 1
 

@@ -62,7 +62,7 @@ let apply ~dag (algo : 'state Pure.algo) config step =
 
 (* Values decided for instance [k] anywhere in the configuration's run. *)
 let values_for config ~instance =
-  List.sort_uniq compare
+  List.sort_uniq Bool.compare
     (List.filter_map (fun (_, l, v) -> if l = instance then Some v else None)
        config.decisions)
 

@@ -148,7 +148,7 @@ type tag = { tg_values : bool list; tg_invalid : bool }
 let tags t ~instance =
   let tags = Array.make t.count { tg_values = []; tg_invalid = false } in
   let merge a b =
-    { tg_values = List.sort_uniq compare (a.tg_values @ b.tg_values);
+    { tg_values = List.sort_uniq Bool.compare (a.tg_values @ b.tg_values);
       tg_invalid = a.tg_invalid || b.tg_invalid }
   in
   (* Nodes are created in BFS order, so children always have larger ids:
@@ -173,7 +173,9 @@ let tags t ~instance =
 
 let is_bivalent tag = List.mem false tag.tg_values && List.mem true tag.tg_values
 
-let is_univalent tag v = tag.tg_values = [ v ] && not tag.tg_invalid
+let is_univalent tag v =
+  (match tag.tg_values with [ x ] -> Bool.equal x v | _ -> false)
+  && not tag.tg_invalid
 
 let pp_tag ppf tag =
   Fmt.pf ppf "{%a%s}" (Fmt.list ~sep:Fmt.comma Fmt.bool) tag.tg_values

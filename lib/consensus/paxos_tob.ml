@@ -59,7 +59,16 @@ let next_ballot t above =
   let round = (max above t.ballot / n) + 1 in
   (round * n) + self t
 
+(* Bindings of a slot-keyed table in increasing slot order: every
+   iteration that feeds sends or message contents goes through this, so
+   wire-visible order never depends on hash order. *)
+let sorted_bindings tbl =
+  (* detlint: sorted — accumulation order is discarded by the slot sort below *)
+  Hashtbl.fold (fun slot v acc -> (slot, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 let chosen_ids t =
+  (* detlint: sorted — set union is order-insensitive *)
   Hashtbl.fold
     (fun _ batch acc ->
        List.fold_left (fun acc m -> App_msg.Id_set.add (App_msg.id m) acc) acc batch)
@@ -94,7 +103,7 @@ let record_vote t ~voter ~ballot ~slot ~batch =
   Hashtbl.replace t.votes key (voters, batch);
   if Int_set.cardinal voters >= t.majority && not (Hashtbl.mem t.chosen slot) then begin
     Hashtbl.replace t.chosen slot batch;
-    if t.in_flight = Some slot then t.in_flight <- None;
+    if Option.equal Int.equal t.in_flight (Some slot) then t.in_flight <- None;
     try_deliver t
   end
 
@@ -114,9 +123,16 @@ let become_leader t =
     | Some _ | None -> Hashtbl.replace merged slot (ballot, batch)
   in
   List.iter (fun (_, acc) -> List.iter consider acc) t.promises;
-  Hashtbl.iter (fun slot (ballot, batch) -> consider (slot, ballot, batch)) t.acceptor_log;
-  let max_slot = Hashtbl.fold (fun slot _ acc -> max acc (slot + 1)) merged 0 in
-  Hashtbl.iter (fun slot (_, batch) -> send_accept t ~slot ~batch) merged;
+  List.iter
+    (fun (slot, (ballot, batch)) -> consider (slot, ballot, batch))
+    (sorted_bindings t.acceptor_log);
+  (* Re-proposals go out in increasing slot order: acceptor logs and the
+     resulting Accepted floods replay byte-identically across runs. *)
+  let adopted = sorted_bindings merged in
+  let max_slot =
+    List.fold_left (fun acc (slot, _) -> max acc (slot + 1)) 0 adopted
+  in
+  List.iter (fun (slot, (_, batch)) -> send_accept t ~slot ~batch) adopted;
   t.next_slot <- max (max max_slot t.next_slot) t.delivered_upto;
   t.in_flight <- None
 
@@ -169,8 +185,8 @@ let on_message t ~src payload =
       t.promised <- ballot;
       if t.leading && ballot > t.ballot then step_down t;
       let accepted =
-        Hashtbl.fold (fun slot (b, batch) acc -> (slot, b, batch) :: acc)
-          t.acceptor_log []
+        List.map (fun (slot, (b, batch)) -> (slot, b, batch))
+          (sorted_bindings t.acceptor_log)
       in
       (ctx t).Engine.send src (Promise { ballot; accepted })
     end

@@ -203,7 +203,10 @@ let create ?(config = default_config) ?mutation (ctx : Engine.ctx) ~graph
   in
   let on_timer () =
     t.rounds <- t.rounds + 1;
-    if t.rounds mod t.cfg.every = 0 && t.mutation <> Some Skip_digest then
+    let skip_digest =
+      match t.mutation with Some Skip_digest -> true | None -> false
+    in
+    if t.rounds mod t.cfg.every = 0 && not skip_digest then
       match t.cfg.mode with
       | Digest ->
         t.s_digests <- t.s_digests + 1;

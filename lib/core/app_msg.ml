@@ -17,13 +17,15 @@ type t = {
   deps : id list;
 }
 
+let compare_id ((p1, sn1) : id) ((p2, sn2) : id) =
+  let c = Int.compare p1 p2 in
+  if c <> 0 then c else Int.compare sn1 sn2
+
 let make ~origin ~sn ?(tag = "") ?(deps = []) () =
   if sn < 0 then invalid_arg "App_msg.make: negative sequence number";
-  { origin; sn; tag; deps = List.sort_uniq compare deps }
+  { origin; sn; tag; deps = List.sort_uniq compare_id deps }
 
 let id m = (m.origin, m.sn)
-
-let compare_id (a : id) (b : id) = compare a b
 
 (* Messages are equal iff their ids are: content is determined by identity
    within a run. *)

@@ -144,7 +144,8 @@ let is_valid_linearization g ~prefix seq =
     && List.for_all (fun m -> mem g (App_msg.id m)) seq
   in
   let no_dup =
-    List.length (List.sort_uniq compare (List.map App_msg.id seq)) = List.length seq
+    List.length (List.sort_uniq App_msg.compare_id (List.map App_msg.id seq))
+    = List.length seq
   in
   let edges_ok =
     List.for_all

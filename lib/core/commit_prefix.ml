@@ -64,7 +64,7 @@ let record t seq =
 let try_commit t =
   t.acked.(t.ctx.Engine.self) <- List.length (t.promotion ());
   let lengths = Array.copy t.acked in
-  Array.sort (fun a b -> compare b a) lengths;
+  Array.sort (fun a b -> Int.compare b a) lengths;
   let watermark = lengths.(t.majority - 1) in
   if watermark > List.length t.committed then begin
     let seq = List.filteri (fun i _ -> i < watermark) (t.promotion ()) in

@@ -108,7 +108,8 @@ let learn t msgs =
 let create ?(tie_break = Causal_graph.default_tie_break) ?(stale_guard = true)
     ?mutation (ctx : Engine.ctx) ~omega =
   let stale_guard =
-    stale_guard && mutation <> Some Disable_stale_guard
+    stale_guard
+    && (match mutation with Some Disable_stale_guard -> false | _ -> true)
   in
   let t =
     { backend = Etob_intf.backend ctx;

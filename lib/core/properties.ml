@@ -130,7 +130,7 @@ let check_no_duplication run =
        List.iter
          (fun (t, seq) ->
             let ids = List.map App_msg.id seq in
-            if List.length (List.sort_uniq compare ids) <> List.length ids then
+            if List.length (List.sort_uniq App_msg.compare_id ids) <> List.length ids then
               violations :=
                 str "no-duplication: duplicate in d_%a at %d: %a" pp_proc p t
                   App_msg.pp_seq seq :: !violations)
@@ -156,7 +156,7 @@ let check_agreement run =
               correct)
          (final_d run p))
     correct;
-  of_violations (List.sort_uniq compare (List.rev !violations))
+  of_violations (List.sort_uniq String.compare (List.rev !violations))
 
 (* The measured ETOB-Stability time: the earliest tau such that for every
    correct process, every revision at time >= tau extends (has as a prefix)
@@ -186,7 +186,7 @@ let orders_agree seq_a seq_b =
       List.for_all
         (fun (id2, i2) ->
            let j1 = List.assoc id1 ib and j2 = List.assoc id2 ib in
-           compare i1 i2 = compare j1 j2)
+           Int.compare i1 i2 = Int.compare j1 j2)
         rest
       && pairs rest
   in
@@ -197,7 +197,7 @@ let orders_agree seq_a seq_b =
    messages consistently. *)
 let total_order_time run =
   let times =
-    List.sort_uniq compare
+    List.sort_uniq Int.compare
       (Array.to_list run.e_snapshots |> List.concat_map (List.map fst))
   in
   let correct = correct_procs run in
@@ -554,12 +554,12 @@ let ec_agreement_index run =
     | v :: rest -> List.exists (fun v' -> not (Value.equal v v')) rest
   in
   let instances =
-    List.sort_uniq compare (List.map (fun (_, _, l, _) -> l) run.c_decisions)
+    List.sort_uniq Int.compare (List.map (fun (_, _, l, _) -> l) run.c_decisions)
   in
   List.fold_left (fun k l -> if disagreeing l then max k (l + 1) else k) 1 instances
 
 let decided_instances run =
-  List.sort_uniq compare (List.map (fun (_, _, l, _) -> l) run.c_decisions)
+  List.sort_uniq Int.compare (List.map (fun (_, _, l, _) -> l) run.c_decisions)
 
 type ec_report = {
   integrity : verdict;
@@ -623,6 +623,7 @@ let eic_integrity_index run =
        let c = Option.value ~default:0 (Hashtbl.find_opt counts (p, l)) in
        Hashtbl.replace counts (p, l) (c + 1))
     run.i_decisions;
+  (* detlint: sorted — max over bindings is order-insensitive *)
   Hashtbl.fold (fun (_, l) c k -> if c > 1 then max k (l + 1) else k) counts 1
 
 let eic_revocation_count run =
@@ -632,6 +633,7 @@ let eic_revocation_count run =
        let c = Option.value ~default:0 (Hashtbl.find_opt counts (p, l)) in
        Hashtbl.replace counts (p, l) (c + 1))
     run.i_decisions;
+  (* detlint: sorted — sum over bindings is order-insensitive *)
   Hashtbl.fold (fun _ c acc -> acc + max 0 (c - 1)) counts 0
 
 (* EIC-Agreement (finite-run form): the final responses of correct processes
@@ -639,7 +641,7 @@ let eic_revocation_count run =
 let check_eic_agreement run =
   let correct = Failures.correct run.i_pattern in
   let instances =
-    List.sort_uniq compare (List.map (fun (_, _, l, _) -> l) run.i_decisions)
+    List.sort_uniq Int.compare (List.map (fun (_, _, l, _) -> l) run.i_decisions)
   in
   let violations = ref [] in
   List.iter

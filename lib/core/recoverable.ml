@@ -151,7 +151,7 @@ let create ?(config = default_config) ?mutation ?etob_mutation
     ?(commits = false) ?anti_entropy ?ae_mutation ~store ~omega
     (ctx : Engine.ctx) =
   let opening = Persist.Store.open_ store in
-  let amnesia = mutation = Some Skip_log_replay in
+  let amnesia = match mutation with Some Skip_log_replay -> true | None -> false in
   let epoch = (Persist.Store.stats store).Persist.Store.restarts in
   let link = Retransmit.create ~config:(link_config config) ~epoch ctx in
   let lctx =

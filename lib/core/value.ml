@@ -28,11 +28,11 @@ let rec equal a b =
 let rec compare a b =
   let rank = function Flag _ -> 0 | Num _ -> 1 | Seq _ -> 2 | Vec _ -> 3 in
   match a, b with
-  | Flag x, Flag y -> Stdlib.compare x y
-  | Num x, Num y -> Stdlib.compare x y
+  | Flag x, Flag y -> Bool.compare x y
+  | Num x, Num y -> Int.compare x y
   | Seq xs, Seq ys -> List.compare App_msg.compare xs ys
   | Vec xs, Vec ys -> List.compare compare xs ys
-  | _, _ -> Stdlib.compare (rank a) (rank b)
+  | _, _ -> Int.compare (rank a) (rank b)
 
 let rec pp ppf = function
   | Flag b -> Fmt.pf ppf "%b" b

@@ -1,0 +1,97 @@
+(* detlint's driver: file discovery, parsing, allowlist application, and
+   the aggregate result consumed by bin/detlint, the test suite and
+   bench E19. *)
+
+type result_t = {
+  files : int;
+  findings : Finding.t list;  (* unallowlisted, in Finding.order *)
+  allowed : (Finding.t * string) list;  (* suppressed + justification *)
+}
+
+(* Subdirectories never descended into.  [lint_fixtures] is deliberately
+   broken (the self-test corpus) and only scanned when named as a root
+   explicitly; skips apply to children, not to roots. *)
+let skipped_dirs = [ "_build"; "_opam"; "_artifacts"; "lint_fixtures"; "node_modules" ]
+
+let skip_entry name =
+  (String.length name > 0 && name.[0] = '.') || List.mem name skipped_dirs
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+            if skip_entry name then acc else walk acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+let parse_implementation ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception exn ->
+    let detail =
+      match Location.error_of_exn exn with
+      | Some (`Ok report) ->
+        Format.asprintf "%a" Location.print_report report
+      | Some `Already_displayed | None -> Printexc.to_string exn
+    in
+    Error (Printf.sprintf "%s: parse error: %s" file (String.trim detail))
+
+let lint_file ~strict file =
+  match read_file file with
+  | exception Sys_error e -> Error e
+  | source ->
+    (match Allow.scan ~file source with
+     | Error _ as e -> e
+     | Ok allowlist ->
+       (match parse_implementation ~file source with
+        | Error _ as e -> e
+        | Ok ast ->
+          let raw = ref [] in
+          let emit rule loc msg =
+            raw := Rules.location_to_finding ~file rule loc msg :: !raw
+          in
+          Rules.run ~file ~strict ~emit ast;
+          let raw =
+            match Rules.missing_mli ~file ~strict with
+            | None -> !raw
+            | Some f -> f :: !raw
+          in
+          let findings, allowed =
+            List.fold_left
+              (fun (fs, al) (f : Finding.t) ->
+                 match Allow.permits allowlist f.rule ~line:f.line with
+                 | Some reason -> (fs, (f, reason) :: al)
+                 | None -> (f :: fs, al))
+              ([], []) raw
+          in
+          Ok (findings, allowed)))
+
+let scan ?(strict = false) roots =
+  let files =
+    try Ok (List.fold_left walk [] roots |> List.sort String.compare)
+    with Sys_error e -> Error e
+  in
+  match files with
+  | Error _ as e -> e
+  | Ok files ->
+    let rec go findings allowed = function
+      | [] ->
+        Ok
+          { files = List.length files;
+            findings = List.sort Finding.order findings;
+            allowed =
+              List.sort (fun (a, _) (b, _) -> Finding.order a b) allowed }
+      | f :: rest ->
+        (match lint_file ~strict f with
+         | Error _ as e -> e
+         | Ok (fs, al) -> go (fs @ findings) (al @ allowed) rest)
+    in
+    go [] [] files

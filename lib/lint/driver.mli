@@ -1,0 +1,17 @@
+(* Scan driver: discovers .ml files under the given roots, runs the rule
+   pass, applies per-file allowlists and returns a deterministic result
+   (files sorted, findings in Finding.order). *)
+
+type result_t = {
+  files : int;  (* number of .ml files scanned *)
+  findings : Finding.t list;  (* violations that stand (gate-failing) *)
+  allowed : (Finding.t * string) list;  (* suppressed, with justification *)
+}
+
+(* [scan roots] walks each root (file or directory).  Child directories
+   named [_build], [_opam], [_artifacts], [lint_fixtures] or starting
+   with a dot are skipped — a root named so explicitly is still scanned.
+   [strict] is fixture mode: path-scoped rules (D4 protocol dirs, D6
+   lib-only) apply to every file.  Errors (unreadable file, parse error,
+   malformed detlint comment) fail the whole scan. *)
+val scan : ?strict:bool -> string list -> (result_t, string) result

@@ -1,0 +1,7 @@
+(* Rendering of a scan result. *)
+
+(* Stable, sorted, trailing-newline JSON — safe to golden. *)
+val to_json : Driver.result_t -> string
+
+(* file:line:col diagnostics plus a one-line summary. *)
+val pp_human : Format.formatter -> Driver.result_t -> unit

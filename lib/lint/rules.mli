@@ -1,0 +1,23 @@
+(* The detlint rule engine: one parsetree pass over an .ml file plus the
+   file-level sealed-interface check.  Rules and scopes are documented in
+   DESIGN.md §12; rules.ml explains how to add one. *)
+
+(* Run the AST rules (D1-D5) over one parsed implementation.  [file] is
+   the path reported in findings (its segments drive rule scopes);
+   [strict] puts every path-scoped rule in force regardless of location
+   (used by the fixture self-test).  [emit] receives raw findings before
+   allowlisting. *)
+val run :
+  file:string ->
+  strict:bool ->
+  emit:(Finding.rule -> Location.t -> string -> unit) ->
+  Parsetree.structure ->
+  unit
+
+(* D6: [Some finding] when [file] is in scope (under lib/, or always
+   under [strict]) and has no sibling .mli. *)
+val missing_mli : file:string -> strict:bool -> Finding.t option
+
+(* Attach a location to a raw emission. *)
+val location_to_finding :
+  file:string -> Finding.rule -> Location.t -> string -> Finding.t

@@ -1,0 +1,7 @@
+(* Fixture: zero findings — the Hashtbl.fold below is covered by a
+   sortedness justification, so it lands in the report's "allowed"
+   section instead of failing the gate. *)
+let keys tbl =
+  (* detlint: sorted — accumulation order is discarded by the sort below *)
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+  |> List.sort String.compare

@@ -1,0 +1,1 @@
+val keys : (string, 'a) Hashtbl.t -> string list

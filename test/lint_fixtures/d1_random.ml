@@ -1,0 +1,3 @@
+(* Fixture: exactly one D1 finding — unseeded randomness outside the
+   blessed Simulator.Rng module. *)
+let jitter () = Random.int 10

@@ -1,0 +1,2 @@
+(* Fixture: exactly one D2 finding — wall-clock read outside bench/. *)
+let now () = Unix.gettimeofday ()

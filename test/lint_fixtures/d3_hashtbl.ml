@@ -1,0 +1,7 @@
+(* Fixture: exactly one D3 finding — unordered Hashtbl iteration with no
+   sortedness justification.  (That the sum happens to be commutative is
+   precisely what the justification comment is for.) *)
+let total tbl =
+  let sum = ref 0 in
+  Hashtbl.iter (fun _ v -> sum := !sum + v) tbl;
+  !sum

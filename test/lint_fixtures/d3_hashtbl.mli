@@ -1,0 +1,1 @@
+val total : (string, int) Hashtbl.t -> int

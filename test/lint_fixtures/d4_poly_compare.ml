@@ -1,0 +1,3 @@
+(* Fixture: exactly one D4 finding — polymorphic compare where a
+   per-type compare is required. *)
+let newest a b = if Stdlib.compare a b >= 0 then a else b

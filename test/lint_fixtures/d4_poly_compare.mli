@@ -1,0 +1,1 @@
+val newest : 'a -> 'a -> 'a

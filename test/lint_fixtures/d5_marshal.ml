@@ -1,0 +1,2 @@
+(* Fixture: exactly one D5 finding — Marshal outside lib/persist. *)
+let save oc v = Marshal.to_channel oc v []

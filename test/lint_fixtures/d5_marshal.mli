@@ -1,0 +1,1 @@
+val save : out_channel -> 'a -> unit

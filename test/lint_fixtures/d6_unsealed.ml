@@ -1,0 +1,2 @@
+(* Fixture: exactly one D6 finding — no sibling .mli seals this module. *)
+let helper x = x + 1

@@ -1,0 +1,160 @@
+(* Self-test for detlint (DESIGN.md §12): the fixture corpus under
+   lint_fixtures/ triggers exactly one rule per file and matches a golden
+   JSON report byte-for-byte; the real tree scans clean; malformed
+   allowlist directives are hard errors.
+
+   Note on self-reference: this file is itself scanned by the real-tree
+   test (and by CI), so directive-like strings below are assembled at
+   runtime — the literal comment opener never appears in the source. *)
+
+open Lint
+
+let scan ?strict roots =
+  match Driver.scan ?strict roots with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "detlint scan error: %s" e
+
+let rules r = List.map (fun (f : Finding.t) -> Finding.rule_id f.rule) r.Driver.findings
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fixture_expectations =
+  [ ("lint_fixtures/d1_random.ml", "D1");
+    ("lint_fixtures/d2_wallclock.ml", "D2");
+    ("lint_fixtures/d3_hashtbl.ml", "D3");
+    ("lint_fixtures/d4_poly_compare.ml", "D4");
+    ("lint_fixtures/d5_marshal.ml", "D5");
+    ("lint_fixtures/d6_unsealed.ml", "D6") ]
+
+(* Each fixture, scanned alone in strict mode, yields exactly its one
+   intended finding — so a fixture can never accidentally regress into
+   triggering a second rule without this failing. *)
+let test_one_finding_per_fixture () =
+  List.iter
+    (fun (file, rule) ->
+       let r = scan ~strict:true [ file ] in
+       Alcotest.(check (list string)) (file ^ " rules") [ rule ] (rules r);
+       let f = List.hd r.Driver.findings in
+       Alcotest.(check string) (file ^ " file") file f.Finding.file)
+    fixture_expectations
+
+(* The whole corpus vs the golden machine-readable report: rule, file,
+   line, col and message of every finding, byte-for-byte. *)
+let test_fixtures_match_golden () =
+  let r = scan ~strict:true [ "lint_fixtures" ] in
+  let golden =
+    In_channel.with_open_bin "lint_fixtures/golden_report.json"
+      In_channel.input_all
+  in
+  Alcotest.(check string) "golden JSON report" golden (Report.to_json r)
+
+(* The justified fixture: gate passes, suppression is still reported. *)
+let test_allowlisted_fixture_is_clean () =
+  let r = scan ~strict:true [ "lint_fixtures/allowlisted_sorted.ml" ] in
+  Alcotest.(check (list string)) "no findings" [] (rules r);
+  Alcotest.(check int) "one allowed" 1 (List.length r.Driver.allowed)
+
+(* ------------------------------------------------------------------ *)
+(* The real tree                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The repository's own sources scan clean: this is the same invocation
+   CI uses as a hard gate (`detlint lib bin test`), run from the test
+   sandbox one level down. *)
+let test_real_tree_is_clean () =
+  let roots =
+    List.filter Sys.file_exists [ "../lib"; "../bin"; "../test" ]
+  in
+  if List.length roots < 3 then
+    Alcotest.skip ()
+  else begin
+    let r = scan ~strict:false roots in
+    List.iter
+      (fun (f : Finding.t) ->
+         Format.eprintf "unexpected finding: %a@." Finding.pp_human f)
+      r.Driver.findings;
+    Alcotest.(check (list string)) "no findings" [] (rules r);
+    Alcotest.(check bool) "scanned a real tree" true (r.Driver.files > 50);
+    Alcotest.(check bool) "deliberate allowlists present" true
+      (List.length r.Driver.allowed >= 5)
+  end
+
+(* lint_fixtures is skipped when reached as a *child* (that is why the
+   gate can scan test/ at all), yet scanned when named as a root. *)
+let test_fixture_dir_skipped_as_child () =
+  let r = scan ~strict:false [ "." ] in
+  List.iter
+    (fun (f : Finding.t) ->
+       Alcotest.(check bool)
+         ("finding outside lint_fixtures: " ^ f.Finding.file) false
+         (String.length f.Finding.file >= 13
+          && String.sub f.Finding.file 0 13 = "lint_fixtures"))
+    r.Driver.findings
+
+(* ------------------------------------------------------------------ *)
+(* Directives and report plumbing                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Built at runtime so the opener never appears literally in this file. *)
+let directive body = "(" ^ "* detlint: " ^ body ^ " *" ^ ")\nlet x = 1\n"
+
+let test_malformed_directives_are_errors () =
+  let expect_error body =
+    match Allow.scan ~file:"inline.ml" (directive body) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "directive %S should be a scan error" body
+  in
+  expect_error "allow D9 nonsense rule";
+  expect_error "allow D5";  (* justification is mandatory *)
+  expect_error "frobnicate the gate"
+
+let test_wellformed_directives_parse () =
+  let expect_rule body rule line =
+    match Allow.scan ~file:"inline.ml" (directive body) with
+    | Error e -> Alcotest.failf "directive %S rejected: %s" body e
+    | Ok t ->
+      Alcotest.(check bool) (body ^ " permits") true
+        (Allow.permits t rule ~line <> None)
+  in
+  (* The directive sits on line 1: it covers findings on lines 1 and 2. *)
+  expect_rule "sorted" Finding.D3 2;
+  expect_rule "allow D5 physical identity is the point" Finding.D5 1;
+  match Allow.scan ~file:"inline.ml" (directive "sorted") with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    Alcotest.(check bool) "does not cover other rules" true
+      (Allow.permits t Finding.D5 ~line:2 = None);
+    Alcotest.(check bool) "does not cover distant lines" true
+      (Allow.permits t Finding.D3 ~line:4 = None)
+
+let test_rule_ids_roundtrip () =
+  List.iter
+    (fun r ->
+       Alcotest.(check (option string)) "roundtrip" (Some (Finding.rule_id r))
+         (Option.map Finding.rule_id (Finding.rule_of_id (Finding.rule_id r))))
+    Finding.all_rules
+
+let () =
+  Alcotest.run "lint"
+    [ ("fixtures",
+       [ Alcotest.test_case "one finding per fixture" `Quick
+           test_one_finding_per_fixture;
+         Alcotest.test_case "golden JSON report" `Quick
+           test_fixtures_match_golden;
+         Alcotest.test_case "allowlisted fixture clean" `Quick
+           test_allowlisted_fixture_is_clean ]);
+      ("tree",
+       [ Alcotest.test_case "real tree scans clean" `Quick
+           test_real_tree_is_clean;
+         Alcotest.test_case "fixtures skipped as child dir" `Quick
+           test_fixture_dir_skipped_as_child ]);
+      ("directives",
+       [ Alcotest.test_case "malformed directives error" `Quick
+           test_malformed_directives_are_errors;
+         Alcotest.test_case "wellformed directives parse" `Quick
+           test_wellformed_directives_parse;
+         Alcotest.test_case "rule ids roundtrip" `Quick
+           test_rule_ids_roundtrip ]);
+    ]
