@@ -26,7 +26,10 @@ lint:
 # partitions) clean over the budget; every seeded mutant — the four
 # Algorithm 5 bugs, the skip-log-replay amnesia bug and the skip-digest
 # anti-entropy bug — found, shrunk and replayed from its repro file.
-# Shrunk repro files land in _artifacts/smoke/.
+# One finding additionally roundtrips through the builder-spec text form
+# (DESIGN.md §13): found -> spec file -> parsed -> re-run, with the trace
+# digest required to reproduce byte-for-byte.  Shrunk repro and spec
+# files land in _artifacts/smoke/.
 smoke:
 	dune exec bin/ecsim.exe -- explore --smoke --plans 500 -j 2 --artifacts _artifacts/smoke
 

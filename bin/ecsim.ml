@@ -4,23 +4,29 @@
      ecsim list
      ecsim run --scenario partition --impl alg5 -n 5 --verbose
      ecsim check --scenario minority --impl paxos   (exit 1 on violations)
+     ecsim run --spec finding.spec --timeline
      ecsim cht --crash 1:14 --rounds 5
 
-   Every run is deterministic in its seed; the property report printed at
-   the end is computed by the same checkers the test suite uses. *)
+   Every subcommand decodes its flags — or a builder spec file
+   ([--spec FILE], the stable text form of [Harness.Builder]) — into one
+   declarative builder value through a single shared decoder, and every
+   run goes through [Builder.run]: the same code path as the test suite,
+   the explorer and recorded repro files, so a run is deterministic in
+   its spec. *)
 
 open Simulator
 open Ec_core
 open Cmdliner
+module Builder = Harness.Builder
 
 (* ------------------------------------------------------------------ *)
-(* Scenario catalogue                                                  *)
+(* Scenario catalogue (declarative presets over the builder)           *)
 (* ------------------------------------------------------------------ *)
 
 type scenario = {
   sc_name : string;
   sc_doc : string;
-  sc_setup : n:int -> seed:int -> deadline:int -> Harness.Scenario.setup;
+  sc_build : n:int -> seed:int -> deadline:int -> Builder.stack -> Builder.t;
   sc_default_n : int;
 }
 
@@ -31,138 +37,110 @@ let scenarios =
   [ { sc_name = "stable";
       sc_doc = "failure-free, Omega stable from time 0";
       sc_default_n = 3;
-      sc_setup =
-        (fun ~n ~seed ~deadline ->
-           { (Harness.Scenario.default ~n ~deadline) with seed; omega = oracle 0 }) };
+      sc_build =
+        (fun ~n ~seed ~deadline stack ->
+           { (Builder.create ~seed ~n ~deadline stack) with
+             Builder.omega = Some (oracle 0) }) };
     { sc_name = "late-omega";
       sc_doc = "failure-free, Omega stabilizes at deadline/3 (self-trust before)";
       sc_default_n = 3;
-      sc_setup =
-        (fun ~n ~seed ~deadline ->
-           { (Harness.Scenario.default ~n ~deadline) with
-             seed; omega = oracle (deadline / 3) }) };
+      sc_build =
+        (fun ~n ~seed ~deadline stack ->
+           { (Builder.create ~seed ~n ~deadline stack) with
+             Builder.omega = Some (oracle (deadline / 3)) }) };
     { sc_name = "partition";
       sc_doc = "two blocks with per-block leaders, healing at deadline/3";
       sc_default_n = 5;
-      sc_setup =
-        (fun ~n ~seed ~deadline ->
+      sc_build =
+        (fun ~n ~seed ~deadline stack ->
            let heal = deadline / 3 in
            let left = List.filter (fun p -> p < (n + 1) / 2) (Types.all_procs n) in
            let right = List.filter (fun p -> p >= (n + 1) / 2) (Types.all_procs n) in
-           let spec = { Net.blocks = [ left; right ]; from_time = 5; until_time = heal } in
-           { (Harness.Scenario.default ~n ~deadline) with
-             seed;
-             delay = Net.partitioned spec ~base:(Net.constant 1);
-             omega = oracle ~pre:(Detectors.Omega.Blockwise [ left; right ]) heal }) };
+           { (Builder.create ~seed ~n ~deadline stack) with
+             Builder.plan =
+               [ Explore.Adversity.Partition
+                   { left; from_time = 5; until_time = heal } ];
+             omega =
+               Some (oracle ~pre:(Detectors.Omega.Blockwise [ left; right ]) heal)
+           }) };
     { sc_name = "minority";
       sc_doc = "all but two processes crash at deadline/4 (no correct majority)";
       sc_default_n = 5;
-      sc_setup =
-        (fun ~n ~seed ~deadline ->
-           let pattern =
-             Failures.of_crashes ~n
-               (List.filter_map
-                  (fun p -> if p >= 2 then Some (p, deadline / 4) else None)
-                  (Types.all_procs n))
-           in
-           { (Harness.Scenario.default ~n ~deadline) with
-             seed; pattern; omega = oracle 0 }) };
+      sc_build =
+        (fun ~n ~seed ~deadline stack ->
+           { (Builder.create ~seed ~n ~deadline stack) with
+             Builder.plan =
+               List.filter_map
+                 (fun p ->
+                    if p >= 2 then
+                      Some (Explore.Adversity.Crash { proc = p; at = deadline / 4 })
+                    else None)
+                 (Types.all_procs n);
+             omega = Some (oracle 0) }) };
     { sc_name = "elected";
       sc_doc = "no oracle: heartbeat-based leader election, leader crashes mid-run";
       sc_default_n = 4;
-      sc_setup =
-        (fun ~n ~seed ~deadline ->
-           { (Harness.Scenario.default ~n ~deadline) with
-             seed;
-             pattern = Failures.of_crashes ~n [ (0, deadline / 2) ];
-             delay = Net.uniform ~min:1 ~max:3;
-             omega = Harness.Scenario.Elected { initial_timeout = 6 } }) };
+      sc_build =
+        (fun ~n ~seed ~deadline stack ->
+           { (Builder.create ~seed
+                ~delay:(Builder.Uniform { min_d = 1; max_d = 3 })
+                ~n ~deadline stack)
+             with
+             Builder.plan =
+               [ Explore.Adversity.Crash { proc = 0; at = deadline / 2 } ];
+             omega = Some (Harness.Scenario.Elected { initial_timeout = 6 }) })
+    };
   ]
 
 let find_scenario name = List.find_opt (fun s -> s.sc_name = name) scenarios
 
-(* "gossip" is the leaderless negative baseline, run through its own
-   harness entry point rather than the ETOB-implementation catalogue. *)
-type runner = Impl of Harness.Scenario.etob_impl | Gossip
-
 let impls =
-  [ ("alg5", Impl Harness.Scenario.Algorithm_5);
-    ("paxos", Impl Harness.Scenario.Paxos_baseline);
-    ("alg1", Impl Harness.Scenario.Algorithm_1_over_4);
-    ("gossip", Gossip) ]
+  [ ("alg5", Builder.Etob Harness.Scenario.Algorithm_5);
+    ("paxos", Builder.Etob Harness.Scenario.Paxos_baseline);
+    ("alg1", Builder.Etob Harness.Scenario.Algorithm_1_over_4);
+    ("gossip", Builder.Gossip) ]
 
 (* ------------------------------------------------------------------ *)
-(* Commands                                                            *)
+(* The shared option decoder                                           *)
 (* ------------------------------------------------------------------ *)
 
-let default_posts n deadline =
-  Harness.Scenario.spread_posts ~n ~count:(3 * n) ~from_time:8
-    ~every:(max 2 (deadline / (6 * n)))
+(* The catalogue's workload policy: [posts] explicit messages spread over
+   half the horizon, or 3 per process at the default cadence. *)
+let workload_of ~n ~deadline ~posts =
+  if posts > 0 then
+    Builder.Posts
+      { count = posts; from_time = 8; every = max 2 (deadline / (2 * posts)) }
+  else
+    Builder.Posts
+      { count = 3 * n; from_time = 8; every = max 2 (deadline / (6 * n)) }
 
-let execute ~scenario ~impl ~n ~seed ~deadline ~posts =
-  let setup = scenario.sc_setup ~n ~seed ~deadline in
-  let inputs =
-    if posts > 0 then
-      Harness.Scenario.spread_posts ~n ~count:posts ~from_time:8
-        ~every:(max 2 (deadline / (2 * posts)))
-    else default_posts n deadline
+(* Decode one builder from either a spec file (which wins outright — it
+   carries its own base, stack, workload and plan) or the scenario/impl
+   flag catalogue.  Every run-shaped subcommand goes through here. *)
+let decode ~spec ~scenario_name ~impl_name ~n ~seed ~deadline ~posts =
+  match spec with
+  | Some path -> Builder.read path
+  | None ->
+    (match (find_scenario scenario_name, List.assoc_opt impl_name impls) with
+     | None, _ -> Error ("unknown scenario " ^ scenario_name)
+     | _, None -> Error ("unknown implementation " ^ impl_name)
+     | Some sc, Some stack ->
+       let n = if n = 0 then sc.sc_default_n else n in
+       Ok
+         { (sc.sc_build ~n ~seed ~deadline stack) with
+           Builder.workload = workload_of ~n ~deadline ~posts })
+
+(* --- the shared flags, declared once --- *)
+
+let spec_arg =
+  let doc =
+    "Load the run from a builder spec file ($(b,ecsim-spec v1), or a legacy \
+     $(b,ecsim-explore-repro v1) file).  The spec carries its own base, \
+     stack, workload and adversity plan, so it overrides \
+     $(b,--scenario)/$(b,--impl)/$(b,-n)/$(b,--seed)/$(b,--deadline)/\
+     $(b,--posts)."
   in
-  let trace =
-    match impl with
-    | Impl impl -> Harness.Scenario.run_etob ~inputs setup impl
-    | Gossip -> Harness.Scenario.run_gossip_order ~inputs setup
-  in
-  (setup, trace)
-
-let print_report setup trace ~verbose =
-  if verbose then begin
-    print_endline "--- trace ---";
-    List.iter (fun e -> Format.printf "%a@." Trace.pp_entry e) (Trace.entries trace);
-    print_endline "--- end trace ---"
-  end;
-  let run = Properties.etob_run_of_trace setup.Harness.Scenario.pattern trace in
-  let report = Properties.etob_report run in
-  Format.printf "pattern: %a@." Failures.pp setup.Harness.Scenario.pattern;
-  Format.printf "messages sent: %d, delivered: %d, dropped: %d@."
-    (Trace.sent trace) (Trace.delivered trace) (Trace.dropped trace);
-  List.iter
-    (fun p ->
-       Format.printf "final d_p%d (%d msgs): %a@." p
-         (List.length (Properties.final_d run p))
-         App_msg.pp_seq (Properties.final_d run p))
-    (Failures.correct setup.Harness.Scenario.pattern);
-  Format.printf "%a@." Properties.pp_etob_report report;
-  (match Harness.Scenario.omega_stabilization setup with
-   | Some tau -> Format.printf "tau_Omega=%d, measured convergence tau=%d@." tau
-                   (Properties.etob_convergence_time report)
-   | None -> Format.printf "measured convergence tau=%d@."
-               (Properties.etob_convergence_time report));
-  report
-
-(* --- list --- *)
-
-let list_cmd =
-  let doc = "List the available scenarios and implementations." in
-  let run () =
-    print_endline "scenarios:";
-    List.iter (fun s -> Printf.printf "  %-12s %s\n" s.sc_name s.sc_doc) scenarios;
-    print_endline "implementations:";
-    List.iter (fun (name, impl) ->
-        Printf.printf "  %-12s %s\n" name
-          (match impl with
-           | Impl Harness.Scenario.Algorithm_5 ->
-             "ETOB directly from Omega (Algorithm 5)"
-           | Impl Harness.Scenario.Paxos_baseline ->
-             "strong TOB from repeated consensus"
-           | Impl Harness.Scenario.Algorithm_1_over_4 ->
-             "ETOB through the EC transformation (Algorithms 1 + 4)"
-           | Gossip ->
-             "leaderless gossip ordering (no Omega; the negative baseline)"))
-      impls
-  in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
-
-(* --- shared options --- *)
+  Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"FILE" ~doc)
 
 let scenario_arg =
   let doc = "Scenario name (see $(b,ecsim list))." in
@@ -196,46 +174,123 @@ let timeline_arg =
   let doc = "Print an ASCII timeline of the run." in
   Arg.(value & flag & info [ "timeline"; "t" ] ~doc)
 
-let with_setup f scenario_name impl_name n seed deadline posts verbose =
-  match find_scenario scenario_name, List.assoc_opt impl_name impls with
-  | None, _ -> `Error (false, "unknown scenario " ^ scenario_name)
-  | _, None -> `Error (false, "unknown implementation " ^ impl_name)
-  | Some scenario, Some impl ->
-    let n = if n = 0 then scenario.sc_default_n else n in
-    let setup, trace = execute ~scenario ~impl ~n ~seed ~deadline ~posts in
-    f setup trace ~verbose
+(* One cmdliner term producing the decoded builder: the per-subcommand
+   flag wiring that used to be copied into run/check/sweep lives here
+   exactly once. *)
+let builder_term =
+  let combine spec scenario_name impl_name n seed deadline posts =
+    decode ~spec ~scenario_name ~impl_name ~n ~seed ~deadline ~posts
+  in
+  Term.(const combine $ spec_arg $ scenario_arg $ impl_arg $ n_arg $ seed_arg
+        $ deadline_arg $ posts_arg)
+
+(* Rebase a decoded builder onto another engine seed (sweep). *)
+let with_seed b seed =
+  match b.Builder.base with
+  | Builder.Decl d -> { b with Builder.base = Builder.Decl { d with Builder.seed } }
+  | Builder.Opaque s ->
+    { b with Builder.base = Builder.Opaque { s with Harness.Scenario.seed } }
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let print_report setup trace ~verbose =
+  if verbose then begin
+    print_endline "--- trace ---";
+    List.iter (fun e -> Format.printf "%a@." Trace.pp_entry e) (Trace.entries trace);
+    print_endline "--- end trace ---"
+  end;
+  let run = Properties.etob_run_of_trace setup.Harness.Scenario.pattern trace in
+  let report = Properties.etob_report run in
+  Format.printf "pattern: %a@." Failures.pp setup.Harness.Scenario.pattern;
+  Format.printf "messages sent: %d, delivered: %d, dropped: %d@."
+    (Trace.sent trace) (Trace.delivered trace) (Trace.dropped trace);
+  List.iter
+    (fun p ->
+       Format.printf "final d_p%d (%d msgs): %a@." p
+         (List.length (Properties.final_d run p))
+         App_msg.pp_seq (Properties.final_d run p))
+    (Failures.correct setup.Harness.Scenario.pattern);
+  Format.printf "%a@." Properties.pp_etob_report report;
+  (match Harness.Scenario.omega_stabilization setup with
+   | Some tau -> Format.printf "tau_Omega=%d, measured convergence tau=%d@." tau
+                   (Properties.etob_convergence_time report)
+   | None -> Format.printf "measured convergence tau=%d@."
+               (Properties.etob_convergence_time report));
+  report
+
+(* Run a decoded builder and report: shared by run and check.  The
+   builder's own checkers (spec files may carry them) are evaluated too,
+   and their violations printed. *)
+let execute_report b ~verbose ~timeline =
+  let setup = Builder.setup_of b in
+  let o = Builder.run ~digest:true b in
+  let trace = match o.Builder.trace with Some t -> t | None -> assert false in
+  if timeline then
+    print_string (Harness.Timeline.render ~pattern:setup.Harness.Scenario.pattern trace);
+  let report = print_report setup trace ~verbose in
+  List.iter (fun v -> Format.printf "spec violation: %s@." v) o.Builder.violations;
+  Format.printf "trace digest %s@." o.Builder.digest;
+  (report, o)
+
+(* --- list --- *)
+
+let list_cmd =
+  let doc = "List the available scenarios and implementations." in
+  let run () =
+    print_endline "scenarios:";
+    List.iter (fun s -> Printf.printf "  %-12s %s\n" s.sc_name s.sc_doc) scenarios;
+    print_endline "implementations:";
+    List.iter (fun (name, stack) ->
+        Printf.printf "  %-12s %s\n" name
+          (match stack with
+           | Builder.Etob Harness.Scenario.Algorithm_5 ->
+             "ETOB directly from Omega (Algorithm 5)"
+           | Builder.Etob Harness.Scenario.Paxos_baseline ->
+             "strong TOB from repeated consensus"
+           | Builder.Etob Harness.Scenario.Algorithm_1_over_4 ->
+             "ETOB through the EC transformation (Algorithms 1 + 4)"
+           | _ ->
+             "leaderless gossip ordering (no Omega; the negative baseline)"))
+      impls
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
 (* --- run --- *)
 
 let run_cmd =
-  let doc = "Run a scenario and print the delivered sequences and the property report." in
-  let run scenario impl n seed deadline posts verbose timeline =
-    with_setup (fun setup trace ~verbose ->
-        if timeline then
-          print_string
-            (Harness.Timeline.render ~pattern:setup.Harness.Scenario.pattern trace);
-        ignore (print_report setup trace ~verbose);
-        `Ok ())
-      scenario impl n seed deadline posts verbose
+  let doc = "Run a scenario (or a spec file) and print the delivered sequences and the property report." in
+  let run builder verbose timeline =
+    match builder with
+    | Error msg -> `Error (false, msg)
+    | Ok b ->
+      ignore (execute_report b ~verbose ~timeline);
+      `Ok ()
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(ret (const run $ scenario_arg $ impl_arg $ n_arg $ seed_arg
-               $ deadline_arg $ posts_arg $ verbose_arg $ timeline_arg))
+    Term.(ret (const run $ builder_term $ verbose_arg $ timeline_arg))
 
 (* --- check --- *)
 
 let check_cmd =
-  let doc = "Run a scenario and exit non-zero if any ETOB property is violated." in
-  let run = with_setup (fun setup trace ~verbose ->
-      let report = print_report setup trace ~verbose in
+  let doc =
+    "Run a scenario (or a spec file) and exit non-zero if any ETOB \
+     property — or any checker the spec carries — is violated."
+  in
+  let run builder verbose =
+    match builder with
+    | Error msg -> `Error (false, msg)
+    | Ok b ->
+      let report, o = execute_report b ~verbose ~timeline:false in
       if Properties.etob_base_ok report
       && report.Properties.causal_order.Properties.ok
+      && o.Builder.violations = []
       then begin print_endline "CHECK PASSED"; `Ok () end
-      else `Error (false, "property violations found"))
+      else `Error (false, "property violations found")
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(ret (const run $ scenario_arg $ impl_arg $ n_arg $ seed_arg
-               $ deadline_arg $ posts_arg $ verbose_arg))
+    Term.(ret (const run $ builder_term $ verbose_arg))
 
 (* --- sweep --- *)
 
@@ -252,9 +307,9 @@ type sweep_outcome = {
 
 let sweep_cmd =
   let doc =
-    "Run one scenario under a range of seeds in parallel (one run per seed, \
-     fanned over OCaml domains) and print aggregated verdicts and latency \
-     histograms."
+    "Run one scenario (or spec file) under a range of seeds in parallel \
+     (one run per seed, fanned over OCaml domains) and print aggregated \
+     verdicts and latency histograms."
   in
   let seeds_arg =
     let doc = "Number of seeds to sweep (base seed up to base+count-1)." in
@@ -264,36 +319,28 @@ let sweep_cmd =
     let doc = "Worker domains (0 = pick from the hardware)." in
     Arg.(value & opt int 0 & info [ "domains"; "j" ] ~docv:"D" ~doc)
   in
-  let run scenario_name impl_name n base_seed deadline posts seeds domains =
-    match find_scenario scenario_name, List.assoc_opt impl_name impls with
-    | None, _ -> `Error (false, "unknown scenario " ^ scenario_name)
-    | _, None -> `Error (false, "unknown implementation " ^ impl_name)
-    | Some scenario, Some impl ->
-      let n = if n = 0 then scenario.sc_default_n else n in
+  let run builder seeds domains =
+    match builder with
+    | Error msg -> `Error (false, msg)
+    | Ok b ->
+      let n = Builder.n_of b in
+      let base_seed = Builder.seed_of b in
       let domains =
         if domains > 0 then domains else Harness.Sweep.default_domains ()
       in
       let run_one ~seed =
-        let setup = scenario.sc_setup ~n ~seed ~deadline in
         (* Observe the run twice over: a full trace for the property
            checkers plus counters for the latency histograms. *)
         let trace = Trace.create ~n in
         let c = Sink.counters ~n in
-        let setup =
-          { setup with
-            Harness.Scenario.sink =
-              Some (Sink.tee (Sink.recorder trace) (Sink.counters_sink c)) }
+        let b =
+          { (with_seed b seed) with
+            Builder.checkers = [];
+            sink = Some (Sink.tee (Sink.recorder trace) (Sink.counters_sink c)) }
         in
-        let inputs =
-          if posts > 0 then
-            Harness.Scenario.spread_posts ~n ~count:posts ~from_time:8
-              ~every:(max 2 (deadline / (2 * posts)))
-          else default_posts n deadline
-        in
-        (match impl with
-         | Impl impl -> ignore (Harness.Scenario.run_etob ~inputs setup impl)
-         | Gossip -> ignore (Harness.Scenario.run_gossip_order ~inputs setup));
-        let run = Properties.etob_run_of_trace setup.Harness.Scenario.pattern trace in
+        ignore (Builder.run b);
+        let pattern = (Builder.setup_of b).Harness.Scenario.pattern in
+        let run = Properties.etob_run_of_trace pattern trace in
         let report = Properties.etob_report run in
         { sw_ok =
             Properties.etob_base_ok report
@@ -307,8 +354,9 @@ let sweep_cmd =
       let seed_list = Harness.Sweep.seed_range ~base:base_seed ~count:seeds in
       let results = Harness.Sweep.map ~domains ~seeds:seed_list run_one in
       let outcomes = List.map (fun r -> r.Harness.Sweep.value) results in
-      Format.printf "sweep: scenario=%s impl=%s n=%d seeds=%d..%d domains=%d@."
-        scenario_name impl_name n base_seed (base_seed + seeds - 1) domains;
+      Format.printf "sweep: stack=%s n=%d seeds=%d..%d domains=%d@."
+        (Builder.stack_name b.Builder.stack) n base_seed
+        (base_seed + seeds - 1) domains;
       let verdicts =
         Harness.Sweep.verdicts results ~ok:(fun o -> o.sw_ok)
       in
@@ -343,8 +391,7 @@ let sweep_cmd =
       else `Error (false, "property violations in sweep")
   in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(ret (const run $ scenario_arg $ impl_arg $ n_arg $ seed_arg
-               $ deadline_arg $ posts_arg $ seeds_arg $ domains_arg))
+    Term.(ret (const run $ builder_term $ seeds_arg $ domains_arg))
 
 (* --- explore --- *)
 
@@ -359,30 +406,37 @@ let pp_explore_outcome (o : Explore.Explorer.outcome) =
     (if o.Explore.Explorer.digest = "" then "(run raised)"
      else o.Explore.Explorer.digest)
 
+let mkdirs dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  go dir
+
 (* The acceptance gate, CI-sized: the faithful Algorithm 5 (crash-stop and
    crash-recovery alike) survives the whole budget clean, and the explorer
    finds every seeded mutant — protocol bugs and the recovery-path amnesia
    bug — shrinks the finding to at most 3 adversities, and replays it
-   deterministically through a repro-file roundtrip.  When [artifacts] is
-   set, every shrunk finding (and any unexpected faithful flag) is written
-   there as a repro file, so CI can upload them on failure. *)
+   deterministically through a repro-file roundtrip.  One mutant finding
+   additionally makes the round trip through the builder-spec text form
+   (found -> to_lines -> of_lines -> run), which must reproduce the trace
+   digest byte for byte.  When [artifacts] is set, every shrunk finding
+   (and any unexpected faithful flag) is written there, repro and spec
+   files alike, so CI can upload them on failure. *)
 let explore_smoke ~domains ~budget ~seed ~artifacts =
   let module E = Explore.Explorer in
   let module R = Explore.Repro in
-  let write_artifact name repro =
+  let write_artifact name contents =
     match artifacts with
     | None -> ()
     | Some dir ->
-      let rec mkdirs d =
-        if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
-          mkdirs (Filename.dirname d);
-          Sys.mkdir d 0o755
-        end
-      in
       mkdirs dir;
-      let path = Filename.concat dir (name ^ ".repro") in
-      R.write path repro;
-      Format.printf "  repro artifact: %s@." path
+      let path = Filename.concat dir name in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc contents);
+      Format.printf "  artifact: %s@." path
   in
   let clean_gate label target =
     Format.printf "smoke: faithful %s over %d plans...@." label budget;
@@ -390,7 +444,8 @@ let explore_smoke ~domains ~budget ~seed ~artifacts =
     match r.E.found with
     | Some o ->
       pp_explore_outcome o;
-      write_artifact ("faithful-" ^ label) (R.of_outcome target o);
+      write_artifact ("faithful-" ^ label ^ ".repro")
+        (R.to_string (R.of_outcome target o));
       Error
         (Printf.sprintf "faithful %s was flagged: explorer or protocol bug"
            label)
@@ -411,7 +466,8 @@ let explore_smoke ~domains ~budget ~seed ~artifacts =
         name (r.E.plans_run - 1)
         (Explore.Adversity.size o.E.plan)
         (Explore.Adversity.size s.E.plan);
-      write_artifact ("mutant-" ^ name) (R.of_outcome target s);
+      write_artifact ("mutant-" ^ name ^ ".repro")
+        (R.to_string (R.of_outcome target s));
       if Explore.Adversity.size s.E.plan > 3 then
         Error
           (Printf.sprintf "mutant %s: shrunk plan still has %d adversities"
@@ -429,6 +485,41 @@ let explore_smoke ~domains ~budget ~seed ~artifacts =
            | Error msg ->
              Error (Printf.sprintf "mutant %s: replay: %s" name msg))
       end
+  in
+  (* The builder-spec flow: one finding travels the whole new-format
+     pipeline.  Explore, shrink, serialize the builder to spec text, parse
+     it back, re-run — the violation must survive and the trace digest
+     must match byte for byte.  The spec file lands in the artifact
+     directory beside the repro files. *)
+  let spec_gate () =
+    let mutant = List.hd Etob_omega.all_mutations in
+    let name = Etob_omega.mutation_name mutant in
+    let target = { E.default_target with E.mutation = Some mutant } in
+    Format.printf "smoke: builder-spec flow (mutant %s)...@." name;
+    let r = E.explore ~domains target ~seed ~budget ~max_adversities:4 () in
+    match r.E.found with
+    | None -> Error "spec flow: mutant not found within the budget"
+    | Some o ->
+      let s = E.shrink target o in
+      let b = E.builder_of target ~seed:s.E.seed s.E.plan in
+      let text =
+        Builder.to_string ~digest:s.E.digest ~violations:s.E.violations b
+      in
+      write_artifact ("spec-flow-" ^ name ^ ".spec") text;
+      (match Builder.of_string text with
+       | Error msg -> Error ("spec flow: parse: " ^ msg)
+       | Ok b' ->
+         let o' = Builder.run ~digest:true ~catch:true b' in
+         if o'.Builder.violations = [] then
+           Error "spec flow: replay lost the violation"
+         else if o'.Builder.digest <> s.E.digest then
+           Error
+             (Printf.sprintf "spec flow: digest mismatch (%s vs %s)"
+                o'.Builder.digest s.E.digest)
+         else begin
+           Format.printf "  spec roundtrip reproduced digest %s@." s.E.digest;
+           Ok ()
+         end)
   in
   let rec all = function
     | [] -> Ok ()
@@ -476,15 +567,64 @@ let explore_smoke ~domains ~budget ~seed ~artifacts =
               { partitioned with E.ae_mutation = Some m } ))
          Anti_entropy.all_mutations)
   in
+  let* () = spec_gate () in
   print_endline "SMOKE PASSED";
   Ok ()
+
+(* Replay a finding file of either format.  Legacy repro files go through
+   [Explore.Repro.replay] (which re-derives the target); spec files parse
+   to a builder, re-run, and must reproduce the recorded digest and (when
+   the file records violations) some violation. *)
+let replay_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> `Error (false, msg)
+  | content ->
+    if
+      String.length content >= String.length Builder.header
+      && String.sub content 0 (String.length Builder.header) = Builder.header
+    then
+      match Builder.of_string content with
+      | Error msg -> `Error (false, "spec parse: " ^ msg)
+      | Ok b ->
+        let o = Builder.run ~digest:true ~catch:true b in
+        List.iter (fun v -> Format.printf "  violation: %s@." v) o.Builder.violations;
+        Format.printf "trace digest %s@." o.Builder.digest;
+        let expects_violation =
+          List.exists
+            (fun l -> String.length (String.trim l) > 10
+                      && String.sub (String.trim l) 0 10 = "violation ")
+            (String.split_on_char '\n' content)
+        in
+        (match Builder.recorded_digest content with
+         | Some d when d <> o.Builder.digest ->
+           `Error
+             ( false,
+               Printf.sprintf "digest mismatch: recorded %s, got %s" d
+                 o.Builder.digest )
+         | _ ->
+           if expects_violation && o.Builder.violations = [] then
+             `Error (false, "recorded violation did not reproduce")
+           else begin
+             print_endline "REPLAY REPRODUCED";
+             `Ok ()
+           end)
+    else
+      (match Explore.Repro.read path with
+       | Error msg -> `Error (false, "repro parse: " ^ msg)
+       | Ok r ->
+         (match Explore.Repro.replay r with
+          | Ok o ->
+            pp_explore_outcome o;
+            print_endline "REPLAY REPRODUCED";
+            `Ok ()
+          | Error msg -> `Error (false, "replay: " ^ msg)))
 
 let explore_cmd =
   let doc =
     "Adversarially explore a protocol stack: enumerate bounded adversity \
      plans (crashes, partitions, delay spikes, drops, duplicates, leader \
      flapping), flag property violations, shrink findings to a minimal \
-     plan and write deterministic repro files."
+     plan and write deterministic repro/spec files."
   in
   let plans_arg =
     let doc = "Exploration budget: number of adversity plans to run." in
@@ -529,8 +669,8 @@ let explore_cmd =
   in
   let artifacts_arg =
     let doc =
-      "In smoke mode, write every shrunk finding as a repro file into this \
-       directory (created if needed) so CI can upload them on failure."
+      "In smoke mode, write every shrunk finding as a repro/spec file into \
+       this directory (created if needed) so CI can upload them on failure."
     in
     Arg.(value & opt (some string) None & info [ "artifacts" ] ~docv:"DIR" ~doc)
   in
@@ -542,135 +682,160 @@ let explore_cmd =
     Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"D" ~doc)
   in
   let out_arg =
-    let doc = "Write the (shrunk) finding to this repro file." in
+    let doc =
+      "Write the (shrunk) finding to this file: builder-spec format for a \
+       $(b,.spec) suffix, legacy repro format otherwise."
+    in
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
   let replay_arg =
-    let doc = "Replay a repro file instead of exploring." in
+    let doc = "Replay a repro or spec file instead of exploring." in
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
   in
   let smoke_arg =
     let doc =
       "Acceptance mode: the faithful Algorithm 5 must survive the budget \
        clean and every seeded mutant must be found, shrunk to <= 3 \
-       adversities and replayed deterministically."
+       adversities and replayed deterministically (one finding also \
+       roundtrips through the builder-spec text form)."
     in
     Arg.(value & flag & info [ "smoke" ] ~doc)
   in
+  let explore_spec_arg =
+    let doc =
+      "Read the exploration target off a builder spec file: base, stack, \
+       workload, mutations and checkers come from the spec (its plan is \
+       discarded — exploration generates plans); the spec's $(b,budget) \
+       header, when present, overrides $(b,--plans)."
+    in
+    Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"FILE" ~doc)
+  in
   let run impl_name n seed deadline posts plans max_adv mutant recovery ae
-      watchdog domains out replay smoke artifacts =
+      watchdog domains out replay smoke artifacts spec =
     let module E = Explore.Explorer in
     match replay with
-    | Some path ->
-      (match Explore.Repro.read path with
-       | Error msg -> `Error (false, "repro parse: " ^ msg)
-       | Ok r ->
-         (match Explore.Repro.replay r with
-          | Ok o ->
-            pp_explore_outcome o;
-            print_endline "REPLAY REPRODUCED";
-            `Ok ()
-          | Error msg -> `Error (false, "replay: " ^ msg)))
+    | Some path -> replay_file path
     | None ->
       if smoke then
         match explore_smoke ~domains ~budget:plans ~seed ~artifacts with
         | Ok () -> `Ok ()
         | Error msg -> `Error (false, msg)
       else begin
-        match E.impl_of_string impl_name with
-        | None ->
-          `Error (false, "unknown implementation for explore: " ^ impl_name)
-        | Some impl ->
-          (* A mutant name resolves in the Algorithm-5 namespace first,
-             then recovery-path, then anti-entropy. *)
-          (match
-             Option.map
-               (fun name ->
-                  match Etob_omega.mutation_of_string name with
-                  | Some m -> `Etob m
-                  | None ->
-                    (match Ec_core.Recoverable.mutation_of_string name with
-                     | Some m -> `Recovery m
-                     | None ->
-                       (match Anti_entropy.mutation_of_string name with
-                        | Some m -> `Ae m
-                        | None -> invalid_arg ("unknown mutant " ^ name))))
-               mutant
-           with
-           | exception Invalid_argument msg ->
-             `Error
-               ( false,
-                 Printf.sprintf "%s (known: %s)" msg
-                   (String.concat ", "
-                      (List.map Etob_omega.mutation_name
-                         Etob_omega.all_mutations
-                       @ List.map Ec_core.Recoverable.mutation_name
-                           Ec_core.Recoverable.all_mutations
-                       @ List.map Anti_entropy.mutation_name
-                           Anti_entropy.all_mutations)) )
-           | parsed ->
-             let mutation =
-               match parsed with Some (`Etob m) -> Some m | _ -> None
-             in
-             let rmutation =
-               match parsed with Some (`Recovery m) -> Some m | _ -> None
-             in
-             let ae_mutation =
-               match parsed with Some (`Ae m) -> Some m | _ -> None
-             in
-             let target =
-               { E.default_target with
-                 E.impl;
-                 mutation;
-                 rmutation;
-                 ae_mutation;
-                 recovery = recovery || rmutation <> None;
-                 ae = ae || ae_mutation <> None;
-                 watchdog;
-                 n = (if n = 0 then E.default_target.E.n else n);
-                 deadline;
-                 posts = (if posts = 0 then E.default_target.E.posts else posts) }
-             in
-             Format.printf
-               "explore: impl=%s mutant=%s recovery=%b ae=%b watchdog=%b \
-                n=%d plans=%d max-adversities=%d domains=%d@."
-               (E.impl_name target.E.impl)
+        (* The target: read off a spec file, or assembled from the flag
+           catalogue (a mutant name resolves in the Algorithm-5 namespace
+           first, then recovery-path, then anti-entropy). *)
+        let target_result =
+          match spec with
+          | Some path ->
+            (match Builder.read path with
+             | Error msg -> Error ("spec parse: " ^ msg)
+             | Ok b ->
+               E.target_of b
+               |> Result.map (fun t ->
+                   (t, Option.value b.Builder.budget ~default:plans)))
+          | None ->
+            (match E.impl_of_string impl_name with
+             | None ->
+               Error ("unknown implementation for explore: " ^ impl_name)
+             | Some impl ->
                (match
-                  target.E.mutation, target.E.rmutation, target.E.ae_mutation
+                  Option.map
+                    (fun name ->
+                       match Etob_omega.mutation_of_string name with
+                       | Some m -> `Etob m
+                       | None ->
+                         (match Ec_core.Recoverable.mutation_of_string name with
+                          | Some m -> `Recovery m
+                          | None ->
+                            (match Anti_entropy.mutation_of_string name with
+                             | Some m -> `Ae m
+                             | None -> invalid_arg ("unknown mutant " ^ name))))
+                    mutant
                 with
-                | Some m, _, _ -> Etob_omega.mutation_name m
-                | None, Some m, _ -> Ec_core.Recoverable.mutation_name m
-                | None, None, Some m -> Anti_entropy.mutation_name m
-                | None, None, None -> "none")
-               target.E.recovery target.E.ae target.E.watchdog target.E.n
-               plans max_adv domains;
-             let r =
-               E.explore ~domains target ~seed ~budget:plans
-                 ~max_adversities:max_adv ()
-             in
-             (match r.E.found with
-              | None ->
-                Format.printf "clean: %d plans, no violation@." r.E.plans_run;
-                `Ok ()
-              | Some o ->
-                Format.printf "violation at plan %d; shrinking...@."
-                  (r.E.plans_run - 1);
-                let s = E.shrink target o in
-                pp_explore_outcome s;
-                (match out with
-                 | Some path ->
-                   Explore.Repro.write path
-                     (Explore.Repro.of_outcome target s);
-                   Format.printf "repro written to %s@." path
-                 | None -> ());
-                `Error (false, "property violations found")))
+                | exception Invalid_argument msg ->
+                  Error
+                    (Printf.sprintf "%s (known: %s)" msg
+                       (String.concat ", "
+                          (List.map Etob_omega.mutation_name
+                             Etob_omega.all_mutations
+                           @ List.map Ec_core.Recoverable.mutation_name
+                               Ec_core.Recoverable.all_mutations
+                           @ List.map Anti_entropy.mutation_name
+                               Anti_entropy.all_mutations)))
+                | parsed ->
+                  let mutation =
+                    match parsed with Some (`Etob m) -> Some m | _ -> None
+                  in
+                  let rmutation =
+                    match parsed with Some (`Recovery m) -> Some m | _ -> None
+                  in
+                  let ae_mutation =
+                    match parsed with Some (`Ae m) -> Some m | _ -> None
+                  in
+                  Ok
+                    ( { E.default_target with
+                        E.impl;
+                        mutation;
+                        rmutation;
+                        ae_mutation;
+                        recovery = recovery || rmutation <> None;
+                        ae = ae || ae_mutation <> None;
+                        watchdog;
+                        n = (if n = 0 then E.default_target.E.n else n);
+                        deadline;
+                        posts =
+                          (if posts = 0 then E.default_target.E.posts
+                           else posts) },
+                      plans )))
+        in
+        match target_result with
+        | Error msg -> `Error (false, msg)
+        | Ok (target, plans) ->
+          Format.printf
+            "explore: impl=%s mutant=%s recovery=%b ae=%b watchdog=%b \
+             n=%d plans=%d max-adversities=%d domains=%d@."
+            (E.impl_name target.E.impl)
+            (match
+               target.E.mutation, target.E.rmutation, target.E.ae_mutation
+             with
+             | Some m, _, _ -> Etob_omega.mutation_name m
+             | None, Some m, _ -> Ec_core.Recoverable.mutation_name m
+             | None, None, Some m -> Anti_entropy.mutation_name m
+             | None, None, None -> "none")
+            target.E.recovery target.E.ae target.E.watchdog target.E.n
+            plans max_adv domains;
+          let r =
+            E.explore ~domains target ~seed ~budget:plans
+              ~max_adversities:max_adv ()
+          in
+          (match r.E.found with
+           | None ->
+             Format.printf "clean: %d plans, no violation@." r.E.plans_run;
+             `Ok ()
+           | Some o ->
+             Format.printf "violation at plan %d; shrinking...@."
+               (r.E.plans_run - 1);
+             let s = E.shrink target o in
+             pp_explore_outcome s;
+             (match out with
+              | Some path ->
+                (if Filename.check_suffix path ".spec" then
+                   Builder.write path ~digest:s.E.digest
+                     ~violations:s.E.violations
+                     (E.builder_of target ~seed:s.E.seed s.E.plan)
+                 else
+                   Explore.Repro.write path (Explore.Repro.of_outcome target s));
+                Format.printf "finding written to %s@." path
+              | None -> ());
+             `Error (false, "property violations found"))
       end
   in
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(ret (const run $ impl_arg $ n_arg $ seed_arg $ deadline_arg
                $ posts_arg $ plans_arg $ max_adv_arg $ mutant_arg
                $ recovery_arg $ ae_arg $ watchdog_arg $ domains_arg
-               $ out_arg $ replay_arg $ smoke_arg $ artifacts_arg))
+               $ out_arg $ replay_arg $ smoke_arg $ artifacts_arg
+               $ explore_spec_arg))
 
 (* --- cht --- *)
 

@@ -2,17 +2,21 @@
 
    The explorer enumerates adversity plans against one target protocol
    stack, runs each through the deterministic engine, and flags runs whose
-   property report violates the ETOB specification *for that plan*: safety
-   violations always count, and the measured convergence taus are checked
-   against a per-plan bound.
+   property report violates the ETOB specification *for that plan*.  Since
+   the [Harness.Builder] refactor it owns only the target description and
+   plan generation: a target plus a plan maps to a declarative builder
+   ([builder_of]), and running, bound computation, exploration and
+   shrinking all delegate to the builder — the same code path that serves
+   spec files and the scenario presets, so a found plan replays
+   byte-identically everywhere.
 
-   The bound is where the correctness argument lives.  With an oracle that
-   never flaps, every adoption in Algorithm 5 is a same-lineage promote
-   from the one stable leader, so strong stability and total order
+   The per-plan tau bound is where the correctness argument lives.  With an
+   oracle that never flaps, every adoption in Algorithm 5 is a same-lineage
+   promote from the one stable leader, so strong stability and total order
    (tau = 0) are mandatory no matter which crashes, partitions, spikes,
    drops or duplicates the plan contains — any revision is a bug.  With
    flapping, tau may legitimately reach the plan's settle time, so the
-   bound is settle + slack.
+   bound is settle + slack ([Builder.tau_bound]).
 
    The other half of the argument is generation-side fairness: every
    generated plan must be recoverable before the horizon, or a faithful
@@ -25,6 +29,7 @@ open Simulator
 open Simulator.Types
 open Ec_core
 module Scenario = Harness.Scenario
+module Builder = Harness.Builder
 
 type target = {
   impl : Scenario.etob_impl;
@@ -70,42 +75,8 @@ let impl_of_string = function
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
-(* Base scenario and the per-plan tau bound                            *)
+(* Targets as builders                                                 *)
 (* ------------------------------------------------------------------ *)
-
-let post_from = 8
-let post_every = 3
-
-(* Recovery headroom granted on top of a plan's settle time: a few promote
-   rounds plus message flushes.  Deliberately generous — the bound only
-   needs to separate "converged late" from "never converged". *)
-let slack target = (8 * target.timer_period) + (6 * target.base_max) + 10
-
-(* Recovery targets stretch the posting cadence across the horizon, so a
-   process restarted by a mid-run downtime window still posts afterwards —
-   the amnesia mutant only reuses a sequence number if its victim
-   broadcasts again after the restart. *)
-let post_every_of target =
-  if target.recovery then
-    max post_every
-      ((target.deadline - post_from - slack target) / max 1 target.posts)
-  else post_every
-
-let inputs target =
-  Scenario.spread_posts ~n:target.n ~count:target.posts ~from_time:post_from
-    ~every:(post_every_of target)
-
-(* Start of the final full posting round: from here on every correct
-   process posts (and therefore re-gossips its whole causality graph) at
-   least once.  Drop windows must close before it, or a faithful run could
-   lose messages for good and show a spurious validity violation. *)
-let drop_safe_until target =
-  post_from + (max 0 (target.posts - target.n) * post_every_of target)
-
-(* The time of the last post: nothing can converge before the workload
-   ends, so the watchdog's settle point is at least this. *)
-let last_post target =
-  post_from + (max 0 (target.posts - 1) * post_every_of target)
 
 (* The anti-entropy stack only wraps Algorithm 5 (it reads and feeds the
    causality graph); it runs whenever the target opts in or seeds an
@@ -114,51 +85,102 @@ let uses_ae target =
   target.impl = Scenario.Algorithm_5
   && (target.ae || target.ae_mutation <> None)
 
-(* Worst-case post-heal catch-up time of the digest exchange: the laggard's
-   next digest broadcast (up to [every] timer rounds away), one full resend
-   backoff (its pre-heal digest may be byte-identical, so peers wait out
-   the armed backoff before re-answering), and delta delivery. *)
-let ae_catchup target =
-  let ae = Anti_entropy.default_config in
-  ((ae.Anti_entropy.every + ae.Anti_entropy.max_backoff + 2)
-   * target.timer_period)
-  + (2 * target.base_max)
+(* The recoverable stack wraps Algorithm 5 only; it runs whenever the
+   target opts in, a recovery mutation is seeded, or the plan itself
+   contains recovery adversities (downtime windows are only fair against a
+   stack that can replay its stable store). *)
+let uses_recovery target plan =
+  target.impl = Scenario.Algorithm_5
+  && (target.recovery || target.rmutation <> None
+      || Adversity.has_recovery plan)
 
-(* Latest admissible heal time for message-LOSING partition windows.
-   Without anti-entropy, a lost message is re-taught only by the full-graph
-   re-gossip riding later posts, so — exactly like drop windows — the
-   partition must close before the final full posting round.  With
-   anti-entropy the digest exchange recovers losses regardless of the
-   workload, so windows may extend much later (this is what lets the
-   watchdog catch the skip-digest mutant: past [drop_safe_until] nothing
-   but anti-entropy can repair the damage). *)
-let lossy_safe_until target =
-  if uses_ae target then target.deadline - slack target - ae_catchup target
-  else drop_safe_until target
+(* The builder a target denotes under one plan: stack selection as above,
+   the explorer's posting policy as an [Auto_posts] workload, the ETOB
+   checker with the plan-aware tau bound, and the liveness watchdog when
+   the target opts in.  Everything downstream — running, bounds, repro
+   text, differential replay — is the builder's. *)
+let builder_of target ~seed plan =
+  let stack =
+    if uses_recovery target plan then
+      Builder.Recoverable { ae = uses_ae target }
+    else if uses_ae target then Builder.Etob_ae
+    else Builder.Etob target.impl
+  in
+  { (Builder.create ~seed ~timer_period:target.timer_period
+       ~delay:
+         (Builder.Uniform { min_d = target.base_min; max_d = target.base_max })
+       ~n:target.n ~deadline:target.deadline stack)
+    with
+    Builder.workload =
+      Builder.Auto_posts { count = target.posts; stretch = target.recovery };
+    plan;
+    mutation = target.mutation;
+    rmutation = target.rmutation;
+    ae_mutation = target.ae_mutation;
+    checkers =
+      Builder.Etob_spec Builder.Tau_auto
+      :: (if target.watchdog then [ Builder.Watchdog Builder.Wd_auto ] else [])
+  }
 
-let tau_bound target plan =
-  let recovery = Adversity.has_recovery plan in
-  match target.impl with
-  | Scenario.Algorithm_5 when not (Adversity.has_flap plan) && not recovery ->
-    0
-  | _ ->
-    Adversity.settle_time ~base_max:target.base_max plan
-    + slack target
-    (* a restarted process may wait out one full retransmission backoff
-       before the frames that resynchronize it are re-sent *)
-    + (if recovery then Recoverable.default_config.Recoverable.max_backoff
-       else 0)
-    (* a partition-isolated process may catch up only through the digest
-       exchange, whose cadence and backoff add to legitimate lateness *)
-    + (if uses_ae target && Adversity.has_partition_loss plan
-       then ae_catchup target
-       else 0)
+(* The inverse direction, for [ecsim explore --spec]: read the target
+   fields back off a declarative builder.  The spec's plan is a starting
+   point the search discards (exploration generates its own); only stacks
+   the generator knows how to be fair to are accepted. *)
+let target_of (b : Builder.t) =
+  match b.Builder.base with
+  | Builder.Opaque _ ->
+    Error "exploration needs a declarative (spec-file) base"
+  | Builder.Decl d ->
+    let base_min, base_max =
+      match d.Builder.delay with
+      | Builder.Constant dl -> (dl, dl)
+      | Builder.Uniform { min_d; max_d } -> (min_d, max_d)
+    in
+    (match b.Builder.stack with
+     | Builder.Etob impl -> Ok (impl, false, false)
+     | Builder.Etob_ae -> Ok (Scenario.Algorithm_5, true, false)
+     | Builder.Recoverable { ae } -> Ok (Scenario.Algorithm_5, ae, true)
+     | s ->
+       Error
+         (Printf.sprintf "exploration does not cover the %s stack"
+            (Builder.stack_name s)))
+    |> Result.map (fun (impl, ae, recovery) ->
+        { impl;
+          mutation = b.Builder.mutation;
+          n = d.Builder.n;
+          deadline = d.Builder.deadline;
+          posts = Builder.post_count b;
+          timer_period = d.Builder.timer_period;
+          base_min;
+          base_max;
+          recovery =
+            recovery
+            || (match b.Builder.workload with
+                | Builder.Auto_posts { stretch; _ } -> stretch
+                | _ -> false);
+          rmutation = b.Builder.rmutation;
+          ae = ae || b.Builder.ae_mutation <> None;
+          ae_mutation = b.Builder.ae_mutation;
+          watchdog =
+            List.exists
+              (function Builder.Watchdog _ -> true | _ -> false)
+              b.Builder.checkers })
 
-let base_setup target ~seed =
-  { (Scenario.default ~n:target.n ~deadline:target.deadline) with
-    seed;
-    timer_period = target.timer_period;
-    delay = Net.uniform ~min:target.base_min ~max:target.base_max }
+(* ------------------------------------------------------------------ *)
+(* Policies (delegated to the builder's formulas)                      *)
+(* ------------------------------------------------------------------ *)
+
+let b0 target plan = builder_of target ~seed:0 plan
+let slack target = Builder.slack (b0 target [])
+let inputs target = Builder.inputs (b0 target [])
+let drop_safe_until target = Builder.drop_safe_until (b0 target [])
+let last_post target = Builder.last_post (b0 target [])
+let ae_catchup target = Builder.ae_catchup (b0 target [])
+let lossy_safe_until target = Builder.lossy_safe_until (b0 target [])
+let tau_bound target plan = Builder.tau_bound (b0 target plan)
+let watchdog_settle target plan = Builder.watchdog_settle (b0 target plan)
+let watchdog_bound target plan = Builder.watchdog_bound (b0 target plan)
+let base_setup target ~seed = Builder.setup_of (builder_of target ~seed [])
 
 (* ------------------------------------------------------------------ *)
 (* Running one plan                                                    *)
@@ -172,85 +194,15 @@ type outcome = {
   digest : string;  (* trace digest (hex); "" if the run raised *)
 }
 
-(* The recoverable stack wraps Algorithm 5 only; it runs whenever the
-   target opts in, a recovery mutation is seeded, or the plan itself
-   contains recovery adversities (downtime windows are only fair against a
-   stack that can replay its stable store). *)
-let uses_recovery target plan =
-  target.impl = Scenario.Algorithm_5
-  && (target.recovery || target.rmutation <> None
-      || Adversity.has_recovery plan)
-
-(* Convergence headroom granted to the watchdog past the settle point.
-   Like [tau_bound], generous on purpose: a stalled replica stays stalled
-   forever, so any finite bound separates the two — a tight one would only
-   risk flagging a faithful late joiner. *)
-let watchdog_bound target plan =
-  slack target
-  + (if uses_ae target then ae_catchup target else 0)
-  + (if uses_recovery target plan
-     then Recoverable.default_config.Recoverable.max_backoff
-     else 0)
-
-(* The watchdog's settle point: the environment has calmed down AND the
-   workload has finished (convergence cannot precede the last post). *)
-let watchdog_settle target plan =
-  max (Adversity.settle_time ~base_max:target.base_max plan) (last_post target)
+let outcome_of (o : Builder.outcome) =
+  { plan = o.Builder.builder.Builder.plan;
+    seed = Builder.seed_of o.Builder.builder;
+    violations = o.Builder.violations;
+    report = o.Builder.report;
+    digest = o.Builder.digest }
 
 let run_plan target ~seed plan =
-  match
-    let setup = Adversity.apply plan (base_setup target ~seed) in
-    let trace =
-      if uses_recovery target plan then begin
-        let stores = Persist.Store.pool ~n:target.n in
-        Adversity.arm_disk_faults plan stores;
-        let trace, _, _ =
-          Scenario.run_recoverable ~inputs:(inputs target)
-            ?mutation:target.rmutation ?etob_mutation:target.mutation
-            ?ae:(if uses_ae target then Some Anti_entropy.default_config
-                 else None)
-            ?ae_mutation:target.ae_mutation ~stores setup
-        in
-        trace
-      end
-      else if uses_ae target then
-        fst
-          (Scenario.run_etob_ae ~inputs:(inputs target)
-             ?mutation:target.mutation ?ae_mutation:target.ae_mutation setup)
-      else
-        Scenario.run_etob ~inputs:(inputs target) ?mutation:target.mutation
-          setup target.impl
-    in
-    let run = Properties.etob_run_of_trace setup.Scenario.pattern trace in
-    let report = Properties.etob_report run in
-    let liveness =
-      if not target.watchdog then []
-      else
-        Harness.Watchdog.violations
-          (Harness.Watchdog.check ~settle:(watchdog_settle target plan)
-             ~bound:(watchdog_bound target plan) run)
-    in
-    let digest =
-      Digest.to_hex (Digest.string (Format.asprintf "%a" Trace.pp trace))
-    in
-    (report, liveness, digest)
-  with
-  | report, liveness, digest ->
-    { plan;
-      seed;
-      violations =
-        Properties.etob_violations ~tau_bound:(tau_bound target plan) report
-        @ liveness;
-      report = Some report;
-      digest }
-  | exception e ->
-    (* A raising run is a finding, not an infrastructure error: mutants may
-       corrupt state into genuinely impossible configurations. *)
-    { plan;
-      seed;
-      violations = [ "exception: " ^ Printexc.to_string e ];
-      report = None;
-      digest = "" }
+  outcome_of (Builder.run ~digest:true ~catch:true (builder_of target ~seed plan))
 
 (* ------------------------------------------------------------------ *)
 (* Plan generation                                                     *)
@@ -429,7 +381,7 @@ let random_plan target ~rng ~max_adversities =
     if i = 0 then List.rev acc
     else build (i - 1) (random_spec target ~rng :: acc)
   in
-  sanitize target (build k [])
+  Adversity.make (sanitize target (build k []))
 
 (* Plan [i] of an exploration: index 0 is always the empty plan (bugs that
    need no adversity at all should be found — and shrunk — immediately);
@@ -448,104 +400,37 @@ let plan_at target ~seed ~max_adversities i =
 type exploration = { found : outcome option; plans_run : int; budget : int }
 
 (* Each plan runs under its own engine seed [seed + i] so the search also
-   sweeps network randomness.  Sequential mode stops at the first
-   violation; parallel mode fans chunks over domains through
-   [Sweep.map_safe] and stops after the first chunk containing one, always
-   reporting the lowest-index violation for determinism across domain
-   counts. *)
-let explore ?(domains = 1) ?(on_progress = fun ~plans_run:_ -> ()) target
-    ~seed ~budget ~max_adversities () =
+   sweeps network randomness; the loop itself (sequential early exit, or
+   chunks fanned over domains with lowest-index reporting) is
+   [Builder.explore]'s. *)
+let explore ?domains ?on_progress target ~seed ~budget ~max_adversities () =
   let plan_at = plan_at target ~seed ~max_adversities in
-  let finish found plans_run = { found; plans_run; budget } in
-  if domains <= 1 then begin
-    let rec go i =
-      if i >= budget then finish None budget
-      else begin
-        let o = run_plan target ~seed:(seed + i) (plan_at i) in
-        if o.violations <> [] then finish (Some o) (i + 1)
-        else begin
-          on_progress ~plans_run:(i + 1);
-          go (i + 1)
-        end
-      end
-    in
-    go 0
-  end
-  else begin
-    let chunk = domains * 4 in
-    let rec go i =
-      if i >= budget then finish None budget
-      else begin
-        let hi = min budget (i + chunk) in
-        let idxs = List.init (hi - i) (fun j -> i + j) in
-        let results =
-          Harness.Sweep.map_safe ~domains ~seeds:idxs (fun ~seed:idx ->
-              run_plan target ~seed:(seed + idx) (plan_at idx))
-        in
-        let outcomes =
-          List.map
-            (fun (r : _ Harness.Sweep.result) ->
-               match r.Harness.Sweep.value with
-               | Ok o -> o
-               | Error e ->
-                 { plan = plan_at r.Harness.Sweep.seed;
-                   seed = seed + r.Harness.Sweep.seed;
-                   violations = [ "exception: " ^ e ];
-                   report = None;
-                   digest = "" })
-            results
-        in
-        match List.find_opt (fun o -> o.violations <> []) outcomes with
-        | Some o -> finish (Some o) hi
-        | None ->
-          on_progress ~plans_run:hi;
-          go hi
-      end
-    in
-    go 0
-  end
+  let r =
+    Builder.explore ?domains ?on_progress
+      ~gen:(fun i -> builder_of target ~seed:(seed + i) (plan_at i))
+      ~budget ()
+  in
+  { found = Option.map outcome_of r.Builder.found;
+    plans_run = r.Builder.plans_run;
+    budget = r.Builder.budget }
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* Greedy minimization to a local minimum: repeatedly drop whole
-   adversities while a violation survives, then substitute each spec's
-   weaker variants (re-running removal after every successful weakening).
-   Candidates run under the outcome's own engine seed, so the shrunk plan
-   is a deterministic repro of the same run family.  Terminates because
-   removal shrinks the plan and every [Adversity.weaken] variant strictly
-   decreases a positive integer measure of its spec. *)
+(* [Builder.shrink] with candidates rebuilt under the outcome's own engine
+   seed, so the shrunk plan is a deterministic repro of the same run
+   family.  [builder_of] re-derives the stack per candidate plan — that is
+   the point of the [rebuild] hook: dropping the last downtime window may
+   demote a recoverable run back to crash-stop. *)
 let shrink target (o : outcome) =
-  let try_plan plan =
-    let o' = run_plan target ~seed:o.seed plan in
-    if o'.violations <> [] then Some o' else None
+  let seed = o.seed in
+  let bo =
+    { Builder.builder = builder_of target ~seed o.plan;
+      trace = None;
+      report = o.report;
+      violations = o.violations;
+      digest = o.digest;
+      handles = Builder.No_handles }
   in
-  let rec drop_pass o =
-    let len = List.length o.plan in
-    let rec try_at i =
-      if i >= len then None
-      else
-        match try_plan (List.filteri (fun j _ -> j <> i) o.plan) with
-        | Some o' -> Some o'
-        | None -> try_at (i + 1)
-    in
-    match try_at 0 with Some o' -> drop_pass o' | None -> o
-  in
-  let rec weaken_pass o =
-    let plan = Array.of_list o.plan in
-    let weaker_at i =
-      List.find_map
-        (fun weaker ->
-           try_plan
-             (Array.to_list
-                (Array.mapi (fun j s -> if j = i then weaker else s) plan)))
-        (Adversity.weaken plan.(i))
-    in
-    let rec at i =
-      if i >= Array.length plan then None
-      else match weaker_at i with Some o' -> Some o' | None -> at (i + 1)
-    in
-    match at 0 with Some o' -> weaken_pass (drop_pass o') | None -> o
-  in
-  weaken_pass (drop_pass o)
+  outcome_of (Builder.shrink ~rebuild:(fun plan -> builder_of target ~seed plan) bo)

@@ -15,6 +15,7 @@
 open Simulator.Types
 open Ec_core
 module Scenario = Harness.Scenario
+module Builder = Harness.Builder
 
 type target = {
   impl : Scenario.etob_impl;
@@ -96,6 +97,19 @@ val uses_recovery : target -> Adversity.t -> bool
 (** This (target, plan) pair runs the recoverable stack: the target opts
     in, seeds a recovery mutation, or the plan carries recovery
     adversities. *)
+
+val builder_of : target -> seed:int -> Adversity.t -> Builder.t
+(** The declarative builder a target denotes under one plan: stack per
+    {!uses_recovery}/{!uses_ae}, the posting policy as an [Auto_posts]
+    workload, the plan-aware ETOB checker, plus the watchdog when the
+    target opts in.  Running, bounds, repro text and replay all go through
+    this value — the explorer's single bridge to {!Harness.Builder}. *)
+
+val target_of : Builder.t -> (target, string) result
+(** Read the target fields back off a declarative builder (for
+    [ecsim explore --spec]).  The builder's own plan is discarded —
+    exploration generates its plans — and only ETOB-family stacks are
+    accepted (the plan generator knows how to be fair to them). *)
 
 type outcome = {
   plan : Adversity.t;

@@ -1,0 +1,1380 @@
+(* Declarative test builder: one immutable value composing stack, workload,
+   adversity plan (plus conditional boosts), detector source, checkers and
+   budget — and one interpreter, [run], behind every way this repository
+   builds a run.  [Scenario]'s run_* entrypoints are presets over builders,
+   the explorer generates and shrinks builder values, and ecsim decodes its
+   flags (or a --spec file) into one.
+
+   Determinism is the design constraint throughout: a builder made of plain
+   data serializes to a stable text form and replays byte-identically, and
+   the policy formulas (posting cadence, tau and watchdog bounds,
+   generation clamps) live here so the explorer, the CLI and spec-file
+   replays compute exactly the same numbers. *)
+
+open Simulator
+open Simulator.Types
+open Ec_core
+
+type delay_model = Constant of int | Uniform of { min_d : int; max_d : int }
+
+type decl_base = {
+  n : int;
+  seed : int;
+  deadline : time;
+  timer_period : int;
+  delay : delay_model;
+}
+
+type base = Decl of decl_base | Opaque of Stacks.setup
+
+type stack =
+  | Etob of Stacks.etob_impl
+  | Etob_ae
+  | Recoverable of { ae : bool }
+  | Etob_commits
+  | Gossip
+  | Ec
+  | Ec_lifted
+  | Ec_via_etob of Stacks.etob_impl
+  | Eic
+  | Ec_via_eic
+
+type workload =
+  | No_posts
+  | Posts of { count : int; from_time : time; every : int }
+  | Auto_posts of { count : int; stretch : bool }
+  | Weighted of {
+      count : int;
+      from_time : time;
+      every : int;
+      jitter : int;
+      mix : (string * int) list;
+    }
+  | Explicit of (time * proc_id * string) list
+  | Raw of (time * proc_id * Io.input) list
+
+type tau_policy = Tau_auto | Tau_fixed of int
+type watchdog_policy = Wd_auto | Wd_fixed of { settle : time; bound : int }
+type checker = Etob_spec of tau_policy | Watchdog of watchdog_policy
+type boost = Drop_boost_while_partitioned of { factor : int }
+
+type t = {
+  base : base;
+  stack : stack;
+  workload : workload;
+  plan : Adversity.t;
+  boosts : boost list;
+  omega : Stacks.omega_source option;
+  checkers : checker list;
+  budget : int option;
+  mutation : Etob_omega.mutation option;
+  rmutation : Recoverable.mutation option;
+  ae_mutation : Anti_entropy.mutation option;
+  rconfig : Recoverable.config option;
+  ae_config : Anti_entropy.config option;
+  commits : bool option;
+  stores : Persist.Store.t array option;
+  sink : Sink.t option;
+  propose : (proc_id -> instance:int -> Value.t) option;
+  max_instance : int;
+}
+
+let create ?(seed = 42) ?(timer_period = 2) ?(delay = Constant 1) ~n ~deadline
+    stack =
+  { base = Decl { n; seed; deadline; timer_period; delay };
+    stack;
+    workload = No_posts;
+    plan = [];
+    boosts = [];
+    omega = None;
+    checkers = [];
+    budget = None;
+    mutation = None;
+    rmutation = None;
+    ae_mutation = None;
+    rconfig = None;
+    ae_config = None;
+    commits = None;
+    stores = None;
+    sink = None;
+    propose = None;
+    max_instance = 0 }
+
+let of_setup setup stack =
+  { (create ~n:setup.Stacks.n ~deadline:setup.Stacks.deadline stack) with
+    base = Opaque setup }
+
+let default_propose p ~instance = Value.Num ((1000 * p) + instance)
+
+(* ------------------------------------------------------------------ *)
+(* Derived values and policies (the explorer's formulas, verbatim)     *)
+(* ------------------------------------------------------------------ *)
+
+let n_of t = match t.base with Decl d -> d.n | Opaque s -> s.Stacks.n
+let seed_of t = match t.base with Decl d -> d.seed | Opaque s -> s.Stacks.seed
+
+let deadline_of t =
+  match t.base with Decl d -> d.deadline | Opaque s -> s.Stacks.deadline
+
+let timer_period_of t =
+  match t.base with
+  | Decl d -> d.timer_period
+  | Opaque s -> s.Stacks.timer_period
+
+let decl_of t =
+  match t.base with
+  | Decl d -> d
+  | Opaque _ ->
+    invalid_arg "Builder: this policy needs a declarative (Decl) base"
+
+let base_max_of t =
+  match (decl_of t).delay with
+  | Constant d -> d
+  | Uniform { max_d; _ } -> max_d
+
+let auto_post_from = 8
+let auto_post_every_base = 3
+
+(* Recovery headroom granted on top of a plan's settle time: a few promote
+   rounds plus message flushes.  Deliberately generous — the bound only
+   needs to separate "converged late" from "never converged". *)
+let slack t = (8 * timer_period_of t) + (6 * base_max_of t) + 10
+
+(* The workload's post count, for the policy formulas below. *)
+let post_count t =
+  match t.workload with
+  | Auto_posts { count; _ } | Posts { count; _ } | Weighted { count; _ } ->
+    count
+  | No_posts -> 0
+  | Explicit posts -> List.length posts
+  | Raw inputs -> List.length inputs
+
+(* Stretched cadence for recovery targets: a process restarted by a mid-run
+   downtime window still posts afterwards — the amnesia mutant only reuses
+   a sequence number if its victim broadcasts again after the restart. *)
+let auto_post_every t =
+  let stretch =
+    match t.workload with Auto_posts { stretch; _ } -> stretch | _ -> false
+  in
+  if stretch then
+    max auto_post_every_base
+      ((deadline_of t - auto_post_from - slack t) / max 1 (post_count t))
+  else auto_post_every_base
+
+(* Start of the final full posting round: from here on every correct
+   process posts (and re-gossips its whole causality graph) at least
+   once. *)
+let drop_safe_until t =
+  auto_post_from + (max 0 (post_count t - n_of t) * auto_post_every t)
+
+let last_post t =
+  match t.workload with
+  | No_posts -> 0
+  | Auto_posts { count; _ } ->
+    auto_post_from + (max 0 (count - 1) * auto_post_every t)
+  | Posts { count; from_time; every } ->
+    from_time + (max 0 (count - 1) * every)
+  | Weighted { count; from_time; every; jitter; _ } ->
+    from_time + (max 0 (count - 1) * every) + jitter
+  | Explicit posts ->
+    List.fold_left (fun acc (tm, _, _) -> max acc tm) 0 posts
+  | Raw inputs -> List.fold_left (fun acc (tm, _, _) -> max acc tm) 0 inputs
+
+let ae_used t =
+  match t.stack with
+  | Etob_ae | Recoverable { ae = true } -> true
+  | _ -> false
+
+(* Worst-case post-heal catch-up time of the digest exchange: the laggard's
+   next digest broadcast, one full resend backoff, and delta delivery. *)
+let ae_catchup t =
+  let ae = Option.value t.ae_config ~default:Anti_entropy.default_config in
+  ((ae.Anti_entropy.every + ae.Anti_entropy.max_backoff + 2)
+   * timer_period_of t)
+  + (2 * base_max_of t)
+
+let lossy_safe_until t =
+  if ae_used t then deadline_of t - slack t - ae_catchup t
+  else drop_safe_until t
+
+let alg5_based t =
+  match t.stack with
+  | Etob Stacks.Algorithm_5 | Etob_ae | Recoverable _ -> true
+  | _ -> false
+
+(* The plan-aware convergence bound.  With a never-flapping oracle and no
+   restarts, every adoption in Algorithm 5 is a same-lineage promote from
+   the one stable leader, so tau = 0 is mandatory no matter what else the
+   plan contains; otherwise the plan's settle time plus slack, plus the
+   retransmission backoff a restarted process may wait out, plus the
+   digest-exchange catch-up a partition-isolated process may need. *)
+let tau_bound t =
+  let recovery = Adversity.has_recovery t.plan in
+  if alg5_based t && (not (Adversity.has_flap t.plan)) && not recovery then 0
+  else
+    Adversity.settle_time ~base_max:(base_max_of t) t.plan
+    + slack t
+    + (if recovery then Recoverable.default_config.Recoverable.max_backoff
+       else 0)
+    + (if ae_used t && Adversity.has_partition_loss t.plan then ae_catchup t
+       else 0)
+
+let watchdog_settle t =
+  max (Adversity.settle_time ~base_max:(base_max_of t) t.plan) (last_post t)
+
+let watchdog_bound t =
+  slack t
+  + (if ae_used t then ae_catchup t else 0)
+  + (match t.stack with
+     | Recoverable _ -> Recoverable.default_config.Recoverable.max_backoff
+     | _ -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Workload materialization                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Smooth weighted round-robin over the mix: deterministic, no randomness,
+   the classic "add weights, take the max, subtract the total" scheduler.
+   Arrival jitter draws from a seed-derived stream so reruns are stable. *)
+let weighted_posts ~n ~seed ~count ~from_time ~every ~jitter ~mix =
+  let mix = match mix with [] -> [ ("m", 1) ] | mix -> mix in
+  let weights = Array.of_list (List.map snd mix) in
+  let names = Array.of_list (List.map fst mix) in
+  let total = Array.fold_left ( + ) 0 weights in
+  let current = Array.make (Array.length weights) 0 in
+  let rng = Rng.create (seed lxor 0x5eed) in
+  let posts =
+    List.init count (fun i ->
+        Array.iteri (fun j w -> current.(j) <- current.(j) + w) weights;
+        let best = ref 0 in
+        Array.iteri
+          (fun j c -> if c > current.(!best) then best := j)
+          current;
+        current.(!best) <- current.(!best) - total;
+        let tm =
+          from_time + (i * every)
+          + (if jitter > 0 then Rng.int rng (jitter + 1) else 0)
+        in
+        (tm, i mod n, Stacks.Post (Printf.sprintf "%s%d" names.(!best) i)))
+  in
+  List.stable_sort (fun (a, _, _) (b, _, _) -> Int.compare a b) posts
+
+let inputs t =
+  let n = n_of t in
+  match t.workload with
+  | No_posts -> []
+  | Posts { count; from_time; every } ->
+    Stacks.spread_posts ~n ~count ~from_time ~every
+  | Auto_posts { count; _ } ->
+    Stacks.spread_posts ~n ~count ~from_time:auto_post_from
+      ~every:(auto_post_every t)
+  | Weighted { count; from_time; every; jitter; mix } ->
+    weighted_posts ~n ~seed:(seed_of t) ~count ~from_time ~every ~jitter ~mix
+  | Explicit posts ->
+    List.map (fun (tm, p, tag) -> (tm, p, Stacks.Post tag)) posts
+  | Raw raw -> raw
+
+(* ------------------------------------------------------------------ *)
+(* Setup construction (base, clauses, plan, boosts)                    *)
+(* ------------------------------------------------------------------ *)
+
+let partition_windows plan =
+  List.filter_map
+    (function
+      | Adversity.Partition { from_time; until_time; _ }
+      | Adversity.Lossy_partition { from_time; until_time; _ }
+      | Adversity.Oneway_partition { from_time; until_time; _ }
+      | Adversity.Flapping_partition { from_time; until_time; _ } ->
+        Some (from_time, until_time)
+      | _ -> None)
+    plan
+
+let boost_factor t =
+  List.fold_left
+    (fun acc (Drop_boost_while_partitioned { factor }) -> acc * max 1 factor)
+    1 t.boosts
+
+(* With boosts, the plan's drop windows are split at the partition-window
+   boundaries and every segment that starts inside an open partition gets
+   the boosted rate.  Without boosts this is exactly [Adversity.apply], so
+   legacy plans stay byte-identical. *)
+let apply_plan t s =
+  if t.boosts = [] then Adversity.apply t.plan s
+  else begin
+    let factor = boost_factor t in
+    let windows = partition_windows t.plan in
+    let without_drops =
+      List.filter (function Adversity.Drop _ -> false | _ -> true) t.plan
+    in
+    let s = Adversity.apply without_drops s in
+    let in_partition tm = List.exists (fun (f, u) -> f <= tm && tm < u) windows in
+    List.fold_left
+      (fun s spec ->
+         match spec with
+         | Adversity.Drop { from_time; until_time; pct } ->
+           let cuts =
+             List.sort_uniq Int.compare
+               (from_time :: until_time
+                :: List.concat_map
+                  (fun (a, b) ->
+                     List.filter
+                       (fun c -> from_time < c && c < until_time)
+                       [ a; b ])
+                  windows)
+           in
+           let rec segments = function
+             | a :: (b :: _ as rest) -> (a, b) :: segments rest
+             | _ -> []
+           in
+           List.fold_left
+             (fun s (a, b) ->
+                let pct' =
+                  if in_partition a then min 100 (pct * factor) else pct
+                in
+                { s with
+                  Stacks.faults =
+                    Net.compose_faults
+                      [ s.Stacks.faults;
+                        Net.drop_window ~from_time:a ~until_time:b pct' ] })
+             s (segments cuts)
+         | _ -> s)
+      s t.plan
+  end
+
+let setup_of t =
+  let s =
+    match t.base with
+    | Opaque s -> s
+    | Decl { n; seed; deadline; timer_period; delay } ->
+      { (Stacks.default ~n ~deadline) with
+        Stacks.seed;
+        timer_period;
+        delay =
+          (match delay with
+           | Constant d -> Net.constant d
+           | Uniform { min_d; max_d } -> Net.uniform ~min:min_d ~max:max_d) }
+  in
+  let s = match t.omega with None -> s | Some omega -> { s with Stacks.omega } in
+  let s =
+    match t.sink with None -> s | Some sink -> { s with Stacks.sink = Some sink }
+  in
+  apply_plan t s
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type handles =
+  | No_handles
+  | Ae_handles of (Etob_omega.t * Anti_entropy.t) array
+  | Recoverable_handles of Recoverable.t array * Persist.Store.t array
+
+type outcome = {
+  builder : t;
+  trace : Trace.t option;
+  report : Properties.etob_report option;
+  violations : string list;
+  digest : string;
+  handles : handles;
+}
+
+let propose_of t = Option.value t.propose ~default:default_propose
+
+let run ?(digest = false) ?(catch = false) t =
+  let attempt () =
+    let setup = setup_of t in
+    let inputs = inputs t in
+    let trace, handles =
+      match t.stack with
+      | Etob impl ->
+        (Stacks.run_etob ~inputs ?mutation:t.mutation setup impl, No_handles)
+      | Etob_ae ->
+        let trace, hs =
+          Stacks.run_etob_ae ~inputs ?mutation:t.mutation
+            ?ae_config:t.ae_config ?ae_mutation:t.ae_mutation setup
+        in
+        (trace, Ae_handles hs)
+      | Recoverable { ae } ->
+        let stores =
+          match t.stores with
+          | Some stores -> stores
+          | None -> Persist.Store.pool ~n:setup.Stacks.n
+        in
+        Adversity.arm_disk_faults t.plan stores;
+        let ae_cfg =
+          if ae then
+            Some (Option.value t.ae_config ~default:Anti_entropy.default_config)
+          else None
+        in
+        let trace, hs, stores =
+          Stacks.run_recoverable ~inputs ?rconfig:t.rconfig
+            ?mutation:t.rmutation ?etob_mutation:t.mutation ?commits:t.commits
+            ?ae:ae_cfg ?ae_mutation:t.ae_mutation ~stores setup
+        in
+        (trace, Recoverable_handles (hs, stores))
+      | Etob_commits ->
+        (Stacks.run_etob_with_commits ~inputs setup, No_handles)
+      | Gossip -> (Stacks.run_gossip_order ~inputs setup, No_handles)
+      | Ec ->
+        ( Stacks.run_ec_omega ~inputs setup ~propose_value:(propose_of t)
+            ~max_instance:t.max_instance,
+          No_handles )
+      | Ec_lifted ->
+        ( Stacks.run_ec_lifted ~inputs setup ~propose_value:(propose_of t)
+            ~max_instance:t.max_instance,
+          No_handles )
+      | Ec_via_etob impl ->
+        ( Stacks.run_ec_via_etob ~inputs setup impl
+            ~propose_value:(propose_of t) ~max_instance:t.max_instance,
+          No_handles )
+      | Eic ->
+        ( Stacks.run_eic_over_ec ~inputs setup ~propose_value:(propose_of t)
+            ~max_instance:t.max_instance,
+          No_handles )
+      | Ec_via_eic ->
+        ( Stacks.run_ec_via_eic ~inputs setup ~propose_value:(propose_of t)
+            ~max_instance:t.max_instance,
+          No_handles )
+    in
+    let report, violations =
+      if t.checkers = [] then (None, [])
+      else begin
+        let erun = Properties.etob_run_of_trace setup.Stacks.pattern trace in
+        let report = Properties.etob_report erun in
+        let violations =
+          List.concat_map
+            (function
+              | Etob_spec policy ->
+                let bound =
+                  match policy with
+                  | Tau_auto -> tau_bound t
+                  | Tau_fixed bound -> bound
+                in
+                Properties.etob_violations ~tau_bound:bound report
+              | Watchdog policy ->
+                let settle, bound =
+                  match policy with
+                  | Wd_auto -> (watchdog_settle t, watchdog_bound t)
+                  | Wd_fixed { settle; bound } -> (settle, bound)
+                in
+                Watchdog.violations (Watchdog.check ~settle ~bound erun))
+            t.checkers
+        in
+        (Some report, violations)
+      end
+    in
+    let dg =
+      if digest then
+        Digest.to_hex (Digest.string (Format.asprintf "%a" Trace.pp trace))
+      else ""
+    in
+    { builder = t;
+      trace = Some trace;
+      report;
+      violations;
+      digest = dg;
+      handles }
+  in
+  if not catch then attempt ()
+  else
+    match attempt () with
+    | o -> o
+    | exception e ->
+      (* A raising run is a finding, not an infrastructure error: mutants
+         may corrupt state into genuinely impossible configurations. *)
+      { builder = t;
+        trace = None;
+        report = None;
+        violations = [ "exception: " ^ Printexc.to_string e ];
+        digest = "";
+        handles = No_handles }
+
+(* ------------------------------------------------------------------ *)
+(* Exploration and shrinking                                           *)
+(* ------------------------------------------------------------------ *)
+
+type exploration = { found : outcome option; plans_run : int; budget : int }
+
+(* Sequential mode stops at the first violation; parallel mode fans chunks
+   over domains through [Sweep.map_safe] and stops after the first chunk
+   containing one, always reporting the lowest-index violation for
+   determinism across domain counts. *)
+let explore ?(domains = 1) ?(on_progress = fun ~plans_run:_ -> ()) ~gen
+    ~budget () =
+  let finish found plans_run = { found; plans_run; budget } in
+  if domains <= 1 then begin
+    let rec go i =
+      if i >= budget then finish None budget
+      else begin
+        let o = run ~digest:true ~catch:true (gen i) in
+        if o.violations <> [] then finish (Some o) (i + 1)
+        else begin
+          on_progress ~plans_run:(i + 1);
+          go (i + 1)
+        end
+      end
+    in
+    go 0
+  end
+  else begin
+    let chunk = domains * 4 in
+    let rec go i =
+      if i >= budget then finish None budget
+      else begin
+        let hi = min budget (i + chunk) in
+        let idxs = List.init (hi - i) (fun j -> i + j) in
+        let results =
+          Sweep.map_safe ~domains ~seeds:idxs (fun ~seed:idx ->
+              run ~digest:true ~catch:true (gen idx))
+        in
+        let outcomes =
+          List.map
+            (fun (r : _ Sweep.result) ->
+               match r.Sweep.value with
+               | Ok o -> o
+               | Error e ->
+                 { builder = gen r.Sweep.seed;
+                   trace = None;
+                   report = None;
+                   violations = [ "exception: " ^ e ];
+                   digest = "";
+                   handles = No_handles })
+            results
+        in
+        match List.find_opt (fun o -> o.violations <> []) outcomes with
+        | Some o -> finish (Some o) hi
+        | None ->
+          on_progress ~plans_run:hi;
+          go hi
+      end
+    in
+    go 0
+  end
+
+(* Greedy minimization to a local minimum: repeatedly drop whole
+   adversities while a violation survives, then substitute each spec's
+   weaker variants (re-running removal after every successful weakening).
+   [rebuild] maps the candidate plan back to a builder, so the caller can
+   re-derive plan-dependent choices (e.g. the stack).  Terminates because
+   removal shrinks the plan and every [Adversity.weaken] variant strictly
+   decreases a positive integer measure of its spec. *)
+let shrink ~rebuild (o : outcome) =
+  let try_plan plan =
+    let o' = run ~digest:true ~catch:true (rebuild plan) in
+    if o'.violations <> [] then Some o' else None
+  in
+  let rec drop_pass o =
+    let plan = o.builder.plan in
+    let len = List.length plan in
+    let rec try_at i =
+      if i >= len then None
+      else
+        match try_plan (List.filteri (fun j _ -> j <> i) plan) with
+        | Some o' -> Some o'
+        | None -> try_at (i + 1)
+    in
+    match try_at 0 with Some o' -> drop_pass o' | None -> o
+  in
+  let rec weaken_pass o =
+    let plan = Array.of_list o.builder.plan in
+    let weaker_at i =
+      List.find_map
+        (fun weaker ->
+           try_plan
+             (Array.to_list
+                (Array.mapi (fun j s -> if j = i then weaker else s) plan)))
+        (Adversity.weaken plan.(i))
+    in
+    let rec at i =
+      if i >= Array.length plan then None
+      else match weaker_at i with Some o' -> Some o' | None -> at (i + 1)
+    in
+    match at 0 with Some o' -> weaken_pass (drop_pass o') | None -> o
+  in
+  weaken_pass (drop_pass o)
+
+(* ------------------------------------------------------------------ *)
+(* Stable text form                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let header = "ecsim-spec v1"
+let legacy_header = "ecsim-explore-repro v1"
+
+let stack_name = function
+  | Etob Stacks.Algorithm_5 -> "alg5"
+  | Etob Stacks.Paxos_baseline -> "paxos"
+  | Etob Stacks.Algorithm_1_over_4 -> "alg1"
+  | Etob_ae -> "alg5+ae"
+  | Recoverable { ae = false } -> "recoverable"
+  | Recoverable { ae = true } -> "recoverable+ae"
+  | Etob_commits -> "alg5+commits"
+  | Gossip -> "gossip"
+  | Ec -> "ec"
+  | Ec_lifted -> "ec-lifted"
+  | Ec_via_etob Stacks.Algorithm_5 -> "ec-via-alg5"
+  | Ec_via_etob Stacks.Paxos_baseline -> "ec-via-paxos"
+  | Ec_via_etob Stacks.Algorithm_1_over_4 -> "ec-via-alg1"
+  | Eic -> "eic"
+  | Ec_via_eic -> "ec-via-eic"
+
+let stack_of_name = function
+  | "alg5" -> Some (Etob Stacks.Algorithm_5)
+  | "paxos" -> Some (Etob Stacks.Paxos_baseline)
+  | "alg1" -> Some (Etob Stacks.Algorithm_1_over_4)
+  | "alg5+ae" -> Some Etob_ae
+  | "recoverable" -> Some (Recoverable { ae = false })
+  | "recoverable+ae" -> Some (Recoverable { ae = true })
+  | "alg5+commits" -> Some Etob_commits
+  | "gossip" -> Some Gossip
+  | "ec" -> Some Ec
+  | "ec-lifted" -> Some Ec_lifted
+  | "ec-via-alg5" -> Some (Ec_via_etob Stacks.Algorithm_5)
+  | "ec-via-paxos" -> Some (Ec_via_etob Stacks.Paxos_baseline)
+  | "ec-via-alg1" -> Some (Ec_via_etob Stacks.Algorithm_1_over_4)
+  | "eic" -> Some Eic
+  | "ec-via-eic" -> Some Ec_via_eic
+  | _ -> None
+
+let pre_to_string = function
+  | Detectors.Omega.Self_trust -> "self"
+  | Detectors.Omega.Fixed p -> Printf.sprintf "fixed:%d" p
+  | Detectors.Omega.Rotating k -> Printf.sprintf "rotating:%d" k
+  | Detectors.Omega.Seeded s -> Printf.sprintf "seeded:%d" s
+  | Detectors.Omega.Blockwise blocks ->
+    "blockwise:"
+    ^ String.concat ";"
+        (List.map
+           (fun block -> String.concat "," (List.map string_of_int block))
+           blocks)
+
+let pre_of_string s =
+  match String.index_opt s ':' with
+  | None -> if s = "self" then Some Detectors.Omega.Self_trust else None
+  | Some i ->
+    let kind = String.sub s 0 i in
+    let arg = String.sub s (i + 1) (String.length s - i - 1) in
+    (match kind with
+     | "fixed" ->
+       Option.map (fun p -> Detectors.Omega.Fixed p) (int_of_string_opt arg)
+     | "rotating" ->
+       Option.map (fun k -> Detectors.Omega.Rotating k) (int_of_string_opt arg)
+     | "seeded" ->
+       Option.map (fun s -> Detectors.Omega.Seeded s) (int_of_string_opt arg)
+     | "blockwise" ->
+       let blocks =
+         List.map
+           (fun block ->
+              List.filter_map int_of_string_opt
+                (String.split_on_char ',' block))
+           (String.split_on_char ';' arg)
+       in
+       Some (Detectors.Omega.Blockwise blocks)
+     | _ -> None)
+
+(* Violation messages come from Format and may contain line breaks; the
+   file format is line-oriented, so collapse each onto a single line. *)
+let one_line s =
+  String.concat " "
+    (List.filter (fun w -> w <> "")
+       (String.split_on_char ' '
+          (String.map (function '\n' | '\t' | '\r' -> ' ' | c -> c) s)))
+
+let mix_ok (name, _) =
+  name <> ""
+  && String.for_all
+       (fun c -> c <> ',' && c <> ':' && c <> ' ' && c <> '=')
+       name
+
+let workload_lines = function
+  | No_posts -> [ "workload none" ]
+  | Posts { count; from_time; every } ->
+    [ Printf.sprintf "workload posts count=%d from=%d every=%d" count
+        from_time every ]
+  | Auto_posts { count; stretch } ->
+    [ Printf.sprintf "workload auto count=%d stretch=%s" count
+        (if stretch then "on" else "off") ]
+  | Weighted { count; from_time; every; jitter; mix } ->
+    if not (List.for_all mix_ok mix) then
+      invalid_arg "Builder.to_lines: weighted mix names must be plain words";
+    [ Printf.sprintf "workload weighted count=%d from=%d every=%d jitter=%d mix=%s"
+        count from_time every jitter
+        (String.concat ","
+           (List.map (fun (name, w) -> Printf.sprintf "%s:%d" name w) mix)) ]
+  | Explicit posts ->
+    "workload explicit"
+    :: List.map
+      (fun (tm, p, tag) -> Printf.sprintf "post %d %d %s" tm p tag)
+      posts
+  | Raw _ -> invalid_arg "Builder.to_lines: Raw workloads are not serializable"
+
+let checker_line = function
+  | Etob_spec Tau_auto -> "check etob tau=auto"
+  | Etob_spec (Tau_fixed bound) -> Printf.sprintf "check etob tau=%d" bound
+  | Watchdog Wd_auto -> "check watchdog auto"
+  | Watchdog (Wd_fixed { settle; bound }) ->
+    Printf.sprintf "check watchdog settle=%d bound=%d" settle bound
+
+let to_lines ?digest ?(violations = []) t =
+  let d =
+    match t.base with
+    | Decl d -> d
+    | Opaque _ -> invalid_arg "Builder.to_lines: opaque bases are not serializable"
+  in
+  (match (t.rconfig, t.ae_config, t.commits) with
+   | None, None, None -> ()
+   | _ ->
+     invalid_arg "Builder.to_lines: config escape hatches are not serializable");
+  (match (t.stores, t.sink, t.propose) with
+   | None, None, None -> ()
+   | _ ->
+     invalid_arg "Builder.to_lines: handle escape hatches are not serializable");
+  [ header;
+    "stack " ^ stack_name t.stack;
+    Printf.sprintf "n %d" d.n;
+    Printf.sprintf "seed %d" d.seed;
+    Printf.sprintf "deadline %d" d.deadline;
+    Printf.sprintf "timer-period %d" d.timer_period;
+    (match d.delay with
+     | Constant dl -> Printf.sprintf "delay constant %d" dl
+     | Uniform { min_d; max_d } ->
+       Printf.sprintf "delay uniform min=%d max=%d" min_d max_d) ]
+  @ (match t.omega with
+     | None -> []
+     | Some (Stacks.Oracle { stabilize_at; pre }) ->
+       [ Printf.sprintf "omega oracle stable=%d pre=%s" stabilize_at
+           (pre_to_string pre) ]
+     | Some (Stacks.Elected { initial_timeout }) ->
+       [ Printf.sprintf "omega elected timeout=%d" initial_timeout ])
+  @ workload_lines t.workload
+  @ (match t.mutation with
+     | None -> []
+     | Some m -> [ "mutant " ^ Etob_omega.mutation_name m ])
+  @ (match t.rmutation with
+     | None -> []
+     | Some m -> [ "rmutant " ^ Recoverable.mutation_name m ])
+  @ (match t.ae_mutation with
+     | None -> []
+     | Some m -> [ "ae-mutant " ^ Anti_entropy.mutation_name m ])
+  @ List.map
+    (fun (Drop_boost_while_partitioned { factor }) ->
+       Printf.sprintf "boost drop-while-partitioned factor=%d" factor)
+    t.boosts
+  @ List.map checker_line t.checkers
+  @ (if t.max_instance > 0 then
+       [ Printf.sprintf "max-instance %d" t.max_instance ]
+     else [])
+  @ (match t.budget with
+     | None -> []
+     | Some b -> [ Printf.sprintf "budget %d" b ])
+  @ (match digest with
+     | None -> []
+     | Some dg -> [ "digest " ^ (if dg = "" then "-" else dg) ])
+  @ List.map (fun v -> "violation " ^ one_line v) violations
+  @ [ Printf.sprintf "plan %d" (Adversity.size t.plan) ]
+  @ Adversity.to_lines t.plan
+  @ [ "end" ]
+
+let to_string ?digest ?violations t =
+  String.concat "\n" (to_lines ?digest ?violations t) ^ "\n"
+
+exception Parse of string
+
+let parse_fail fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt
+let at lineno fmt = Printf.ksprintf (fun m -> parse_fail "line %d: %s" lineno m) fmt
+
+(* Key=value fields of a line tail, repro-file style. *)
+let kv_fields fields =
+  List.filter_map
+    (fun f ->
+       match String.index_opt f '=' with
+       | None -> None
+       | Some i ->
+         Some
+           (String.sub f 0 i, String.sub f (i + 1) (String.length f - i - 1)))
+    fields
+
+let tokens_of line =
+  List.filter (( <> ) "") (String.split_on_char ' ' (String.trim line))
+
+(* Shared by both parsers: take [count] plan lines, expect "end". *)
+let parse_plan_section ~count rest =
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] ->
+      parse_fail "plan section truncated: expected %d adversity lines" count
+    | l :: rest -> take (k - 1) (l :: acc) rest
+  in
+  let plan_lines, tail = take count [] rest in
+  (match tail with
+   | [ (_, "end") ] -> ()
+   | (lineno, l) :: _ ->
+     at lineno "expected end after %d plan lines, got %S" count l
+   | [] -> parse_fail "missing end line (file truncated?)");
+  List.map
+    (fun (lineno, l) ->
+       match Adversity.of_line l with
+       | Ok spec -> spec
+       | Error msg -> at lineno "%s" msg)
+    plan_lines
+
+(* The legacy repro header: the explorer's target fields, mapped onto
+   builder clauses with exactly the explorer's stack-selection and posting
+   policies, so a recorded repro replays byte-identically through the
+   builder path.  The plan is kept verbatim (not normalized). *)
+let parse_legacy rest =
+  let impl = ref Stacks.Algorithm_5 in
+  let mutation = ref None and rmutation = ref None and ae_mutation = ref None in
+  let n = ref 4 and seed = ref 0 and deadline = ref 240 in
+  let timer_period = ref 2 and posts = ref 12 in
+  let base_min = ref 1 and base_max = ref 3 in
+  let recovery = ref false and ae = ref false and watchdog = ref false in
+  let finish plan =
+    let uses_ae = !impl = Stacks.Algorithm_5 && (!ae || !ae_mutation <> None) in
+    let uses_recovery =
+      !impl = Stacks.Algorithm_5
+      && (!recovery || !rmutation <> None || Adversity.has_recovery plan)
+    in
+    let stack =
+      if uses_recovery then Recoverable { ae = uses_ae }
+      else if uses_ae then Etob_ae
+      else Etob !impl
+    in
+    { (create ~seed:!seed ~timer_period:!timer_period
+         ~delay:(Uniform { min_d = !base_min; max_d = !base_max })
+         ~n:!n ~deadline:!deadline stack)
+      with
+      workload = Auto_posts { count = !posts; stretch = !recovery };
+      plan;
+      mutation = !mutation;
+      rmutation = !rmutation;
+      ae_mutation = !ae_mutation;
+      checkers =
+        Etob_spec Tau_auto :: (if !watchdog then [ Watchdog Wd_auto ] else [])
+    }
+  in
+  let flag lineno key v r =
+    match v with
+    | "on" | "true" -> r := true
+    | "off" | "false" -> r := false
+    | _ -> at lineno "%s must be on or off, got %S" key v
+  in
+  let rec headers = function
+    | [] -> parse_fail "missing plan section (file truncated?)"
+    | (lineno, line) :: rest ->
+      let key, v =
+        match String.index_opt line ' ' with
+        | None -> (line, "")
+        | Some i ->
+          ( String.sub line 0 i,
+            String.trim (String.sub line (i + 1) (String.length line - i - 1))
+          )
+      in
+      let int v =
+        match int_of_string_opt v with
+        | Some i -> i
+        | None -> at lineno "expected an integer, got %S" v
+      in
+      (match key with
+       | "impl" ->
+         (match
+            (match v with
+             | "alg5" -> Some Stacks.Algorithm_5
+             | "paxos" -> Some Stacks.Paxos_baseline
+             | "alg1" -> Some Stacks.Algorithm_1_over_4
+             | _ -> None)
+          with
+          | Some i -> impl := i
+          | None -> at lineno "unknown impl %S" v);
+         headers rest
+       | "mutant" ->
+         (if v <> "none" then
+            match Etob_omega.mutation_of_string v with
+            | Some m -> mutation := Some m
+            | None -> at lineno "unknown mutant %S" v);
+         headers rest
+       | "rmutant" ->
+         (if v <> "none" then
+            match Recoverable.mutation_of_string v with
+            | Some m -> rmutation := Some m
+            | None -> at lineno "unknown recovery mutant %S" v);
+         headers rest
+       | "ae-mutant" ->
+         (if v <> "none" then
+            match Anti_entropy.mutation_of_string v with
+            | Some m -> ae_mutation := Some m
+            | None -> at lineno "unknown anti-entropy mutant %S" v);
+         headers rest
+       | "recovery" -> flag lineno key v recovery; headers rest
+       | "ae" -> flag lineno key v ae; headers rest
+       | "watchdog" -> flag lineno key v watchdog; headers rest
+       | "n" -> n := int v; headers rest
+       | "seed" -> seed := int v; headers rest
+       | "deadline" -> deadline := int v; headers rest
+       | "timer-period" -> timer_period := int v; headers rest
+       | "posts" -> posts := int v; headers rest
+       | "base-min" -> base_min := int v; headers rest
+       | "base-max" -> base_max := int v; headers rest
+       | "digest" | "violation" -> headers rest
+       | "plan" -> finish (parse_plan_section ~count:(int v) rest)
+       | k -> at lineno "unknown header %S" k)
+  in
+  headers rest
+
+let parse_new rest =
+  let t = ref (create ~n:4 ~deadline:240 (Etob Stacks.Algorithm_5)) in
+  let set_decl f =
+    match !t.base with
+    | Decl d -> t := { !t with base = Decl (f d) }
+    | Opaque _ -> assert false
+  in
+  let checkers = ref [] and boosts = ref [] and posts = ref [] in
+  let explicit = ref false in
+  let finish plan =
+    let workload =
+      if !explicit then Explicit (List.rev !posts) else !t.workload
+    in
+    { !t with
+      workload;
+      plan = Adversity.make plan;
+      checkers = List.rev !checkers;
+      boosts = List.rev !boosts }
+  in
+  let rec headers = function
+    | [] -> parse_fail "missing plan section (file truncated?)"
+    | (lineno, line) :: rest ->
+      let int v =
+        match int_of_string_opt v with
+        | Some i -> i
+        | None -> at lineno "expected an integer, got %S" v
+      in
+      let kv_int kv k =
+        match List.assoc_opt k kv with
+        | Some v -> int v
+        | None -> at lineno "missing field %s" k
+      in
+      (match tokens_of line with
+       | [] -> headers rest
+       | "stack" :: [ name ] ->
+         (match stack_of_name name with
+          | Some stack -> t := { !t with stack }
+          | None -> at lineno "unknown stack %S" name);
+         headers rest
+       | "n" :: [ v ] -> set_decl (fun d -> { d with n = int v }); headers rest
+       | "seed" :: [ v ] ->
+         set_decl (fun d -> { d with seed = int v });
+         headers rest
+       | "deadline" :: [ v ] ->
+         set_decl (fun d -> { d with deadline = int v });
+         headers rest
+       | "timer-period" :: [ v ] ->
+         set_decl (fun d -> { d with timer_period = int v });
+         headers rest
+       | "delay" :: "constant" :: [ v ] ->
+         set_decl (fun d -> { d with delay = Constant (int v) });
+         headers rest
+       | "delay" :: "uniform" :: fields ->
+         let kv = kv_fields fields in
+         set_decl (fun d ->
+             { d with
+               delay =
+                 Uniform { min_d = kv_int kv "min"; max_d = kv_int kv "max" } });
+         headers rest
+       | "omega" :: "oracle" :: fields ->
+         let kv = kv_fields fields in
+         let pre =
+           match List.assoc_opt "pre" kv with
+           | None -> Detectors.Omega.Self_trust
+           | Some p ->
+             (match pre_of_string p with
+              | Some pre -> pre
+              | None -> at lineno "unknown omega pre-behaviour %S" p)
+         in
+         t :=
+           { !t with
+             omega =
+               Some (Stacks.Oracle { stabilize_at = kv_int kv "stable"; pre })
+           };
+         headers rest
+       | "omega" :: "elected" :: fields ->
+         let kv = kv_fields fields in
+         t :=
+           { !t with
+             omega =
+               Some (Stacks.Elected { initial_timeout = kv_int kv "timeout" })
+           };
+         headers rest
+       | "workload" :: [ "none" ] ->
+         t := { !t with workload = No_posts };
+         headers rest
+       | "workload" :: "posts" :: fields ->
+         let kv = kv_fields fields in
+         t :=
+           { !t with
+             workload =
+               Posts
+                 { count = kv_int kv "count";
+                   from_time = kv_int kv "from";
+                   every = kv_int kv "every" } };
+         headers rest
+       | "workload" :: "auto" :: fields ->
+         let kv = kv_fields fields in
+         let stretch =
+           match List.assoc_opt "stretch" kv with
+           | Some "on" | Some "true" -> true
+           | Some "off" | Some "false" | None -> false
+           | Some v -> at lineno "stretch must be on or off, got %S" v
+         in
+         t :=
+           { !t with
+             workload = Auto_posts { count = kv_int kv "count"; stretch } };
+         headers rest
+       | "workload" :: "weighted" :: fields ->
+         let kv = kv_fields fields in
+         let mix =
+           match List.assoc_opt "mix" kv with
+           | None -> at lineno "missing field mix"
+           | Some m ->
+             List.map
+               (fun entry ->
+                  match String.index_opt entry ':' with
+                  | None -> at lineno "bad mix entry %S" entry
+                  | Some i ->
+                    ( String.sub entry 0 i,
+                      int
+                        (String.sub entry (i + 1)
+                           (String.length entry - i - 1)) ))
+               (String.split_on_char ',' m)
+         in
+         t :=
+           { !t with
+             workload =
+               Weighted
+                 { count = kv_int kv "count";
+                   from_time = kv_int kv "from";
+                   every = kv_int kv "every";
+                   jitter = kv_int kv "jitter";
+                   mix } };
+         headers rest
+       | [ "workload"; "explicit" ] ->
+         explicit := true;
+         headers rest
+       | "post" :: tm :: p :: tag_words when !explicit ->
+         posts := (int tm, int p, String.concat " " tag_words) :: !posts;
+         headers rest
+       | "mutant" :: [ v ] ->
+         (if v <> "none" then
+            match Etob_omega.mutation_of_string v with
+            | Some m -> t := { !t with mutation = Some m }
+            | None -> at lineno "unknown mutant %S" v);
+         headers rest
+       | "rmutant" :: [ v ] ->
+         (if v <> "none" then
+            match Recoverable.mutation_of_string v with
+            | Some m -> t := { !t with rmutation = Some m }
+            | None -> at lineno "unknown recovery mutant %S" v);
+         headers rest
+       | "ae-mutant" :: [ v ] ->
+         (if v <> "none" then
+            match Anti_entropy.mutation_of_string v with
+            | Some m -> t := { !t with ae_mutation = Some m }
+            | None -> at lineno "unknown anti-entropy mutant %S" v);
+         headers rest
+       | "boost" :: "drop-while-partitioned" :: fields ->
+         let kv = kv_fields fields in
+         boosts :=
+           Drop_boost_while_partitioned { factor = kv_int kv "factor" }
+           :: !boosts;
+         headers rest
+       | "check" :: "etob" :: fields ->
+         let kv = kv_fields fields in
+         let policy =
+           match List.assoc_opt "tau" kv with
+           | Some "auto" | None -> Tau_auto
+           | Some v -> Tau_fixed (int v)
+         in
+         checkers := Etob_spec policy :: !checkers;
+         headers rest
+       | [ "check"; "watchdog"; "auto" ] ->
+         checkers := Watchdog Wd_auto :: !checkers;
+         headers rest
+       | "check" :: "watchdog" :: fields ->
+         let kv = kv_fields fields in
+         checkers :=
+           Watchdog
+             (Wd_fixed
+                { settle = kv_int kv "settle"; bound = kv_int kv "bound" })
+           :: !checkers;
+         headers rest
+       | "max-instance" :: [ v ] ->
+         t := { !t with max_instance = int v };
+         headers rest
+       | "budget" :: [ v ] ->
+         t := { !t with budget = Some (int v) };
+         headers rest
+       | "digest" :: _ | "violation" :: _ -> headers rest
+       | "plan" :: [ v ] -> finish (parse_plan_section ~count:(int v) rest)
+       | _ -> at lineno "unknown spec line %S" line)
+  in
+  headers rest
+
+let of_lines lines =
+  let lines =
+    List.filteri
+      (fun _ (_, l) -> l <> "")
+      (List.mapi (fun i l -> (i + 1, String.trim l)) lines)
+  in
+  let parse () =
+    match lines with
+    | (_, h) :: rest when h = header -> parse_new rest
+    | (_, h) :: rest when h = legacy_header -> parse_legacy rest
+    | (lineno, l) :: _ ->
+      parse_fail "line %d: not a %s or %s file (found %S)" lineno header
+        legacy_header l
+    | [] -> parse_fail "empty file: not a %s file" header
+  in
+  match parse () with t -> Ok t | exception Parse msg -> Error msg
+
+let of_string s = of_lines (String.split_on_char '\n' s)
+
+let recorded_digest s =
+  List.find_map
+    (fun line ->
+       match tokens_of line with
+       | [ "digest"; v ] when v <> "-" -> Some v
+       | _ -> None)
+    (String.split_on_char '\n' s)
+
+let write path ?digest ?violations t =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string ?digest ?violations t))
+
+let read path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* QCheck generators                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Deliberately NOT fairness-clamped (unlike [Explore.Explorer.random_plan],
+   which keeps plans recoverable so liveness checks are meaningful): safety
+   properties must hold under any plan whatsoever, so these cover the whole
+   space — drop windows that never heal, partitions to the horizon,
+   flapping forever.  Plan generators normalize through [Adversity.make],
+   so the text-form roundtrip is structural equality. *)
+
+let subset_gen n =
+  let open QCheck.Gen in
+  let* mask = int_range 1 ((1 lsl n) - 2) in
+  return (List.filter (fun p -> mask land (1 lsl p) <> 0) (List.init n Fun.id))
+
+let window_gen deadline =
+  let open QCheck.Gen in
+  let* from_time = int_range 0 (deadline - 2) in
+  let* len = int_range 1 (deadline - from_time) in
+  return (from_time, from_time + len)
+
+let spec_gen ~n ~deadline =
+  let open QCheck.Gen in
+  frequency
+    [ ( 1,
+        let* proc = int_range 1 (n - 1) in
+        let* at = int_range 0 deadline in
+        return (Adversity.Crash { proc; at }) );
+      ( 2,
+        let* left = subset_gen n in
+        let* from_time, until_time = window_gen deadline in
+        return (Adversity.Partition { left; from_time; until_time }) );
+      ( 2,
+        let* link =
+          oneof
+            [ return None;
+              (let* src = int_range 0 (n - 1) in
+               let* dst = int_range 0 (n - 1) in
+               return (if src = dst then None else Some (src, dst))) ]
+        in
+        let* from_time, until_time = window_gen deadline in
+        let* factor = int_range 2 6 in
+        return (Adversity.Delay_spike { link; from_time; until_time; factor })
+      );
+      ( 2,
+        let* from_time, until_time = window_gen deadline in
+        let* pct = int_range 1 100 in
+        return (Adversity.Drop { from_time; until_time; pct }) );
+      ( 2,
+        let* from_time, until_time = window_gen deadline in
+        let* copies = int_range 1 3 in
+        return (Adversity.Duplicate { from_time; until_time; copies }) );
+      ( 2,
+        let* until_time = int_range 1 deadline in
+        let* period = int_range 1 6 in
+        return (Adversity.Omega_flap { until_time; period }) ) ]
+
+let plan_gen ~n ~deadline =
+  QCheck.Gen.map Adversity.make
+    QCheck.Gen.(list_size (int_range 0 5) (spec_gen ~n ~deadline))
+
+let spec_shrink spec = QCheck.Iter.of_list (Adversity.weaken spec)
+
+let plan_print plan = String.concat "; " (Adversity.to_lines plan)
+
+let plan_arb ~n ~deadline =
+  QCheck.make ~print:plan_print
+    ~shrink:(QCheck.Shrink.list ~shrink:spec_shrink)
+    (plan_gen ~n ~deadline)
+
+(* Crash-recover windows and disk faults over processes 1..n-1.  Windows
+   may overlap, touch, or sit anywhere in the horizon, and disk faults may
+   target processes that never restart (then they are no-ops). *)
+let recovery_spec_gen ~n ~deadline =
+  let open QCheck.Gen in
+  let* proc = int_range 1 (n - 1) in
+  frequency
+    [ ( 3,
+        let* at = int_range 1 (deadline - 2) in
+        let* len = int_range 1 (deadline - at) in
+        return (Adversity.Crash_recover { proc; at; recover_at = at + len }) );
+      ( 1,
+        let* kind =
+          oneofl
+            [ Persist.Store.Torn_tail;
+              Persist.Store.Lost_suffix 1;
+              Persist.Store.Lost_suffix 3;
+              Persist.Store.Corrupt_record ]
+        in
+        return (Adversity.Disk_fault { proc; kind }) ) ]
+
+let recovery_plan_gen ~n ~deadline =
+  let open QCheck.Gen in
+  let* base = list_size (int_range 0 2) (spec_gen ~n ~deadline) in
+  let* rec_specs = list_size (int_range 1 3) (recovery_spec_gen ~n ~deadline) in
+  return (Adversity.make (base @ rec_specs))
+
+let recovery_plan_arb ~n ~deadline =
+  QCheck.make ~print:plan_print
+    ~shrink:(QCheck.Shrink.list ~shrink:spec_shrink)
+    (recovery_plan_gen ~n ~deadline)
+
+(* Lossy, one-way and flapping partitions anywhere in the horizon —
+   including schedules that never heal before the deadline or cut the
+   leader off asymmetrically. *)
+let partition_loss_spec_gen ~n ~deadline =
+  let open QCheck.Gen in
+  let* left = subset_gen n in
+  frequency
+    [ ( 2,
+        let* from_time, until_time = window_gen deadline in
+        return (Adversity.Lossy_partition { left; from_time; until_time }) );
+      ( 1,
+        let* from_time, until_time = window_gen deadline in
+        return (Adversity.Oneway_partition { left; from_time; until_time }) );
+      ( 1,
+        let* from_time, until_time = window_gen deadline in
+        let* period = int_range 1 6 in
+        return
+          (Adversity.Flapping_partition { left; from_time; until_time; period })
+      ) ]
+
+let partition_recovery_plan_gen ~n ~deadline =
+  let open QCheck.Gen in
+  let* base = list_size (int_range 0 2) (spec_gen ~n ~deadline) in
+  let* losses =
+    list_size (int_range 1 3) (partition_loss_spec_gen ~n ~deadline)
+  in
+  let* rec_specs = list_size (int_range 0 2) (recovery_spec_gen ~n ~deadline) in
+  return (Adversity.make (base @ losses @ rec_specs))
+
+let partition_recovery_plan_arb ~n ~deadline =
+  QCheck.make ~print:plan_print
+    ~shrink:(QCheck.Shrink.list ~shrink:spec_shrink)
+    (partition_recovery_plan_gen ~n ~deadline)
+
+let arbitrary =
+  let open QCheck.Gen in
+  let gen =
+    let* n = int_range 3 5 in
+    let* seed = int_range 0 999 in
+    let* deadline = int_range 120 300 in
+    let* delay =
+      oneof
+        [ (let* d = int_range 1 2 in
+           return (Constant d));
+          (let* min_d = int_range 1 2 in
+           let* span = int_range 0 3 in
+           return (Uniform { min_d; max_d = min_d + span })) ]
+    in
+    let* stack =
+      oneofl
+        [ Etob Stacks.Algorithm_5;
+          Etob Stacks.Paxos_baseline;
+          Etob Stacks.Algorithm_1_over_4;
+          Etob_ae;
+          Recoverable { ae = false };
+          Recoverable { ae = true };
+          Gossip ]
+    in
+    let* workload =
+      oneof
+        [ return No_posts;
+          (let* count = int_range 1 20 in
+           let* from_time = int_range 0 20 in
+           let* every = int_range 1 8 in
+           return (Posts { count; from_time; every }));
+          (let* count = int_range 1 20 in
+           let* stretch = bool in
+           return (Auto_posts { count; stretch }));
+          (let* count = int_range 1 12 in
+           let* every = int_range 1 8 in
+           let* jitter = int_range 0 3 in
+           return
+             (Weighted
+                { count;
+                  from_time = 8;
+                  every;
+                  jitter;
+                  mix = [ ("a", 3); ("b", 1) ] })) ]
+    in
+    let* plan = plan_gen ~n ~deadline in
+    let* checkers =
+      oneofl
+        [ [];
+          [ Etob_spec Tau_auto ];
+          [ Etob_spec Tau_auto; Watchdog Wd_auto ];
+          [ Etob_spec (Tau_fixed 40) ] ]
+    in
+    let* boosts =
+      oneofl [ []; [ Drop_boost_while_partitioned { factor = 2 } ] ]
+    in
+    let* mutation =
+      oneofl (None :: List.map Option.some Etob_omega.all_mutations)
+    in
+    let* omega =
+      oneofl
+        [ None;
+          Some
+            (Stacks.Oracle
+               { stabilize_at = 0; pre = Detectors.Omega.Self_trust });
+          Some
+            (Stacks.Oracle
+               { stabilize_at = 40; pre = Detectors.Omega.Rotating 3 });
+          Some (Stacks.Elected { initial_timeout = 6 }) ]
+    in
+    let* budget = oneofl [ None; Some 100 ] in
+    return
+      { (create ~seed ~delay ~n ~deadline stack) with
+        workload;
+        plan;
+        checkers;
+        boosts;
+        mutation;
+        omega;
+        budget }
+  in
+  QCheck.make
+    ~print:(fun b -> to_string b)
+    ~shrink:(fun b ->
+      QCheck.Iter.map
+        (fun plan -> { b with plan })
+        (QCheck.Shrink.list ~shrink:spec_shrink b.plan))
+    gen

@@ -1,0 +1,298 @@
+(** Declarative test builder: one immutable value that composes a protocol
+    {!stack}, a {!workload}, an {!Adversity.t} plan (plus conditional
+    {!boost} multipliers), a detector source, {!checker} policies and a
+    search budget — and one interpreter, {!run}, behind every way this
+    repository builds a run.  {!Scenario}'s [run_*] entrypoints are thin
+    presets over builders, [Explore.Explorer] generates and shrinks builder
+    values, and the [ecsim] subcommands decode their flags (or a
+    [--spec FILE]) into one.
+
+    Builders made of plain data (a {!Decl} base, no escape hatches) have a
+    stable text form ({!to_lines}/{!of_lines}) that subsumes the explorer's
+    repro headers: {!of_lines} also accepts the legacy
+    ["ecsim-explore-repro v1"] format, and replaying either through {!run}
+    is byte-identical to the original paths (enforced by the differential
+    tests in [test/test_builder.ml]). *)
+
+open Simulator
+open Simulator.Types
+open Ec_core
+
+(** Base delay model, as data (a {!Simulator.Net.model} consumes
+    randomness differently per constructor, so the distinction must
+    survive serialization byte-exactly). *)
+type delay_model = Constant of int | Uniform of { min_d : int; max_d : int }
+
+type decl_base = {
+  n : int;
+  seed : int;
+  deadline : time;
+  timer_period : int;
+  delay : delay_model;
+}
+
+(** The declarative base scenario, or an arbitrary prebuilt setup (escape
+    hatch for the {!Scenario} shims; not serializable). *)
+type base = Decl of decl_base | Opaque of Stacks.setup
+
+(** Which protocol stack the run drives; mirrors the [Stacks.run_*]
+    catalogue. *)
+type stack =
+  | Etob of Stacks.etob_impl  (** bare ETOB: Algorithm 5 / Paxos / 1-over-4 *)
+  | Etob_ae  (** Algorithm 5 + anti-entropy digest exchange *)
+  | Recoverable of { ae : bool }
+      (** Algorithm 5 under the crash-recovery wrapper, optionally with
+          anti-entropy *)
+  | Etob_commits  (** Algorithm 5 + Section 7 committed-prefix indications *)
+  | Gossip  (** the leaderless negative baseline *)
+  | Ec  (** bare Algorithm 4 with the self-driving proposer *)
+  | Ec_lifted  (** multivalued EC through the binary lift *)
+  | Ec_via_etob of Stacks.etob_impl  (** Algorithm 2 over an ETOB stack *)
+  | Eic  (** Algorithm 6 over Algorithm 4 *)
+  | Ec_via_eic  (** Algorithm 7 over (6 over 4) *)
+
+(** The workload: what gets posted, by whom, when. *)
+type workload =
+  | No_posts
+  | Posts of { count : int; from_time : time; every : int }
+      (** round-robin {!Stacks.spread_posts} *)
+  | Auto_posts of { count : int; stretch : bool }
+      (** the explorer's posting policy: start at {!auto_post_from}, cadence
+          {!auto_post_every} (stretched across the horizon for recovery
+          targets so restarted processes post again) *)
+  | Weighted of {
+      count : int;
+      from_time : time;
+      every : int;
+      jitter : int;  (** deterministic per-post arrival jitter in [0,jitter] *)
+      mix : (string * int) list;  (** weighted tag mix, smooth round-robin *)
+    }
+  | Explicit of (time * proc_id * string) list  (** explicit [Post] tags *)
+  | Raw of (time * proc_id * Io.input) list
+      (** arbitrary engine inputs (escape hatch; not serializable) *)
+
+(** Convergence-tau policy of the ETOB checker: a fixed bound, or the
+    explorer's plan-aware bound ({!tau_bound}). *)
+type tau_policy = Tau_auto | Tau_fixed of int
+
+type watchdog_policy = Wd_auto | Wd_fixed of { settle : time; bound : int }
+
+(** Checkers evaluated by {!run}, in order; their messages concatenate
+    into the outcome's [violations]. *)
+type checker = Etob_spec of tau_policy | Watchdog of watchdog_policy
+
+(** Conditional adversity multipliers keyed on system state. *)
+type boost =
+  | Drop_boost_while_partitioned of { factor : int }
+      (** While any partition window of the plan (buffering or lossy) is
+          open, every [Drop] window's percentage is multiplied by [factor]
+          (capped at 100): drop windows are split at partition boundaries
+          and each segment gets its effective rate. *)
+
+type t = {
+  base : base;
+  stack : stack;
+  workload : workload;
+  plan : Adversity.t;
+  boosts : boost list;
+  omega : Stacks.omega_source option;
+      (** [None] = the base's detector (oracle stable from 0 unless the
+          plan flaps it) *)
+  checkers : checker list;
+  budget : int option;  (** exploration budget hint, carried by spec files *)
+  mutation : Etob_omega.mutation option;
+  rmutation : Recoverable.mutation option;
+  ae_mutation : Anti_entropy.mutation option;
+  (* Escape hatches: all [None] for declarative builders. *)
+  rconfig : Recoverable.config option;
+  ae_config : Anti_entropy.config option;
+  commits : bool option;  (** Recoverable commit-prefix toggle *)
+  stores : Persist.Store.t array option;
+  sink : Sink.t option;
+  propose : (proc_id -> instance:int -> Value.t) option;
+      (** EC-stack proposer; [None] = {!default_propose} *)
+  max_instance : int;  (** EC-stack instance horizon (0 = drive nothing) *)
+}
+
+val create :
+  ?seed:int ->
+  ?timer_period:int ->
+  ?delay:delay_model ->
+  n:int -> deadline:time -> stack -> t
+(** A declarative builder over {!Stacks.default}'s conventions: seed 42,
+    timer period 2, constant unit delays, no workload, no plan, no
+    checkers. *)
+
+val of_setup : Stacks.setup -> stack -> t
+(** Wrap a prebuilt setup ({!Opaque} base); used by the {!Scenario}
+    shims.  Not serializable. *)
+
+val default_propose : proc_id -> instance:int -> Value.t
+(** [Num (1000*p + instance)]: the deterministic proposer EC stacks use
+    when [propose] is [None]. *)
+
+(** {2 Derived values and policies}
+
+    The explorer's fairness and bound formulas, keyed on the builder.
+    All of these require a {!Decl} base (they need the delay bounds as
+    data) and raise [Invalid_argument] on an {!Opaque} one. *)
+
+val n_of : t -> int
+val seed_of : t -> int
+val deadline_of : t -> time
+
+val base_max_of : t -> int
+(** The base delay model's largest delay. *)
+
+val auto_post_from : int
+(** First posting time of {!Auto_posts} workloads (8). *)
+
+val post_count : t -> int
+(** How many messages the workload posts. *)
+
+val stack_name : stack -> string
+(** The stack's stable spec-file name (["alg5"], ["recoverable+ae"], ...). *)
+
+val auto_post_every : t -> int
+(** {!Auto_posts} cadence: 3, stretched across the horizon when
+    [stretch]. *)
+
+val slack : t -> int
+(** Recovery headroom granted on top of a plan's settle time. *)
+
+val inputs : t -> (time * proc_id * Io.input) list
+(** Materialize the workload (any workload, including [Raw]). *)
+
+val last_post : t -> time
+(** When the workload ends; convergence cannot precede it. *)
+
+val drop_safe_until : t -> time
+(** Start of the final full posting round of an {!Auto_posts} workload. *)
+
+val ae_used : t -> bool
+(** The stack includes the anti-entropy layer. *)
+
+val ae_catchup : t -> int
+(** Worst-case post-heal catch-up time of the digest exchange. *)
+
+val lossy_safe_until : t -> time
+(** Latest admissible heal time for message-losing partition windows. *)
+
+val tau_bound : t -> time
+(** The plan-aware convergence bound ({!Tau_auto}): [0] for Algorithm-5
+    stacks under a never-flapping oracle and a recovery-free plan;
+    otherwise settle + slack (+ retransmission backoff under recovery,
+    + anti-entropy catch-up when partition loss meets the digest layer). *)
+
+val watchdog_settle : t -> time
+val watchdog_bound : t -> int
+
+val setup_of : t -> Stacks.setup
+(** The engine setup this builder denotes: base, then the [omega]/[sink]
+    clauses, then the plan ({!Adversity.apply}), then the boosts. *)
+
+(** {2 Running} *)
+
+type handles =
+  | No_handles
+  | Ae_handles of (Etob_omega.t * Anti_entropy.t) array
+  | Recoverable_handles of Recoverable.t array * Persist.Store.t array
+
+type outcome = {
+  builder : t;
+  trace : Trace.t option;  (** [None] iff the run raised under [~catch] *)
+  report : Properties.etob_report option;
+      (** computed iff the builder has checkers and the run completed *)
+  violations : string list;  (** [[]] = clean *)
+  digest : string;  (** trace digest (hex) iff [~digest]; [""] otherwise *)
+  handles : handles;
+}
+
+val run : ?digest:bool -> ?catch:bool -> t -> outcome
+(** Interpret the builder: build the setup, materialize the workload, run
+    the stack, evaluate the checkers in order.  Deterministic: equal
+    builders give byte-identical runs.  [digest] (default false) records
+    the trace digest; [catch] (default false) turns a raising run into an
+    ["exception: ..."] violation instead of propagating. *)
+
+(** {2 Exploration and shrinking} *)
+
+type exploration = { found : outcome option; plans_run : int; budget : int }
+
+val explore :
+  ?domains:int ->
+  ?on_progress:(plans_run:int -> unit) ->
+  gen:(int -> t) ->
+  budget:int -> unit -> exploration
+(** Run builders [gen 0 .. gen (budget-1)] until the first violation.
+    [domains > 1] fans chunks of [4 * domains] over OCaml domains via
+    {!Sweep.map_safe}; the reported finding is the lowest-index violation
+    regardless of domain count.  Runs use [~digest:true ~catch:true]. *)
+
+val shrink : rebuild:(Adversity.t -> t) -> outcome -> outcome
+(** Greedy plan minimization: drop whole adversities, then substitute
+    {!Adversity.weaken} variants, re-running [rebuild plan] at every step
+    (so the caller decides how a smaller plan maps back to a builder —
+    e.g. the explorer re-derives the stack, since dropping the last
+    downtime window may demote a recoverable run to crash-stop). *)
+
+(** {2 Stable text form} *)
+
+val header : string
+(** ["ecsim-spec v1"]. *)
+
+val legacy_header : string
+(** ["ecsim-explore-repro v1"]; {!of_lines} accepts this too, mapping the
+    repro fields onto builder clauses so legacy files replay
+    byte-identically. *)
+
+val to_lines : ?digest:string -> ?violations:string list -> t -> string list
+(** Serialize a declarative builder (raises [Invalid_argument] on
+    {!Opaque} bases, [Raw] workloads or any escape hatch).  [digest] and
+    [violations] are recorded for humans and {!recorded_digest};
+    {!of_lines} ignores them otherwise. *)
+
+val to_string : ?digest:string -> ?violations:string list -> t -> string
+
+val of_lines : string list -> (t, string) result
+(** Parse either text form; every error names the offending line.  New
+    -format plans are normalized ({!Adversity.make}); legacy repro plans
+    are kept verbatim. *)
+
+val of_string : string -> (t, string) result
+
+val recorded_digest : string -> string option
+(** The [digest] header of a spec or repro string, if present. *)
+
+val write : string -> ?digest:string -> ?violations:string list -> t -> unit
+val read : string -> (t, string) result
+
+(** {2 QCheck generators}
+
+    The unclamped adversity generators formerly hand-rolled in
+    [test/qgen] (which now re-exports these), plus a generator of whole
+    declarative builders.  Plans are {!Adversity.make}-normalized, so the
+    roundtrip property [of_lines (to_lines b) = b] holds structurally. *)
+
+val subset_gen : int -> proc_id list QCheck.Gen.t
+val window_gen : int -> (time * time) QCheck.Gen.t
+val spec_gen : n:int -> deadline:int -> Adversity.spec QCheck.Gen.t
+val plan_gen : n:int -> deadline:int -> Adversity.t QCheck.Gen.t
+val spec_shrink : Adversity.spec -> Adversity.spec QCheck.Iter.t
+val plan_arb : n:int -> deadline:int -> Adversity.t QCheck.arbitrary
+val recovery_spec_gen : n:int -> deadline:int -> Adversity.spec QCheck.Gen.t
+val recovery_plan_gen : n:int -> deadline:int -> Adversity.t QCheck.Gen.t
+val recovery_plan_arb : n:int -> deadline:int -> Adversity.t QCheck.arbitrary
+
+val partition_loss_spec_gen :
+  n:int -> deadline:int -> Adversity.spec QCheck.Gen.t
+
+val partition_recovery_plan_gen :
+  n:int -> deadline:int -> Adversity.t QCheck.Gen.t
+
+val partition_recovery_plan_arb :
+  n:int -> deadline:int -> Adversity.t QCheck.arbitrary
+
+val arbitrary : t QCheck.arbitrary
+(** Serializable declarative builders (ETOB-family stacks, data workloads,
+    normalized plans, policy checkers); shrinks by shrinking the plan. *)

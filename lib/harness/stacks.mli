@@ -1,22 +1,21 @@
-(** Scenario harness: wires protocols, detectors, workloads and the engine
-    together, so tests, benchmarks and examples all build their runs the
-    same way.  A facade since the {!Builder} refactor: the wiring itself
-    lives in {!Stacks} (re-exported here with type equations, so existing
-    callers are unaffected) and every [run_*] below is a thin preset over
-    {!Builder.run} — new tests should usually compose a {!Builder.t}
-    directly. *)
+(** Raw stack wiring: protocols, detectors, workloads and the engine, glued
+    together process by process.  The bottom layer of the harness:
+    {!Builder} composes these runners declaratively and {!Scenario}
+    re-exports them as the stable public entrypoints.  Tests normally go
+    through those layers; this one exists so the builder has something
+    lower-level than itself to call. *)
 
 open Simulator
 open Simulator.Types
 open Ec_core
 
-type omega_source = Stacks.omega_source =
+type omega_source =
   | Oracle of { stabilize_at : time; pre : Detectors.Omega.pre_behaviour }
       (** The paper's model: Omega as a history oracle. *)
   | Elected of { initial_timeout : int }
       (** The heartbeat-based emulation of a running system. *)
 
-type setup = Stacks.setup = {
+type setup = {
   n : int;
   seed : int;
   deadline : time;
@@ -61,7 +60,7 @@ val spread_posts :
 
 (** {2 Protocol stacks} *)
 
-type etob_impl = Stacks.etob_impl =
+type etob_impl =
   | Algorithm_5  (** the paper's direct ETOB from Omega *)
   | Paxos_baseline  (** strong TOB from repeated consensus *)
   | Algorithm_1_over_4  (** the EC-to-ETOB transformation over Algorithm 4 *)

@@ -2,15 +2,22 @@
    domain values: failure-pattern crash lists, adversity plans and base
    delay-model bounds.
 
+   The adversity generators live in [Harness.Builder] since the builder
+   refactor (the builder's spec-file roundtrip property runs over the same
+   space); this module re-exports them under the historical names and
+   keeps only the simulator-level generators local.
+
    Plans generated here are deliberately NOT fairness-clamped (unlike
    [Explore.Explorer.random_plan], which keeps plans recoverable so that
    liveness checks are meaningful): safety properties must hold under any
    plan whatsoever, so these generators cover the whole space — drop
    windows that never heal, partitions to the horizon, flapping forever.
-   Shrinkers are structural: drop whole elements, then substitute the
-   strictly weaker variants of [Adversity.weaken]. *)
+   They are [Adversity.make]-normalized, so generated plans equal their
+   own text-form roundtrip.  Shrinkers are structural: drop whole
+   elements, then substitute the strictly weaker variants of
+   [Adversity.weaken]. *)
 
-open Explore
+module Builder = Harness.Builder
 
 (* ------------------------------------------------------------------ *)
 (* Failure patterns, as crash lists                                    *)
@@ -35,155 +42,21 @@ let crash_list_arb ~n ~max_faulty ~horizon =
 let pattern_of_crashes ~n crashes = Simulator.Failures.of_crashes ~n crashes
 
 (* ------------------------------------------------------------------ *)
-(* Adversity plans                                                     *)
+(* Adversity plans (re-exported from Harness.Builder)                  *)
 (* ------------------------------------------------------------------ *)
 
-(* A nonempty proper subset of 0..n-1, from a bitmask. *)
-let subset_gen n =
-  let open QCheck.Gen in
-  let* mask = int_range 1 ((1 lsl n) - 2) in
-  return (List.filter (fun p -> mask land (1 lsl p) <> 0) (List.init n Fun.id))
-
-let window_gen deadline =
-  let open QCheck.Gen in
-  let* from_time = int_range 0 (deadline - 2) in
-  let* len = int_range 1 (deadline - from_time) in
-  return (from_time, from_time + len)
-
-let spec_gen ~n ~deadline =
-  let open QCheck.Gen in
-  frequency
-    [ ( 1,
-        let* proc = int_range 1 (n - 1) in
-        let* at = int_range 0 deadline in
-        return (Adversity.Crash { proc; at }) );
-      ( 2,
-        let* left = subset_gen n in
-        let* from_time, until_time = window_gen deadline in
-        return (Adversity.Partition { left; from_time; until_time }) );
-      ( 2,
-        let* link =
-          oneof
-            [ return None;
-              (let* src = int_range 0 (n - 1) in
-               let* dst = int_range 0 (n - 1) in
-               return (if src = dst then None else Some (src, dst))) ]
-        in
-        let* from_time, until_time = window_gen deadline in
-        let* factor = int_range 2 6 in
-        return (Adversity.Delay_spike { link; from_time; until_time; factor }) );
-      ( 2,
-        let* from_time, until_time = window_gen deadline in
-        let* pct = int_range 1 100 in
-        return (Adversity.Drop { from_time; until_time; pct }) );
-      ( 2,
-        let* from_time, until_time = window_gen deadline in
-        let* copies = int_range 1 3 in
-        return (Adversity.Duplicate { from_time; until_time; copies }) );
-      ( 2,
-        let* until_time = int_range 1 deadline in
-        let* period = int_range 1 6 in
-        return (Adversity.Omega_flap { until_time; period }) ) ]
-
-let plan_gen ~n ~deadline =
-  QCheck.Gen.(list_size (int_range 0 5) (spec_gen ~n ~deadline))
-
-let spec_shrink spec = QCheck.Iter.of_list (Adversity.weaken spec)
-
-let plan_arb ~n ~deadline =
-  QCheck.make
-    ~print:(fun plan -> String.concat "; " (Adversity.to_lines plan))
-    ~shrink:(QCheck.Shrink.list ~shrink:spec_shrink)
-    (plan_gen ~n ~deadline)
-
-(* ------------------------------------------------------------------ *)
-(* Recovery plans: downtime windows and disk faults                    *)
-(* ------------------------------------------------------------------ *)
-
-(* Crash-recover windows and disk faults over processes 1..n-1.  Windows
-   may overlap, touch, or sit anywhere in the horizon, and disk faults
-   may target processes that never restart (then they are no-ops): safety
-   has to hold over the whole space, so nothing here is sanitized the way
-   [Explorer.random_plan] sanitizes its liveness-friendly plans. *)
-let recovery_spec_gen ~n ~deadline =
-  let open QCheck.Gen in
-  let* proc = int_range 1 (n - 1) in
-  frequency
-    [ ( 3,
-        let* at = int_range 1 (deadline - 2) in
-        let* len = int_range 1 (deadline - at) in
-        return (Adversity.Crash_recover { proc; at; recover_at = at + len }) );
-      ( 1,
-        let* kind =
-          oneofl
-            [ Persist.Store.Torn_tail;
-              Persist.Store.Lost_suffix 1;
-              Persist.Store.Lost_suffix 3;
-              Persist.Store.Corrupt_record ]
-        in
-        return (Adversity.Disk_fault { proc; kind }) ) ]
-
-(* A recovery plan: at least one recovery-flavoured spec, mixed with the
-   unclamped crash-stop specs of [spec_gen]. *)
-let recovery_plan_gen ~n ~deadline =
-  let open QCheck.Gen in
-  let* base = list_size (int_range 0 2) (spec_gen ~n ~deadline) in
-  let* rec_specs =
-    list_size (int_range 1 3) (recovery_spec_gen ~n ~deadline)
-  in
-  return (base @ rec_specs)
-
-let recovery_plan_arb ~n ~deadline =
-  QCheck.make
-    ~print:(fun plan -> String.concat "; " (Adversity.to_lines plan))
-    ~shrink:(QCheck.Shrink.list ~shrink:spec_shrink)
-    (recovery_plan_gen ~n ~deadline)
-
-(* ------------------------------------------------------------------ *)
-(* Message-losing partition schedules                                  *)
-(* ------------------------------------------------------------------ *)
-
-(* Lossy, one-way and flapping partitions anywhere in the horizon —
-   including schedules that never heal before the deadline or cut the
-   leader off asymmetrically.  Safety has to survive arbitrary message
-   loss; liveness is legitimately lost under such plans and is never
-   asserted over this space. *)
-let partition_loss_spec_gen ~n ~deadline =
-  let open QCheck.Gen in
-  let* left = subset_gen n in
-  frequency
-    [ ( 2,
-        let* from_time, until_time = window_gen deadline in
-        return (Adversity.Lossy_partition { left; from_time; until_time }) );
-      ( 1,
-        let* from_time, until_time = window_gen deadline in
-        return (Adversity.Oneway_partition { left; from_time; until_time }) );
-      ( 1,
-        let* from_time, until_time = window_gen deadline in
-        let* period = int_range 1 6 in
-        return
-          (Adversity.Flapping_partition { left; from_time; until_time; period })
-      ) ]
-
-(* Partition-loss schedules composed with crash-recovery plans and a
-   sprinkle of the generic unclamped adversity: the causal-order QCheck
-   property of test_partition.ml runs over exactly this space. *)
-let partition_recovery_plan_gen ~n ~deadline =
-  let open QCheck.Gen in
-  let* base = list_size (int_range 0 2) (spec_gen ~n ~deadline) in
-  let* losses =
-    list_size (int_range 1 3) (partition_loss_spec_gen ~n ~deadline)
-  in
-  let* rec_specs =
-    list_size (int_range 0 2) (recovery_spec_gen ~n ~deadline)
-  in
-  return (base @ losses @ rec_specs)
-
-let partition_recovery_plan_arb ~n ~deadline =
-  QCheck.make
-    ~print:(fun plan -> String.concat "; " (Adversity.to_lines plan))
-    ~shrink:(QCheck.Shrink.list ~shrink:spec_shrink)
-    (partition_recovery_plan_gen ~n ~deadline)
+let subset_gen = Builder.subset_gen
+let window_gen = Builder.window_gen
+let spec_gen = Builder.spec_gen
+let plan_gen = Builder.plan_gen
+let spec_shrink = Builder.spec_shrink
+let plan_arb = Builder.plan_arb
+let recovery_spec_gen = Builder.recovery_spec_gen
+let recovery_plan_gen = Builder.recovery_plan_gen
+let recovery_plan_arb = Builder.recovery_plan_arb
+let partition_loss_spec_gen = Builder.partition_loss_spec_gen
+let partition_recovery_plan_gen = Builder.partition_recovery_plan_gen
+let partition_recovery_plan_arb = Builder.partition_recovery_plan_arb
 
 (* ------------------------------------------------------------------ *)
 (* Base delay-model bounds (Net.uniform parameters)                    *)

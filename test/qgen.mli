@@ -2,11 +2,17 @@
     domain values: failure-pattern crash lists, adversity plans and base
     delay-model bounds.
 
+    The adversity generators are re-exports of the {!Harness.Builder}
+    ones (their home since the builder refactor); the simulator-level
+    generators stay local.
+
     Plans generated here are deliberately NOT fairness-clamped (unlike
     [Explore.Explorer.random_plan]): safety properties must hold under any
-    plan whatsoever, so these generators cover the whole space.  Shrinkers
-    are structural — drop whole elements, then substitute the strictly
-    weaker variants of [Explore.Adversity.weaken]. *)
+    plan whatsoever, so these generators cover the whole space.  They are
+    [Adversity.make]-normalized, so generated plans equal their own
+    text-form roundtrip.  Shrinkers are structural — drop whole elements,
+    then substitute the strictly weaker variants of
+    [Explore.Adversity.weaken]. *)
 
 open Explore
 
