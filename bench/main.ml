@@ -1078,12 +1078,161 @@ let e10 () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* E20a: framed binary trace + CRC32 WAL vs jsonl + MD5                *)
+(* ------------------------------------------------------------------ *)
+
+(* The trace/WAL fast path (DESIGN.md §14).  Two enforced inequalities,
+   measured on the same data old-vs-new:
+
+   - serialization: encoding a realistic event stream as framed binary
+     records ([Frame.event_record]) must beat the jsonl renderer
+     ([Frame.event_to_jsonl], byte-identical to [Sink.jsonl]) on both
+     throughput and output size;
+   - WAL: the full append+sync+crash-replay cycle over protocol-sized
+     records must be faster under the incremental-CRC32 framing than
+     under the legacy per-record MD5.
+
+   Rates are CPU-time measured over an adaptive iteration count (at
+   least [quota] seconds each), so the numbers are stable across
+   machines; what is enforced is the ratio, not the absolute rate.
+   Besides the table, emits machine-readable BENCH_trace.json. *)
+let e20a () =
+  section "E20a" "framed binary trace + CRC32 WAL vs jsonl + MD5";
+  let module Frame = Persist.Frame in
+  let module Store = Persist.Store in
+  let quota = 0.4 in
+  let timed f =
+    (* one warm-up call, then run for at least [quota] CPU-seconds *)
+    f ();
+    let t0 = Sys.time () in
+    let iters = ref 0 in
+    while Sys.time () -. t0 < quota do
+      f ();
+      incr iters
+    done;
+    float_of_int !iters /. (Sys.time () -. t0)
+  in
+  (* (a) trace serialization: the event mix of a real run — mostly
+     send/deliver with rendered input/output text sprinkled in. *)
+  let n_events = 4096 in
+  let events =
+    Array.init n_events (fun i ->
+        let t = i / 4 and uid = i in
+        match i mod 8 with
+        | 0 -> Frame.Input { t; proc = i mod 5; v = Printf.sprintf "post \"m%d\"" i }
+        | 1 | 2 | 3 -> Frame.Send { t; src = i mod 5; dst = (i + 1) mod 5; uid }
+        | 4 | 5 | 6 ->
+          Frame.Deliver
+            { t = t + 2; src = i mod 5; dst = (i + 1) mod 5; uid; lat = 2 }
+        | _ ->
+          Frame.Output
+            { t; proc = i mod 5; v = Printf.sprintf "deliver p%d \"m%d\"" (i mod 5) i })
+  in
+  let bin_bytes =
+    Array.fold_left (fun a e -> a + String.length (Frame.event_record e))
+      (String.length Frame.header) events
+  in
+  let jsonl_bytes =
+    Array.fold_left (fun a e -> a + String.length (Frame.event_to_jsonl e) + 1)
+      0 events
+  in
+  let bin_rate =
+    timed (fun () ->
+        Array.iter (fun e -> ignore (Frame.event_record e)) events)
+  in
+  let jsonl_rate =
+    timed (fun () ->
+        Array.iter (fun e -> ignore (Frame.event_to_jsonl e)) events)
+  in
+  let file =
+    let b = Buffer.create (bin_bytes + 8) in
+    Buffer.add_string b Frame.header;
+    Array.iter (fun e -> Buffer.add_string b (Frame.event_record e)) events;
+    Buffer.contents b
+  in
+  let decode_rate =
+    timed (fun () ->
+        match Frame.decode file with
+        | Ok _ -> ()
+        | Error _ -> failwith "E20a: self-encoded trace failed to decode")
+  in
+  let ev_rate r = r *. float_of_int n_events in
+  row "  trace serialization over %d events (send/deliver-heavy mix):" n_events;
+  row "  %-8s %14s %12s" "format" "encode ev/s" "bytes";
+  row "  %-8s %14.0f %12d" "jsonl" (ev_rate jsonl_rate) jsonl_bytes;
+  row "  %-8s %14.0f %12d" "binary" (ev_rate bin_rate) bin_bytes;
+  row "  binary decode: %.0f ev/s (full file, checksums verified)"
+    (ev_rate decode_rate);
+  (* (b) WAL cycle: append protocol-shaped records, sync, crash-replay. *)
+  let n_records = 64 in
+  let payloads =
+    Array.init n_records (fun i -> Printf.sprintf "m %d %d payload-%d" (i * 37) i i)
+  in
+  let wal checksum () =
+    let s = Store.create ~checksum () in
+    ignore (Store.open_ s);
+    Array.iter (Store.append s) payloads;
+    Store.sync s;
+    let o = Store.open_ s in
+    if List.length o.Store.records <> n_records then
+      failwith "E20a: WAL replay lost records without a fault"
+  in
+  let rec_rate r = r *. float_of_int n_records in
+  let md5_rate = timed (wal Store.Md5) in
+  let crc_rate = timed (wal Store.Crc32) in
+  row "  WAL append+sync+replay over %d protocol-sized records:" n_records;
+  row "  %-8s %14s" "checksum" "records/s";
+  row "  %-8s %14.0f" "md5" (rec_rate md5_rate);
+  row "  %-8s %14.0f" "crc32" (rec_rate crc_rate);
+  let ser_speedup = bin_rate /. jsonl_rate in
+  let wal_speedup = crc_rate /. md5_rate in
+  row "  expected: binary encoding strictly faster and smaller than jsonl";
+  row "  (x%.2f, %d vs %d bytes); CRC32 WAL strictly faster than MD5 (x%.2f)."
+    ser_speedup bin_bytes jsonl_bytes wal_speedup;
+  row "  All three inequalities are enforced.";
+  if bin_bytes >= jsonl_bytes then
+    failwith
+      (Printf.sprintf "E20a: binary trace %d bytes not < jsonl %d bytes"
+         bin_bytes jsonl_bytes);
+  if ser_speedup <= 1.0 then
+    failwith
+      (Printf.sprintf
+         "E20a: binary encode rate not > jsonl encode rate (x%.2f)" ser_speedup);
+  if wal_speedup <= 1.0 then
+    failwith
+      (Printf.sprintf "E20a: CRC32 WAL rate not > MD5 WAL rate (x%.2f)"
+         wal_speedup);
+  let json =
+    Printf.sprintf
+      "{\n  \"experiment\": \"E20a\",\n  \"events\": %d,\n  \
+       \"jsonl_encode_events_per_s\": %.0f,\n  \
+       \"binary_encode_events_per_s\": %.0f,\n  \
+       \"binary_decode_events_per_s\": %.0f,\n  \"jsonl_bytes\": %d,\n  \
+       \"binary_bytes\": %d,\n  \"serialization_speedup\": %.3f,\n  \
+       \"wal_records\": %d,\n  \"md5_wal_records_per_s\": %.0f,\n  \
+       \"crc32_wal_records_per_s\": %.0f,\n  \"wal_speedup\": %.3f,\n  \
+       \"binary_strictly_smaller\": true,\n  \
+       \"binary_strictly_faster\": true,\n  \
+       \"crc32_strictly_faster\": true\n}\n"
+      n_events (ev_rate jsonl_rate) (ev_rate bin_rate) (ev_rate decode_rate)
+      jsonl_bytes bin_bytes ser_speedup n_records (rec_rate md5_rate)
+      (rec_rate crc_rate) wal_speedup
+  in
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench"
+    then Filename.concat "bench" "BENCH_trace.json"
+    else "BENCH_trace.json"
+  in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc json);
+  row "  wrote %s" path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("E19", e19); ("E10", e10) ]
+    ("E18", e18); ("E19", e19); ("E20A", e20a); ("E10", e10) ]
 
 (* No arguments runs every experiment; otherwise each argument names one
    (case-insensitive), e.g. `dune exec bench/main.exe -- E18 E17`. *)

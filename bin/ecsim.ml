@@ -170,6 +170,33 @@ let verbose_arg =
   let doc = "Print the full input/output trace." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Stream the run's event trace to this file ($(b,jsonl) or the framed \
+     binary format; see $(b,--trace-format)).  A binary trace additionally \
+     embeds the run's spec record, so it replays with \
+     $(b,ecsim explore --replay FILE)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Trace file format: $(b,jsonl) (one JSON object per event line) or \
+     $(b,bin) (framed binary, CRC-checksummed).  Defaults by suffix of \
+     $(b,--trace-out): $(b,.bin) means binary, anything else jsonl."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
+(* Suffix detection: [--trace-format] wins when given; otherwise ".bin"
+   selects the binary codec. *)
+let resolve_trace_format ~path = function
+  | Some name ->
+    (match Builder.trace_format_of_name name with
+     | Some f -> Ok f
+     | None -> Error ("unknown trace format " ^ name ^ " (jsonl or bin)"))
+  | None ->
+    Ok (if Filename.check_suffix path ".bin" then Builder.Binary else Builder.Jsonl)
+
 let timeline_arg =
   let doc = "Print an ASCII timeline of the run." in
   Arg.(value & flag & info [ "timeline"; "t" ] ~doc)
@@ -261,15 +288,37 @@ let list_cmd =
 
 let run_cmd =
   let doc = "Run a scenario (or a spec file) and print the delivered sequences and the property report." in
-  let run builder verbose timeline =
+  let run builder verbose timeline trace_out trace_format =
     match builder with
     | Error msg -> `Error (false, msg)
     | Ok b ->
-      ignore (execute_report b ~verbose ~timeline);
-      `Ok ()
+      (match trace_out with
+       | None -> ignore (execute_report b ~verbose ~timeline); `Ok ()
+       | Some path ->
+         (match resolve_trace_format ~path trace_format with
+          | Error msg -> `Error (false, msg)
+          | Ok format ->
+            let b_run = { b with Builder.trace_out = Some (path, format) } in
+            let _, o = execute_report b_run ~verbose ~timeline in
+            (* A binary trace becomes a self-contained replay unit by
+               appending the run's spec record — when the builder is
+               declarative enough to have one. *)
+            (match format with
+             | Builder.Binary ->
+               (try
+                  Builder.append_binary_spec path ~digest:o.Builder.digest
+                    ~violations:o.Builder.violations b
+                with Invalid_argument _ ->
+                  Format.printf
+                    "note: run not serializable; %s has no spec record@." path)
+             | Builder.Jsonl -> ());
+            Format.printf "trace written to %s (%s)@." path
+              (Builder.trace_format_name format);
+            `Ok ()))
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(ret (const run $ builder_term $ verbose_arg $ timeline_arg))
+    Term.(ret (const run $ builder_term $ verbose_arg $ timeline_arg
+               $ trace_out_arg $ trace_format_arg))
 
 (* --- check --- *)
 
@@ -518,7 +567,47 @@ let explore_smoke ~domains ~budget ~seed ~artifacts =
                 o'.Builder.digest s.E.digest)
          else begin
            Format.printf "  spec roundtrip reproduced digest %s@." s.E.digest;
-           Ok ()
+           (* Binary-artifact leg: stream the same finding to a framed
+              binary trace, embed its spec record, and replay from the
+              artifact alone — the digest must survive the format change. *)
+           let bin_path, keep =
+             match artifacts with
+             | Some dir ->
+               mkdirs dir;
+               ( Filename.concat dir ("spec-flow-" ^ name ^ ".trace.bin"),
+                 true )
+             | None -> (Filename.temp_file "ecsim-smoke" ".trace.bin", false)
+           in
+           let ob =
+             Builder.run ~digest:true ~catch:true
+               { b' with Builder.trace_out = Some (bin_path, Builder.Binary) }
+           in
+           Builder.append_binary_spec bin_path ~digest:ob.Builder.digest
+             ~violations:ob.Builder.violations b';
+           if keep then Format.printf "  artifact: %s@." bin_path;
+           let verdict =
+             match Builder.binary_spec bin_path with
+             | Error msg -> Error ("binary artifact: " ^ msg)
+             | Ok text2 ->
+               (match Builder.of_string text2 with
+                | Error msg -> Error ("binary artifact: parse: " ^ msg)
+                | Ok b2 ->
+                  let o2 = Builder.run ~digest:true ~catch:true b2 in
+                  if o2.Builder.violations = [] then
+                    Error "binary artifact: replay lost the violation"
+                  else if o2.Builder.digest <> s.E.digest then
+                    Error
+                      (Printf.sprintf
+                         "binary artifact: digest mismatch (%s vs %s)"
+                         o2.Builder.digest s.E.digest)
+                  else begin
+                    Format.printf
+                      "  binary artifact reproduced digest %s@." s.E.digest;
+                    Ok ()
+                  end)
+           in
+           if not keep then (try Sys.remove bin_path with Sys_error _ -> ());
+           verdict
          end)
   in
   let rec all = function
@@ -571,43 +660,56 @@ let explore_smoke ~domains ~budget ~seed ~artifacts =
   print_endline "SMOKE PASSED";
   Ok ()
 
-(* Replay a finding file of either format.  Legacy repro files go through
-   [Explore.Repro.replay] (which re-derives the target); spec files parse
-   to a builder, re-run, and must reproduce the recorded digest and (when
-   the file records violations) some violation. *)
+(* Replay a finding file of any of the three formats.  Legacy repro files
+   go through [Explore.Repro.replay] (which re-derives the target); spec
+   files parse to a builder, re-run, and must reproduce the recorded
+   digest and (when the file records violations) some violation; binary
+   trace artifacts carry their spec text in an embedded record and replay
+   through the same spec path. *)
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let replay_spec_content content =
+  match Builder.of_string content with
+  | Error msg -> `Error (false, "spec parse: " ^ msg)
+  | Ok b ->
+    let o = Builder.run ~digest:true ~catch:true b in
+    List.iter (fun v -> Format.printf "  violation: %s@." v) o.Builder.violations;
+    Format.printf "trace digest %s@." o.Builder.digest;
+    let expects_violation =
+      List.exists
+        (fun l -> String.length (String.trim l) > 10
+                  && String.sub (String.trim l) 0 10 = "violation ")
+        (String.split_on_char '\n' content)
+    in
+    (match Builder.recorded_digest content with
+     | Some d when d <> o.Builder.digest ->
+       `Error
+         ( false,
+           Printf.sprintf "digest mismatch: recorded %s, got %s" d
+             o.Builder.digest )
+     | _ ->
+       if expects_violation && o.Builder.violations = [] then
+         `Error (false, "recorded violation did not reproduce")
+       else begin
+         print_endline "REPLAY REPRODUCED";
+         `Ok ()
+       end)
+
 let replay_file path =
-  match In_channel.with_open_text path In_channel.input_all with
+  match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error msg -> `Error (false, msg)
   | content ->
-    if
-      String.length content >= String.length Builder.header
-      && String.sub content 0 (String.length Builder.header) = Builder.header
-    then
-      match Builder.of_string content with
-      | Error msg -> `Error (false, "spec parse: " ^ msg)
-      | Ok b ->
-        let o = Builder.run ~digest:true ~catch:true b in
-        List.iter (fun v -> Format.printf "  violation: %s@." v) o.Builder.violations;
-        Format.printf "trace digest %s@." o.Builder.digest;
-        let expects_violation =
-          List.exists
-            (fun l -> String.length (String.trim l) > 10
-                      && String.sub (String.trim l) 0 10 = "violation ")
-            (String.split_on_char '\n' content)
-        in
-        (match Builder.recorded_digest content with
-         | Some d when d <> o.Builder.digest ->
-           `Error
-             ( false,
-               Printf.sprintf "digest mismatch: recorded %s, got %s" d
-                 o.Builder.digest )
-         | _ ->
-           if expects_violation && o.Builder.violations = [] then
-             `Error (false, "recorded violation did not reproduce")
-           else begin
-             print_endline "REPLAY REPRODUCED";
-             `Ok ()
-           end)
+    if starts_with ~prefix:"ECTRACE" content then
+      (* A framed binary trace: replay the spec text it embeds. *)
+      (match Builder.binary_spec path with
+       | Error msg -> `Error (false, "binary trace: " ^ msg)
+       | Ok text ->
+         Format.printf "replaying embedded spec of %s@." path;
+         replay_spec_content text)
+    else if starts_with ~prefix:Builder.header content then
+      replay_spec_content content
     else
       (match Explore.Repro.read path with
        | Error msg -> `Error (false, "repro parse: " ^ msg)
@@ -684,12 +786,16 @@ let explore_cmd =
   let out_arg =
     let doc =
       "Write the (shrunk) finding to this file: builder-spec format for a \
-       $(b,.spec) suffix, legacy repro format otherwise."
+       $(b,.spec) suffix, a framed binary trace (events plus embedded \
+       spec record) for a $(b,.bin) suffix, legacy repro format otherwise."
     in
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
   let replay_arg =
-    let doc = "Replay a repro or spec file instead of exploring." in
+    let doc =
+      "Replay a repro, spec or binary trace file (format auto-detected) \
+       instead of exploring."
+    in
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
   in
   let smoke_arg =
@@ -823,6 +929,18 @@ let explore_cmd =
                    Builder.write path ~digest:s.E.digest
                      ~violations:s.E.violations
                      (E.builder_of target ~seed:s.E.seed s.E.plan)
+                 else if Filename.check_suffix path ".bin" then begin
+                   (* Binary trace artifact: re-run the shrunk finding
+                      streaming its events, then embed the spec record so
+                      the file replays on its own. *)
+                   let b = E.builder_of target ~seed:s.E.seed s.E.plan in
+                   let o =
+                     Builder.run ~digest:true ~catch:true
+                       { b with Builder.trace_out = Some (path, Builder.Binary) }
+                   in
+                   Builder.append_binary_spec path ~digest:o.Builder.digest
+                     ~violations:s.E.violations b
+                 end
                  else
                    Explore.Repro.write path (Explore.Repro.of_outcome target s));
                 Format.printf "finding written to %s@." path

@@ -57,6 +57,14 @@ type tau_policy = Tau_auto | Tau_fixed of int
 type watchdog_policy = Wd_auto | Wd_fixed of { settle : time; bound : int }
 type checker = Etob_spec of tau_policy | Watchdog of watchdog_policy
 type boost = Drop_boost_while_partitioned of { factor : int }
+type trace_format = Jsonl | Binary
+
+let trace_format_name = function Jsonl -> "jsonl" | Binary -> "bin"
+
+let trace_format_of_name = function
+  | "jsonl" -> Some Jsonl
+  | "bin" -> Some Binary
+  | _ -> None
 
 type t = {
   base : base;
@@ -75,6 +83,7 @@ type t = {
   commits : bool option;
   stores : Persist.Store.t array option;
   sink : Sink.t option;
+  trace_out : (string * trace_format) option;
   propose : (proc_id -> instance:int -> Value.t) option;
   max_instance : int;
 }
@@ -97,6 +106,7 @@ let create ?(seed = 42) ?(timer_period = 2) ?(delay = Constant 1) ~n ~deadline
     commits = None;
     stores = None;
     sink = None;
+    trace_out = None;
     propose = None;
     max_instance = 0 }
 
@@ -381,7 +391,11 @@ type outcome = {
 let propose_of t = Option.value t.propose ~default:default_propose
 
 let run ?(digest = false) ?(catch = false) t =
-  let attempt () =
+  let orig = t in
+  (* [attempt t capture] runs the (possibly sink-augmented) builder [t];
+     when a [capture] trace is teed in through the sink, it supersedes the
+     engine's own (then empty) trace for checkers and digests. *)
+  let attempt t capture () =
     let setup = setup_of t in
     let inputs = inputs t in
     let trace, handles =
@@ -436,6 +450,7 @@ let run ?(digest = false) ?(catch = false) t =
             ~max_instance:t.max_instance,
           No_handles )
     in
+    let trace = match capture with Some c -> c | None -> trace in
     let report, violations =
       if t.checkers = [] then (None, [])
       else begin
@@ -468,16 +483,40 @@ let run ?(digest = false) ?(catch = false) t =
         Digest.to_hex (Digest.string (Format.asprintf "%a" Trace.pp trace))
       else ""
     in
-    { builder = t;
+    { builder = orig;
       trace = Some trace;
       report;
       violations;
       digest = dg;
       handles }
   in
-  if not catch then attempt ()
+  (* The trace-file escape hatch: tee a file sink (and the caller's own
+     sink, if any) with a capturing recorder, so the outcome still carries
+     the full trace for checkers and digests. *)
+  let go () =
+    match t.trace_out with
+    | None -> attempt t None ()
+    | Some (path, format) ->
+      let capture = Trace.create ~n:(n_of t) in
+      let with_file =
+        match format with
+        | Jsonl -> Sink.with_jsonl path
+        | Binary -> Sink.with_binary path
+      in
+      with_file (fun file_sink ->
+          let sink = Sink.tee (Sink.recorder capture) file_sink in
+          let sink =
+            match t.sink with
+            | None -> sink
+            | Some user -> Sink.tee sink user
+          in
+          attempt
+            { t with trace_out = None; sink = Some sink }
+            (Some capture) ())
+  in
+  if not catch then go ()
   else
-    match attempt () with
+    match go () with
     | o -> o
     | exception e ->
       (* A raising run is a finding, not an infrastructure error: mutants
@@ -724,8 +763,8 @@ let to_lines ?digest ?(violations = []) t =
    | None, None, None -> ()
    | _ ->
      invalid_arg "Builder.to_lines: config escape hatches are not serializable");
-  (match (t.stores, t.sink, t.propose) with
-   | None, None, None -> ()
+  (match (t.stores, t.sink, t.propose, t.trace_out) with
+   | None, None, None, None -> ()
    | _ ->
      invalid_arg "Builder.to_lines: handle escape hatches are not serializable");
   [ header;
@@ -1152,6 +1191,34 @@ let read path =
   match In_channel.with_open_text path In_channel.input_all with
   | s -> of_string s
   | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Binary trace artifacts                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A binary trace artifact is a self-contained replay unit: the event
+   stream written by [trace_out], followed by one appended spec record
+   carrying the run's spec text (with digest and violations).  Appending
+   is legal in the frame format — readers take the last spec record — so
+   the spec, known only after the run, never has to be seeked in. *)
+
+let append_binary_spec path ?digest ?violations t =
+  let text = to_string ?digest ?violations t in
+  let oc = Out_channel.open_gen [ Open_append; Open_binary ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> Out_channel.close_noerr oc)
+    (fun () -> Out_channel.output_string oc (Persist.Frame.spec_record text))
+
+let binary_spec path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+    (match Persist.Frame.decode contents with
+     | Error e -> Error (Format.asprintf "%s: %a" path Persist.Frame.pp_error e)
+     | Ok items ->
+       (match Persist.Frame.spec items with
+        | Some text -> Ok text
+        | None -> Error (path ^ ": binary trace carries no spec record")))
 
 (* ------------------------------------------------------------------ *)
 (* QCheck generators                                                   *)

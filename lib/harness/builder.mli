@@ -89,6 +89,15 @@ type boost =
           (capped at 100): drop windows are split at partition boundaries
           and each segment gets its effective rate. *)
 
+(** On-disk trace formats: jsonl ([Sink.jsonl], one JSON object per line)
+    or the framed binary codec ([Sink.binary] over [Persist.Frame]). *)
+type trace_format = Jsonl | Binary
+
+val trace_format_name : trace_format -> string
+(** "jsonl" / "bin" — the [--trace-format] vocabulary. *)
+
+val trace_format_of_name : string -> trace_format option
+
 type t = {
   base : base;
   stack : stack;
@@ -109,6 +118,10 @@ type t = {
   commits : bool option;  (** Recoverable commit-prefix toggle *)
   stores : Persist.Store.t array option;
   sink : Sink.t option;
+  trace_out : (string * trace_format) option;
+      (** stream the run's events to a trace file (path, format); the
+          outcome still carries the full trace (a capturing recorder is
+          teed in), so checkers and digests are unaffected *)
   propose : (proc_id -> instance:int -> Value.t) option;
       (** EC-stack proposer; [None] = {!default_propose} *)
   max_instance : int;  (** EC-stack instance horizon (0 = drive nothing) *)
@@ -266,6 +279,23 @@ val recorded_digest : string -> string option
 
 val write : string -> ?digest:string -> ?violations:string list -> t -> unit
 val read : string -> (t, string) result
+
+(** {2 Binary trace artifacts}
+
+    A [.trace.bin] artifact written through [trace_out] plus
+    {!append_binary_spec} is a self-contained replay unit: the framed
+    event stream followed by a spec record carrying the run's spec text
+    (digest and violations included). *)
+
+val append_binary_spec :
+  string -> ?digest:string -> ?violations:string list -> t -> unit
+(** Append one spec record with {!to_string}'s text to an existing binary
+    trace file.  Raises [Invalid_argument] like {!to_lines} if the
+    builder is not serializable. *)
+
+val binary_spec : string -> (string, string) result
+(** Read a binary trace file and return its embedded spec text (the last
+    spec record), ready for {!of_string} / {!recorded_digest}. *)
 
 (** {2 QCheck generators}
 

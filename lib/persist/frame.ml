@@ -1,0 +1,327 @@
+(* Versioned framed binary codec for trace files and WAL records.
+
+   One wire shape serves both consumers: a *frame* is
+
+     [u32le payload length][u32le CRC-32 of payload][payload bytes]
+
+   and a *trace file* is an 8-byte header ("ECTRACE" + version byte)
+   followed by a sequence of frames.  Each trace-file payload starts with
+   a one-byte record tag: 'E' for an engine event (binary-encoded, LEB128
+   varints), 'S' for an embedded spec text (the builder spec of the run
+   that produced the file, so a `.trace.bin` artifact is replayable on its
+   own).  WAL records ([Store]) reuse the bare frame without the file
+   header: the store checksums each record by framing it.
+
+   The CRC is the usual reflected CRC-32 (polynomial 0xEDB88320, init and
+   final xor 0xFFFFFFFF) — the zlib/IEEE 802.3 checksum — computed
+   incrementally over the payload as it is appended, one table lookup per
+   byte, on plain OCaml ints (the value fits 32 bits, far inside the
+   native 63).  Decoding never raises on malformed input: every reader
+   returns a [result] whose error carries the byte position where parsing
+   stopped and a human-readable reason, so torn or damaged files are
+   diagnosed, not crashed on. *)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  let t = Array.make 256 0 in
+  for i = 0 to 255 do
+    let c = ref i in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(i) <- !c
+  done;
+  t
+
+let crc32_init = 0xffffffff
+
+let crc32_feed crc s =
+  let c = ref crc in
+  for i = 0 to String.length s - 1 do
+    c :=
+      Array.unsafe_get crc_table
+        ((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+      lxor (!c lsr 8)
+  done;
+  !c
+
+let crc32_finish crc = crc lxor 0xffffffff
+let crc32 s = crc32_finish (crc32_feed crc32_init s)
+
+(* ------------------------------------------------------------------ *)
+(* Positioned decode errors                                            *)
+(* ------------------------------------------------------------------ *)
+
+type error = { pos : int; reason : string }
+
+let pp_error ppf e = Fmt.pf ppf "byte %d: %s" e.pos e.reason
+let errorf pos fmt = Printf.ksprintf (fun reason -> Error { pos; reason }) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Primitive writers/readers                                           *)
+(* ------------------------------------------------------------------ *)
+
+let add_u32 b v =
+  Buffer.add_char b (Char.chr (v land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+(* Unsigned LEB128: 7 bits per byte, low bits first, high bit = more. *)
+let add_varint b v =
+  if v < 0 then invalid_arg "Frame.add_varint: negative";
+  let rec go v =
+    if v < 0x80 then Buffer.add_char b (Char.chr v)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let read_varint s pos =
+  let len = String.length s in
+  let rec go acc shift p =
+    if p >= len then errorf pos "truncated varint"
+    else if shift > 56 then errorf pos "varint overflow"
+    else begin
+      let c = Char.code s.[p] in
+      let acc = acc lor ((c land 0x7f) lsl shift) in
+      if c < 0x80 then Ok (acc, p + 1) else go acc (shift + 7) (p + 1)
+    end
+  in
+  go 0 0 pos
+
+let add_lstring b s =
+  add_varint b (String.length s);
+  Buffer.add_string b s
+
+let read_lstring s pos =
+  match read_varint s pos with
+  | Error _ as e -> e
+  | Ok (n, p) ->
+    if p + n > String.length s then errorf pos "truncated string (need %d bytes)" n
+    else Ok (String.sub s p n, p + n)
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let add_frame b payload =
+  add_u32 b (String.length payload);
+  add_u32 b (crc32 payload);
+  Buffer.add_string b payload
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 8) in
+  add_frame b payload;
+  Buffer.contents b
+
+let read_frame s pos =
+  let len = String.length s in
+  if pos + 8 > len then
+    errorf pos "truncated frame header (%d of 8 bytes)" (len - pos)
+  else begin
+    let n = get_u32 s pos in
+    let crc = get_u32 s (pos + 4) in
+    if pos + 8 + n > len then
+      errorf pos "truncated frame payload (%d of %d bytes)" (len - pos - 8) n
+    else begin
+      let payload = String.sub s (pos + 8) n in
+      if crc32 payload <> crc then errorf pos "frame checksum mismatch"
+      else Ok (payload, pos + 8 + n)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type event =
+  | Input of { t : int; proc : int; v : string }
+  | Output of { t : int; proc : int; v : string }
+  | Send of { t : int; src : int; dst : int; uid : int }
+  | Deliver of { t : int; src : int; dst : int; uid : int; lat : int }
+  | Drop of { t : int; src : int; dst : int; uid : int }
+  | Crash of { t : int; proc : int }
+  | Recover of { t : int; proc : int }
+
+let tag_spec = 'S'
+let tag_event = 'E'
+
+let event_payload ev =
+  let b = Buffer.create 32 in
+  Buffer.add_char b tag_event;
+  (match ev with
+   | Input { t; proc; v } ->
+     Buffer.add_char b '\x00'; add_varint b t; add_varint b proc; add_lstring b v
+   | Output { t; proc; v } ->
+     Buffer.add_char b '\x01'; add_varint b t; add_varint b proc; add_lstring b v
+   | Send { t; src; dst; uid } ->
+     Buffer.add_char b '\x02'; add_varint b t; add_varint b src;
+     add_varint b dst; add_varint b uid
+   | Deliver { t; src; dst; uid; lat } ->
+     Buffer.add_char b '\x03'; add_varint b t; add_varint b src;
+     add_varint b dst; add_varint b uid; add_varint b lat
+   | Drop { t; src; dst; uid } ->
+     Buffer.add_char b '\x04'; add_varint b t; add_varint b src;
+     add_varint b dst; add_varint b uid
+   | Crash { t; proc } ->
+     Buffer.add_char b '\x05'; add_varint b t; add_varint b proc
+   | Recover { t; proc } ->
+     Buffer.add_char b '\x06'; add_varint b t; add_varint b proc);
+  Buffer.contents b
+
+(* [at] is the file position of the enclosing frame, used for error
+   reporting; [payload] starts at the record tag. *)
+let decode_event ~at payload =
+  let ( let* ) r k = match r with Error _ as e -> e | Ok v -> k v in
+  let fin pos ev =
+    if pos = String.length payload then Ok ev
+    else errorf at "trailing bytes after event"
+  in
+  if String.length payload < 2 then errorf at "event record too short"
+  else
+    let* () =
+      if payload.[0] = tag_event then Ok ()
+      else errorf at "not an event record"
+    in
+    let p = 2 in
+    match payload.[1] with
+    | '\x00' | '\x01' ->
+      let* t, p = read_varint payload p in
+      let* proc, p = read_varint payload p in
+      let* v, p = read_lstring payload p in
+      fin p
+        (if payload.[1] = '\x00' then Input { t; proc; v }
+         else Output { t; proc; v })
+    | '\x02' | '\x04' ->
+      let* t, p = read_varint payload p in
+      let* src, p = read_varint payload p in
+      let* dst, p = read_varint payload p in
+      let* uid, p = read_varint payload p in
+      fin p
+        (if payload.[1] = '\x02' then Send { t; src; dst; uid }
+         else Drop { t; src; dst; uid })
+    | '\x03' ->
+      let* t, p = read_varint payload p in
+      let* src, p = read_varint payload p in
+      let* dst, p = read_varint payload p in
+      let* uid, p = read_varint payload p in
+      let* lat, p = read_varint payload p in
+      fin p (Deliver { t; src; dst; uid; lat })
+    | '\x05' ->
+      let* t, p = read_varint payload p in
+      let* proc, p = read_varint payload p in
+      fin p (Crash { t; proc })
+    | '\x06' ->
+      let* t, p = read_varint payload p in
+      let* proc, p = read_varint payload p in
+      fin p (Recover { t; proc })
+    | c -> errorf at "unknown event kind 0x%02x" (Char.code c)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+       match ch with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let event_to_jsonl = function
+  | Input { t; proc; v } ->
+    Printf.sprintf {|{"ev":"input","t":%d,"proc":%d,"v":"%s"}|} t proc
+      (json_escape v)
+  | Output { t; proc; v } ->
+    Printf.sprintf {|{"ev":"output","t":%d,"proc":%d,"v":"%s"}|} t proc
+      (json_escape v)
+  | Send { t; src; dst; uid } ->
+    Printf.sprintf {|{"ev":"send","t":%d,"src":%d,"dst":%d,"uid":%d}|} t src
+      dst uid
+  | Deliver { t; src; dst; uid; lat } ->
+    Printf.sprintf {|{"ev":"deliver","t":%d,"src":%d,"dst":%d,"uid":%d,"lat":%d}|}
+      t src dst uid lat
+  | Drop { t; src; dst; uid } ->
+    Printf.sprintf {|{"ev":"drop","t":%d,"src":%d,"dst":%d,"uid":%d}|} t src
+      dst uid
+  | Crash { t; proc } ->
+    Printf.sprintf {|{"ev":"crash","t":%d,"proc":%d}|} t proc
+  | Recover { t; proc } ->
+    Printf.sprintf {|{"ev":"recover","t":%d,"proc":%d}|} t proc
+
+(* ------------------------------------------------------------------ *)
+(* Trace files                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "ECTRACE"
+let version = 1
+let header = magic ^ String.make 1 (Char.chr version)
+
+type item = Spec of string | Event of event
+
+let event_record ev = frame (event_payload ev)
+let spec_record text = frame (String.make 1 tag_spec ^ text)
+
+let item_of_payload ~at payload =
+  if String.length payload = 0 then errorf at "empty record"
+  else if payload.[0] = tag_spec then
+    Ok (Spec (String.sub payload 1 (String.length payload - 1)))
+  else if payload.[0] = tag_event then
+    match decode_event ~at payload with
+    | Ok ev -> Ok (Event ev)
+    | Error _ as e -> e
+  else errorf at "unknown record tag %C" payload.[0]
+
+let decode s =
+  let len = String.length s in
+  if len < 8 then errorf 0 "truncated header (%d of 8 bytes)" len
+  else if not (String.equal (String.sub s 0 7) magic) then
+    errorf 0 "bad magic (not a binary trace file)"
+  else if Char.code s.[7] <> version then
+    errorf 7 "unsupported format version %d (expected %d)" (Char.code s.[7])
+      version
+  else begin
+    let rec go acc pos =
+      if pos = len then Ok (List.rev acc)
+      else
+        match read_frame s pos with
+        | Error _ as e -> e
+        | Ok (payload, next) ->
+          (match item_of_payload ~at:pos payload with
+           | Error _ as e -> e
+           | Ok item -> go (item :: acc) next)
+    in
+    go [] 8
+  end
+
+let events items =
+  List.filter_map (function Event ev -> Some ev | Spec _ -> None) items
+
+let spec items =
+  (* The last spec record wins: artifact writers append it after the
+     event stream, and appending a fresh one supersedes the old. *)
+  List.fold_left
+    (fun acc -> function Spec s -> Some s | Event _ -> acc)
+    None items
+
+let to_jsonl items = List.map event_to_jsonl (events items)

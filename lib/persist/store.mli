@@ -11,9 +11,22 @@
     the dirty tail, which injected disk faults can tear, lose or corrupt;
     every record carries a checksum verified on {!open_}, and replay stops
     at the first record that fails verification.  {!install_snapshot}
-    models write-then-rename: atomic, durable, truncates the log. *)
+    models write-then-rename: atomic, durable, truncates the log; the
+    snapshot is checksummed like any record and verified on every open.
+
+    Records are checksummed with one of two schemes: the default
+    {!Crc32}, which stores each record as its [Frame.frame] encoding
+    ([len][crc32][payload], incremental CRC, no hashing allocation), or
+    the legacy {!Md5} kept so benchmarks can measure old-vs-new.  Both
+    expose identical decoded-level fault semantics. *)
 
 type t
+
+type checksum = Md5 | Crc32
+
+val checksum_name : checksum -> string
+
+val checksum : t -> checksum
 
 type fault =
   | Torn_tail  (** the newest dirty record was half-written at the crash *)
@@ -29,8 +42,9 @@ val fault_to_string : fault -> string
 val fault_of_string : string -> fault option
 val pp_fault : Format.formatter -> fault -> unit
 
-val create : unit -> t
-(** An empty store: no snapshot, empty log, nothing armed. *)
+val create : ?checksum:checksum -> unit -> t
+(** An empty store: no snapshot, empty log, nothing armed.  [checksum]
+    defaults to {!Crc32}. *)
 
 val pool : n:int -> t array
 (** One store per process. *)

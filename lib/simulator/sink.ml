@@ -151,20 +151,7 @@ let pp_latency_summary ppf s =
 (* JSONL streaming sink                                                *)
 (* ------------------------------------------------------------------ *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun ch ->
-       match ch with
-       | '"' -> Buffer.add_string b "\\\""
-       | '\\' -> Buffer.add_string b "\\\\"
-       | '\n' -> Buffer.add_string b "\\n"
-       | '\t' -> Buffer.add_string b "\\t"
-       | c when Char.code c < 0x20 ->
-         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Persist.Frame.json_escape
 
 (* One JSON object per event line.  Message payloads stay opaque to the
    simulator, so envelopes are identified by (uid, src, dst, times); inputs
@@ -204,3 +191,49 @@ let with_jsonl path f =
        f (jsonl ~emit:(fun s ->
            Out_channel.output_string oc s;
            Out_channel.output_char oc '\n')))
+
+(* ------------------------------------------------------------------ *)
+(* Binary framed sink                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The binary counterpart of [jsonl]: the same event vocabulary encoded
+   as [Persist.Frame] event records (one framed record per [emit] call,
+   no separators).  Inputs and outputs are rendered through the same
+   registered printers, so decoding a binary stream and exporting it with
+   [Frame.to_jsonl] reproduces the jsonl stream byte for byte — the
+   differential test battery holds the two formats to that contract. *)
+let binary ~emit =
+  let ev e = emit (Persist.Frame.event_record e) in
+  { on_input = (fun ~at ~proc i ->
+        ev (Persist.Frame.Input
+              { t = at; proc; v = Format.asprintf "%a" Io.pp_input i }));
+    on_output = (fun ~at ~proc o ->
+        ev (Persist.Frame.Output
+              { t = at; proc; v = Format.asprintf "%a" Io.pp_output o }));
+    on_send = (fun env ->
+        ev (Persist.Frame.Send
+              { t = env.Msg.sent_at; src = env.Msg.src; dst = env.Msg.dst;
+                uid = env.Msg.uid }));
+    on_deliver = (fun ~at env ->
+        ev (Persist.Frame.Deliver
+              { t = at; src = env.Msg.src; dst = env.Msg.dst;
+                uid = env.Msg.uid; lat = at - env.Msg.sent_at }));
+    on_drop = (fun ~at env ->
+        ev (Persist.Frame.Drop
+              { t = at; src = env.Msg.src; dst = env.Msg.dst;
+                uid = env.Msg.uid }));
+    on_step = (fun ~at:_ ~proc:_ -> ());
+    on_crash = (fun ~at ~proc -> ev (Persist.Frame.Crash { t = at; proc }));
+    on_recover = (fun ~at ~proc -> ev (Persist.Frame.Recover { t = at; proc })) }
+
+(* File-backed binary sink: writes the format header, then one framed
+   record per event; bracket-style like [with_jsonl]. *)
+let with_binary path f =
+  let oc = Out_channel.open_bin path in
+  Fun.protect
+    ~finally:(fun () ->
+        (try Out_channel.flush oc with Sys_error _ -> ());
+        Out_channel.close_noerr oc)
+    (fun () ->
+       Out_channel.output_string oc Persist.Frame.header;
+       f (binary ~emit:(fun s -> Out_channel.output_string oc s)))

@@ -75,3 +75,17 @@ val with_jsonl : string -> (t -> 'a) -> 'a
 (** [with_jsonl path f] opens [path], passes [f] a {!jsonl} sink writing
     one event per line, and flushes and closes the channel whether [f]
     returns or raises (bracket style). *)
+
+(** {2 Binary framed sink} *)
+
+val binary : emit:(string -> unit) -> t
+(** The binary counterpart of {!jsonl}: one [Persist.Frame] event record
+    (framed, CRC-checksummed bytes) per event, passed to [emit].  The
+    caller owns the file header ({!Persist.Frame.header}); decoding the
+    stream and exporting with [Persist.Frame.to_jsonl] reproduces the
+    {!jsonl} stream byte for byte. *)
+
+val with_binary : string -> (t -> 'a) -> 'a
+(** [with_binary path f] opens [path] in binary mode, writes the format
+    header, passes [f] a {!binary} sink, and flushes and closes the
+    channel whether [f] returns or raises (bracket style). *)

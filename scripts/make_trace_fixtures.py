@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Regenerate the committed binary-trace fixture corpus (test/fixtures/).
+
+This is a second, independent implementation of the v1 wire format of
+lib/persist/frame.ml — a frame is [u32le len][u32le crc32(payload)][payload],
+a trace file is the 8-byte "ECTRACE"+version header followed by frames whose
+payloads start with 'E' (event, LEB128 varints) or 'S' (spec text).  The
+fixtures both pin the format against accidental drift and cross-validate the
+OCaml codec against zlib's CRC-32.
+
+Run from the repo root:  python3 scripts/make_trace_fixtures.py
+"""
+
+import os
+import zlib
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "..", "test", "fixtures")
+
+MAGIC = b"ECTRACE"
+VERSION = 1
+
+
+def varint(v: int) -> bytes:
+    assert v >= 0
+    out = bytearray()
+    while True:
+        if v < 0x80:
+            out.append(v)
+            return bytes(out)
+        out.append(0x80 | (v & 0x7F))
+        v >>= 7
+
+
+def lstring(s: bytes) -> bytes:
+    return varint(len(s)) + s
+
+
+def frame(payload: bytes) -> bytes:
+    return (
+        len(payload).to_bytes(4, "little")
+        + zlib.crc32(payload).to_bytes(4, "little")
+        + payload
+    )
+
+
+def ev_input(t, proc, v):
+    return frame(b"E\x00" + varint(t) + varint(proc) + lstring(v))
+
+
+def ev_send(t, src, dst, uid):
+    return frame(b"E\x02" + varint(t) + varint(src) + varint(dst) + varint(uid))
+
+
+def ev_deliver(t, src, dst, uid, lat):
+    return frame(
+        b"E\x03" + varint(t) + varint(src) + varint(dst) + varint(uid) + varint(lat)
+    )
+
+
+def ev_crash(t, proc):
+    return frame(b"E\x05" + varint(t) + varint(proc))
+
+
+def spec(text: bytes) -> bytes:
+    return frame(b"S" + text)
+
+
+def header(version=VERSION) -> bytes:
+    return MAGIC + bytes([version])
+
+
+def write(name: str, data: bytes):
+    path = os.path.join(FIXTURES, name)
+    with open(path, "wb") as f:
+        f.write(data)
+    print(f"wrote {name}: {len(data)} bytes")
+
+
+def main():
+    frames = [
+        ev_input(5, 1, b'post "a"\n'),
+        ev_send(6, 1, 2, 300),
+        ev_deliver(9, 1, 2, 300, 3),
+        ev_crash(20, 0),
+        spec(b"ecsim-spec v1\nfixture\n"),
+    ]
+    ok = header() + b"".join(frames)
+
+    # Frame start offsets, for the pinned error positions of test_frame.ml.
+    pos = 8
+    for i, fr in enumerate(frames):
+        print(f"frame {i} at byte {pos} ({len(fr)} bytes)")
+        pos += len(fr)
+
+    write("trace_v1_ok.bin", ok)
+
+    # Torn tail: the last frame (the spec record) cut off mid-payload.
+    write("trace_torn_tail.bin", ok[: len(ok) - len(frames[-1]) + 8 + 5])
+
+    # Corrupt CRC: one payload byte of the send record damaged on disk.
+    send_at = 8 + len(frames[0])
+    bad = bytearray(ok)
+    bad[send_at + 8 + 2] ^= 0x5A
+    write("trace_bad_crc.bin", bytes(bad))
+
+    # Unknown version: a future format version this decoder must refuse.
+    write("trace_bad_version.bin", header(version=2) + frames[0])
+
+
+if __name__ == "__main__":
+    main()

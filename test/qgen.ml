@@ -73,3 +73,79 @@ let delay_bounds_arb =
     ~print:QCheck.Print.(pair int int)
     ~shrink:QCheck.Shrink.(pair nil nil)
     delay_bounds_gen
+
+(* ------------------------------------------------------------------ *)
+(* Binary trace records (Persist.Frame) and WAL payloads               *)
+(* ------------------------------------------------------------------ *)
+
+module Frame = Persist.Frame
+
+(* Rendered values cover the whole byte range — JSON metacharacters,
+   control characters, NUL, high bytes — so roundtrips exercise every
+   encoder path, and times/uids reach multi-byte varint territory. *)
+let frame_string_gen =
+  let open QCheck.Gen in
+  string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 24)
+
+let frame_event_gen =
+  let open QCheck.Gen in
+  let t = int_range 0 1_000_000 in
+  let proc = int_range 0 15 in
+  let uid = int_range 0 10_000_000 in
+  oneof
+    [ (let* t = t in
+       let* proc = proc in
+       let* v = frame_string_gen in
+       return (Frame.Input { t; proc; v }));
+      (let* t = t in
+       let* proc = proc in
+       let* v = frame_string_gen in
+       return (Frame.Output { t; proc; v }));
+      (let* t = t in
+       let* src = proc in
+       let* dst = proc in
+       let* uid = uid in
+       return (Frame.Send { t; src; dst; uid }));
+      (let* t = t in
+       let* src = proc in
+       let* dst = proc in
+       let* uid = uid in
+       let* lat = int_range 0 1_000 in
+       return (Frame.Deliver { t; src; dst; uid; lat }));
+      (let* t = t in
+       let* src = proc in
+       let* dst = proc in
+       let* uid = uid in
+       return (Frame.Drop { t; src; dst; uid }));
+      (let* t = t in
+       let* proc = proc in
+       return (Frame.Crash { t; proc }));
+      (let* t = t in
+       let* proc = proc in
+       return (Frame.Recover { t; proc })) ]
+
+let frame_events_gen =
+  QCheck.Gen.(list_size (int_range 0 40) frame_event_gen)
+
+let frame_events_arb =
+  QCheck.make
+    ~print:(fun evs ->
+        String.concat "\n" (List.map Frame.event_to_jsonl evs))
+    ~shrink:QCheck.Shrink.list frame_events_gen
+
+(* WAL payloads in the shape protocols actually log (short text records,
+   see lib/core/recoverable.ml) but over arbitrary bytes.  Non-empty:
+   protocols never append the empty record, and the documented Md5/Crc32
+   behavioural corner is exactly the torn empty record (Store.mli). *)
+let wal_payload_gen =
+  QCheck.Gen.(
+    string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 1 60))
+
+let wal_payloads_gen =
+  QCheck.Gen.(list_size (int_range 1 24) wal_payload_gen)
+
+let wal_payloads_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list string)
+    ~shrink:QCheck.Shrink.(list ~shrink:string)
+    wal_payloads_gen

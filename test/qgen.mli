@@ -80,3 +80,24 @@ val partition_recovery_plan_arb :
 
 val delay_bounds_gen : (int * int) QCheck.Gen.t
 val delay_bounds_arb : (int * int) QCheck.arbitrary
+
+(** {1 Binary trace records and WAL payloads} *)
+
+(** Strings over the whole byte range (JSON metacharacters, control
+    characters, NUL, high bytes), up to 24 bytes. *)
+val frame_string_gen : string QCheck.Gen.t
+
+(** One [Persist.Frame] trace event, any constructor, with fields wide
+    enough to reach multi-byte varint encodings. *)
+val frame_event_gen : Persist.Frame.event QCheck.Gen.t
+
+val frame_events_gen : Persist.Frame.event list QCheck.Gen.t
+val frame_events_arb : Persist.Frame.event list QCheck.arbitrary
+
+(** Non-empty WAL payloads over arbitrary bytes, in the size range
+    protocols actually log (1-60 bytes; the empty record is excluded —
+    see the documented torn-empty corner in [Persist.Store]). *)
+val wal_payload_gen : string QCheck.Gen.t
+
+val wal_payloads_gen : string list QCheck.Gen.t
+val wal_payloads_arb : string list QCheck.arbitrary
