@@ -33,16 +33,19 @@ lint:
 smoke:
 	dune exec bin/ecsim.exe -- explore --smoke --plans 500 -j 2 --artifacts _artifacts/smoke
 
-# Long-budget liveness soak: the partition-hardened stack (anti-entropy
-# digests under the convergence watchdog) explored far past the CI
-# budget, with and without crash-recovery adversities in the mix.  Any
-# finding is shrunk and written as a repro under _artifacts/soak/.
+# Long-budget crash-safe soak campaign (DESIGN.md §15): the
+# partition-hardened legs (anti-entropy digests under the convergence
+# watchdog, with and without crash-recovery adversities) explored far
+# past the CI budget.  Every run is guarded by an event budget and a
+# monotonic wall-clock deadline (stuck runs poison their seed instead
+# of hanging the campaign), findings are quarantined and auto-shrunk to
+# replayable .spec repros, and campaign state is journaled through the
+# framed CRC32 codec — interrupt it (Ctrl-C, SIGKILL, power loss) and
+# `dune exec bin/ecsim.exe -- soak --resume _artifacts/soak/campaign.journal`
+# continues deterministically.
 soak:
-	mkdir -p _artifacts/soak
-	dune exec bin/ecsim.exe -- explore --ae --watchdog --plans 5000 -j 4 \
-	  -o _artifacts/soak/ae-watchdog.repro
-	dune exec bin/ecsim.exe -- explore --ae --watchdog --recovery --plans 5000 -j 4 \
-	  -o _artifacts/soak/ae-watchdog-recovery.repro
+	dune exec bin/ecsim.exe -- soak --budget 5000 -j 4 \
+	  --artifacts _artifacts/soak
 
 # Requires ocamlformat (version pinned in .ocamlformat); a no-op check
 # elsewhere so environments without the formatter can still run `make check`.

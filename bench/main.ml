@@ -1227,12 +1227,136 @@ let e20a () =
   row "  wrote %s" path
 
 (* ------------------------------------------------------------------ *)
+(* E21: crash-safe soak campaign — journal overhead + resume speedup   *)
+(* ------------------------------------------------------------------ *)
+
+(* The soak runner (DESIGN.md §15) buys crash-safety with a flushed
+   journal record per job.  This leg prices that insurance and enforces
+   the two claims that make it worth paying:
+
+   - resume equivalence: a campaign interrupted halfway (stop_after, the
+     deterministic SIGKILL stand-in) and resumed produces a coverage
+     digest byte-identical to the uninterrupted run;
+   - resume is replay, not re-execution: resuming an already-complete
+     journal must be strictly faster than running the campaign, because
+     it only decodes and folds the journal.
+
+   Wall time comes from Harness.Clock (the sanctioned monotonic shim) —
+   campaigns fan out over domains, so CPU time would double-count. *)
+let e21 () =
+  section "E21" "crash-safe soak campaign: journal overhead + resume speedup";
+  let module Campaign = Soak.Campaign in
+  let module Runner = Soak.Runner in
+  let clock = Harness.Clock.monotonic () in
+  let wall_ms f =
+    let t0 = Harness.Clock.now_ms clock in
+    let r = f () in
+    (r, max 1 (Harness.Clock.elapsed_ms clock ~since:t0))
+  in
+  let tmp suffix =
+    let f = Filename.temp_file "bench-e21" suffix in
+    Sys.remove f;
+    f
+  in
+  let config =
+    { Campaign.legs =
+        [ { Campaign.name = "alg5"; target = Explore.Explorer.default_target } ];
+      budget = 80;
+      seed = 1;
+      max_adversities = 3;
+      event_budget = 200_000;
+      deadline_ms = 10_000;
+      max_findings = 4;
+      max_poisoned = 8;
+      artifacts = tmp ".artifacts" }
+  in
+  let total = Campaign.total_jobs config in
+  let journal = tmp ".journal" in
+  let full, run_ms =
+    wall_ms (fun () ->
+        match Runner.start ~domains:2 ~journal config with
+        | Ok o -> o
+        | Error e -> failwith ("E21: campaign failed: " ^ e))
+  in
+  let digest = Campaign.coverage_digest full.Runner.state in
+  let journal_bytes =
+    In_channel.with_open_bin journal (fun ic -> In_channel.length ic)
+    |> Int64.to_int
+  in
+  (* Interrupt at half the jobs, then resume to completion. *)
+  let half_journal = tmp ".journal" in
+  let config_half = { config with Campaign.artifacts = tmp ".artifacts" } in
+  (match Runner.start ~domains:2 ~stop_after:(total / 2) ~journal:half_journal
+           config_half with
+   | Ok _ -> ()
+   | Error e -> failwith ("E21: interrupted campaign failed: " ^ e));
+  let resumed, resume_ms =
+    wall_ms (fun () ->
+        match Runner.resume_with ~domains:2 ~journal:half_journal config_half with
+        | Ok o -> o
+        | Error e -> failwith ("E21: resume failed: " ^ e))
+  in
+  let resumed_digest = Campaign.coverage_digest resumed.Runner.state in
+  (* Resume of the completed journal: pure replay, no jobs. *)
+  let replayed, replay_ms =
+    wall_ms (fun () ->
+        match Runner.resume_with ~domains:2 ~journal config with
+        | Ok o -> o
+        | Error e -> failwith ("E21: replay failed: " ^ e))
+  in
+  let replayed_digest = Campaign.coverage_digest replayed.Runner.state in
+  let jobs_per_s = float_of_int total *. 1000. /. float_of_int run_ms in
+  let bytes_per_job = float_of_int journal_bytes /. float_of_int total in
+  let replay_speedup = float_of_int run_ms /. float_of_int replay_ms in
+  row "  campaign: %d jobs in %d ms (%.0f jobs/s, %d clean, %d poisoned)"
+    total run_ms jobs_per_s full.Runner.state.Campaign.clean
+    full.Runner.state.Campaign.poisoned;
+  row "  journal: %d bytes (%.1f bytes/job, flushed per record)"
+    journal_bytes bytes_per_job;
+  row "  interrupted at %d jobs, resumed in %d ms: digest %s" (total / 2)
+    resume_ms
+    (if resumed_digest = digest then "identical" else "DIVERGED");
+  row "  completed-journal resume (pure replay): %d ms (x%.1f vs run)"
+    replay_ms replay_speedup;
+  row "  expected: resume digests byte-identical; replay strictly faster";
+  row "  than re-running.  Both are enforced.";
+  if resumed_digest <> digest then
+    failwith "E21: interrupted-and-resumed digest diverged from baseline";
+  if replayed_digest <> digest then
+    failwith "E21: completed-journal replay digest diverged from baseline";
+  if replay_ms >= run_ms then
+    failwith
+      (Printf.sprintf "E21: replay (%d ms) not faster than re-run (%d ms)"
+         replay_ms run_ms);
+  let json =
+    Printf.sprintf
+      "{\n  \"experiment\": \"E21\",\n  \"jobs\": %d,\n  \
+       \"run_ms\": %d,\n  \"jobs_per_s\": %.1f,\n  \
+       \"journal_bytes\": %d,\n  \"bytes_per_job\": %.1f,\n  \
+       \"interrupted_resume_ms\": %d,\n  \"replay_ms\": %d,\n  \
+       \"replay_speedup\": %.1f,\n  \
+       \"interrupted_digest_identical\": true,\n  \
+       \"replay_digest_identical\": true\n}\n"
+      total run_ms jobs_per_s journal_bytes bytes_per_job resume_ms replay_ms
+      replay_speedup
+  in
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench"
+    then Filename.concat "bench" "BENCH_soak.json"
+    else "BENCH_soak.json"
+  in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc json);
+  row "  wrote %s" path;
+  Sys.remove journal;
+  Sys.remove half_journal
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("E19", e19); ("E20A", e20a); ("E10", e10) ]
+    ("E18", e18); ("E19", e19); ("E20A", e20a); ("E21", e21); ("E10", e10) ]
 
 (* No arguments runs every experiment; otherwise each argument names one
    (case-insensitive), e.g. `dune exec bench/main.exe -- E18 E17`. *)

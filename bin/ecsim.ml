@@ -955,6 +955,152 @@ let explore_cmd =
                $ out_arg $ replay_arg $ smoke_arg $ artifacts_arg
                $ explore_spec_arg))
 
+(* --- soak --- *)
+
+let soak_cmd =
+  let doc =
+    "Run a crash-safe soak campaign: long randomized adversity \
+     exploration across legs, with per-run event budgets and monotonic \
+     wall-clock deadlines (stuck runs are poisoned, not fatal), worker \
+     quarantine with auto-shrunk replayable repros, a framed CRC32 \
+     campaign journal ($(b,--resume) continues an interrupted campaign \
+     deterministically), and a degradation ladder (halve concurrency, \
+     skip poisoned seeds within a logged budget, only then abort).  \
+     Exit 0 clean, 1 reproducible findings, 2 on unshrinkable findings \
+     or an aborted campaign."
+  in
+  let legs_arg =
+    let doc =
+      "Comma-separated campaign legs (named explorer targets): alg5, \
+       ae-watchdog, ae-watchdog-recovery."
+    in
+    Arg.(value & opt string "ae-watchdog,ae-watchdog-recovery"
+         & info [ "legs" ] ~docv:"NAMES" ~doc)
+  in
+  let budget_arg =
+    let doc = "Adversity plans per leg." in
+    Arg.(value & opt int 200 & info [ "budget" ] ~docv:"PLANS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Base engine seed (plan i runs under seed+i)." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let max_adv_arg =
+    let doc = "Maximum adversities per generated plan." in
+    Arg.(value & opt int 4 & info [ "max-adversities" ] ~docv:"K" ~doc)
+  in
+  let event_budget_arg =
+    let doc = "Per-run event budget before the guard declares the run stuck." in
+    Arg.(value & opt int 200_000 & info [ "event-budget" ] ~docv:"EVENTS" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Per-run wall-clock deadline in milliseconds (monotonic; a wedged \
+       run is poisoned when it exceeds this)."
+    in
+    Arg.(value & opt int 10_000 & info [ "deadline-per-run" ] ~docv:"MS" ~doc)
+  in
+  let max_findings_arg =
+    let doc = "Stop the campaign after this many quarantined findings." in
+    Arg.(value & opt int 16 & info [ "max-findings" ] ~docv:"N" ~doc)
+  in
+  let max_poisoned_arg =
+    let doc =
+      "Coverage-sacrifice budget: poisoned seeds tolerated before the \
+       campaign aborts."
+    in
+    Arg.(value & opt int 8 & info [ "max-poisoned" ] ~docv:"N" ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains (0 = pick from the hardware)." in
+    Arg.(value & opt int 0 & info [ "j"; "domains" ] ~docv:"D" ~doc)
+  in
+  let artifacts_arg =
+    let doc = "Directory for the campaign journal and shrunk .spec repros." in
+    Arg.(value & opt string "_artifacts/soak"
+         & info [ "artifacts" ] ~docv:"DIR" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Resume an interrupted campaign from its journal (config, cursor, \
+       findings and poisoned seeds are read back; a torn tail is \
+       compacted away).  Other campaign flags are ignored."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+  in
+  let run legs budget seed max_adversities event_budget deadline_ms
+      max_findings max_poisoned domains artifacts resume =
+    let domains = if domains <= 0 then None else Some domains in
+    let on_progress ~done_ ~total =
+      Format.printf "soak: %d/%d jobs@." done_ total
+    in
+    let finish config (o : Soak.Runner.outcome) =
+      Format.printf "%a" (Soak.Report.pp config) o.Soak.Runner.state;
+      Format.printf "journal: %s@." o.Soak.Runner.journal;
+      match Soak.Report.exit_code (Soak.Report.verdict o.Soak.Runner.state) with
+      | 0 -> `Ok ()
+      | code -> Stdlib.exit code
+    in
+    match resume with
+    | Some journal ->
+      (match Persist.Journal.read journal with
+       | Error e -> `Error (false, e)
+       | Ok { Persist.Journal.records = first :: _; _ } ->
+         (match Soak.Journal.decode first with
+          | Ok (Soak.Journal.Config jc) ->
+            (match Soak.Campaign.config_of_journal jc with
+             | Error e -> `Error (false, e)
+             | Ok config ->
+               (match
+                  Soak.Runner.resume ?domains ~on_progress ~journal ()
+                with
+                | Error e -> `Error (false, e)
+                | Ok o -> finish config o))
+          | Ok _ | Error _ ->
+            `Error (false, journal ^ ": does not start with a config record"))
+       | Ok { Persist.Journal.records = []; _ } ->
+         `Error (false, journal ^ ": empty journal"))
+    | None ->
+      let leg_results =
+        List.map Soak.Campaign.leg_of_name
+          (String.split_on_char ',' legs |> List.filter (fun s -> s <> ""))
+      in
+      (match
+         List.find_map
+           (function Error e -> Some e | Ok _ -> None)
+           leg_results
+       with
+       | Some e -> `Error (false, e)
+       | None ->
+         let legs =
+           List.filter_map
+             (function Ok l -> Some l | Error _ -> None)
+             leg_results
+         in
+         if legs = [] then `Error (false, "no campaign legs given")
+         else begin
+           let config =
+             { Soak.Campaign.legs;
+               budget;
+               seed;
+               max_adversities;
+               event_budget;
+               deadline_ms;
+               max_findings;
+               max_poisoned;
+               artifacts }
+           in
+           let journal = Filename.concat artifacts "campaign.journal" in
+           match Soak.Runner.start ?domains ~on_progress ~journal config with
+           | Error e -> `Error (false, e)
+           | Ok o -> finish config o
+         end)
+  in
+  Cmd.v (Cmd.info "soak" ~doc)
+    Term.(ret (const run $ legs_arg $ budget_arg $ seed_arg $ max_adv_arg
+               $ event_budget_arg $ deadline_arg $ max_findings_arg
+               $ max_poisoned_arg $ domains_arg $ artifacts_arg $ resume_arg))
+
 (* --- cht --- *)
 
 let cht_cmd =
@@ -1017,4 +1163,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; check_cmd; sweep_cmd; explore_cmd; cht_cmd ]))
+          [ list_cmd; run_cmd; check_cmd; sweep_cmd; explore_cmd; soak_cmd;
+            cht_cmd ]))

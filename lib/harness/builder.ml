@@ -390,7 +390,7 @@ type outcome = {
 
 let propose_of t = Option.value t.propose ~default:default_propose
 
-let run ?(digest = false) ?(catch = false) t =
+let run ?(digest = false) ?(catch = false) ?guard t =
   let orig = t in
   (* [attempt t capture] runs the (possibly sink-augmented) builder [t];
      when a [capture] trace is teed in through the sink, it supersedes the
@@ -490,12 +490,30 @@ let run ?(digest = false) ?(catch = false) t =
       digest = dg;
       handles }
   in
-  (* The trace-file escape hatch: tee a file sink (and the caller's own
-     sink, if any) with a capturing recorder, so the outcome still carries
-     the full trace for checkers and digests. *)
+  (* The trace-file escape hatch and the guard hook share one pattern:
+     tee the extra sinks (and the caller's own, if any) with a capturing
+     recorder, so the outcome still carries the full trace for checkers
+     and digests (an engine given an explicit sink returns an empty
+     trace).  The guard fires first, before any recording work, so a
+     deadline or event-budget breach raises out of a wedged run at the
+     earliest observable point. *)
+  let guarded sink =
+    match guard with None -> sink | Some g -> Sink.tee (Sink.on_every g) sink
+  in
   let go () =
     match t.trace_out with
-    | None -> attempt t None ()
+    | None ->
+      (match guard with
+       | None -> attempt t None ()
+       | Some _ ->
+         let capture = Trace.create ~n:(n_of t) in
+         let sink = guarded (Sink.recorder capture) in
+         let sink =
+           match t.sink with
+           | None -> sink
+           | Some user -> Sink.tee sink user
+         in
+         attempt { t with sink = Some sink } (Some capture) ())
     | Some (path, format) ->
       let capture = Trace.create ~n:(n_of t) in
       let with_file =
@@ -504,7 +522,7 @@ let run ?(digest = false) ?(catch = false) t =
         | Binary -> Sink.with_binary path
       in
       with_file (fun file_sink ->
-          let sink = Sink.tee (Sink.recorder capture) file_sink in
+          let sink = guarded (Sink.tee (Sink.recorder capture) file_sink) in
           let sink =
             match t.sink with
             | None -> sink
@@ -527,110 +545,6 @@ let run ?(digest = false) ?(catch = false) t =
         violations = [ "exception: " ^ Printexc.to_string e ];
         digest = "";
         handles = No_handles }
-
-(* ------------------------------------------------------------------ *)
-(* Exploration and shrinking                                           *)
-(* ------------------------------------------------------------------ *)
-
-type exploration = { found : outcome option; plans_run : int; budget : int }
-
-(* Sequential mode stops at the first violation; parallel mode fans chunks
-   over domains through [Sweep.map_safe] and stops after the first chunk
-   containing one, always reporting the lowest-index violation for
-   determinism across domain counts. *)
-let explore ?(domains = 1) ?(on_progress = fun ~plans_run:_ -> ()) ~gen
-    ~budget () =
-  let finish found plans_run = { found; plans_run; budget } in
-  if domains <= 1 then begin
-    let rec go i =
-      if i >= budget then finish None budget
-      else begin
-        let o = run ~digest:true ~catch:true (gen i) in
-        if o.violations <> [] then finish (Some o) (i + 1)
-        else begin
-          on_progress ~plans_run:(i + 1);
-          go (i + 1)
-        end
-      end
-    in
-    go 0
-  end
-  else begin
-    let chunk = domains * 4 in
-    let rec go i =
-      if i >= budget then finish None budget
-      else begin
-        let hi = min budget (i + chunk) in
-        let idxs = List.init (hi - i) (fun j -> i + j) in
-        let results =
-          Sweep.map_safe ~domains ~seeds:idxs (fun ~seed:idx ->
-              run ~digest:true ~catch:true (gen idx))
-        in
-        let outcomes =
-          List.map
-            (fun (r : _ Sweep.result) ->
-               match r.Sweep.value with
-               | Ok o -> o
-               | Error e ->
-                 { builder = gen r.Sweep.seed;
-                   trace = None;
-                   report = None;
-                   violations = [ "exception: " ^ e ];
-                   digest = "";
-                   handles = No_handles })
-            results
-        in
-        match List.find_opt (fun o -> o.violations <> []) outcomes with
-        | Some o -> finish (Some o) hi
-        | None ->
-          on_progress ~plans_run:hi;
-          go hi
-      end
-    in
-    go 0
-  end
-
-(* Greedy minimization to a local minimum: repeatedly drop whole
-   adversities while a violation survives, then substitute each spec's
-   weaker variants (re-running removal after every successful weakening).
-   [rebuild] maps the candidate plan back to a builder, so the caller can
-   re-derive plan-dependent choices (e.g. the stack).  Terminates because
-   removal shrinks the plan and every [Adversity.weaken] variant strictly
-   decreases a positive integer measure of its spec. *)
-let shrink ~rebuild (o : outcome) =
-  let try_plan plan =
-    let o' = run ~digest:true ~catch:true (rebuild plan) in
-    if o'.violations <> [] then Some o' else None
-  in
-  let rec drop_pass o =
-    let plan = o.builder.plan in
-    let len = List.length plan in
-    let rec try_at i =
-      if i >= len then None
-      else
-        match try_plan (List.filteri (fun j _ -> j <> i) plan) with
-        | Some o' -> Some o'
-        | None -> try_at (i + 1)
-    in
-    match try_at 0 with Some o' -> drop_pass o' | None -> o
-  in
-  let rec weaken_pass o =
-    let plan = Array.of_list o.builder.plan in
-    let weaker_at i =
-      List.find_map
-        (fun weaker ->
-           try_plan
-             (Array.to_list
-                (Array.mapi (fun j s -> if j = i then weaker else s) plan)))
-        (Adversity.weaken plan.(i))
-    in
-    let rec at i =
-      if i >= Array.length plan then None
-      else match weaker_at i with Some o' -> Some o' | None -> at (i + 1)
-    in
-    match at 0 with Some o' -> weaken_pass (drop_pass o') | None -> o
-  in
-  weaken_pass (drop_pass o)
 
 (* ------------------------------------------------------------------ *)
 (* Stable text form                                                    *)
@@ -815,6 +729,120 @@ let to_lines ?digest ?(violations = []) t =
 
 let to_string ?digest ?violations t =
   String.concat "\n" (to_lines ?digest ?violations t) ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Exploration and shrinking                                           *)
+(* ------------------------------------------------------------------ *)
+
+type exploration = { found : outcome option; plans_run : int; budget : int }
+
+(* Sequential mode stops at the first violation; parallel mode fans chunks
+   over domains through [Sweep.map_safe] and stops after the first chunk
+   containing one, always reporting the lowest-index violation for
+   determinism across domain counts. *)
+let explore ?(domains = 1) ?(on_progress = fun ~plans_run:_ -> ()) ~gen
+    ~budget () =
+  let finish found plans_run = { found; plans_run; budget } in
+  if domains <= 1 then begin
+    let rec go i =
+      if i >= budget then finish None budget
+      else begin
+        let o = run ~digest:true ~catch:true (gen i) in
+        if o.violations <> [] then finish (Some o) (i + 1)
+        else begin
+          on_progress ~plans_run:(i + 1);
+          go (i + 1)
+        end
+      end
+    in
+    go 0
+  end
+  else begin
+    let chunk = domains * 4 in
+    let rec go i =
+      if i >= budget then finish None budget
+      else begin
+        let hi = min budget (i + chunk) in
+        let idxs = List.init (hi - i) (fun j -> i + j) in
+        (* The sweep context attaches the failing plan's spec text to the
+           error payload, so an uncaught worker exception is reproducible
+           without re-running the exploration (builders with opaque
+           clauses have no text form; name the index instead). *)
+        let context ~seed:idx =
+          match to_lines (gen idx) with
+          | lines -> String.concat "\n" lines
+          | exception Invalid_argument _ ->
+            Printf.sprintf "<plan %d: no spec form>" idx
+        in
+        let results =
+          Sweep.map_safe ~domains ~context ~seeds:idxs (fun ~seed:idx ->
+              run ~digest:true ~catch:true (gen idx))
+        in
+        let outcomes =
+          List.map
+            (fun (r : _ Sweep.result) ->
+               match r.Sweep.value with
+               | Ok o -> o
+               | Error e ->
+                 { builder = gen r.Sweep.seed;
+                   trace = None;
+                   report = None;
+                   violations = [ "exception: " ^ e ];
+                   digest = "";
+                   handles = No_handles })
+            results
+        in
+        match List.find_opt (fun o -> o.violations <> []) outcomes with
+        | Some o -> finish (Some o) hi
+        | None ->
+          on_progress ~plans_run:hi;
+          go hi
+      end
+    in
+    go 0
+  end
+
+(* Greedy minimization to a local minimum: repeatedly drop whole
+   adversities while a violation survives, then substitute each spec's
+   weaker variants (re-running removal after every successful weakening).
+   [rebuild] maps the candidate plan back to a builder, so the caller can
+   re-derive plan-dependent choices (e.g. the stack).  Terminates because
+   removal shrinks the plan and every [Adversity.weaken] variant strictly
+   decreases a positive integer measure of its spec. *)
+let shrink ~rebuild (o : outcome) =
+  let try_plan plan =
+    let o' = run ~digest:true ~catch:true (rebuild plan) in
+    if o'.violations <> [] then Some o' else None
+  in
+  let rec drop_pass o =
+    let plan = o.builder.plan in
+    let len = List.length plan in
+    let rec try_at i =
+      if i >= len then None
+      else
+        match try_plan (List.filteri (fun j _ -> j <> i) plan) with
+        | Some o' -> Some o'
+        | None -> try_at (i + 1)
+    in
+    match try_at 0 with Some o' -> drop_pass o' | None -> o
+  in
+  let rec weaken_pass o =
+    let plan = Array.of_list o.builder.plan in
+    let weaker_at i =
+      List.find_map
+        (fun weaker ->
+           try_plan
+             (Array.to_list
+                (Array.mapi (fun j s -> if j = i then weaker else s) plan)))
+        (Adversity.weaken plan.(i))
+    in
+    let rec at i =
+      if i >= Array.length plan then None
+      else match weaker_at i with Some o' -> Some o' | None -> at (i + 1)
+    in
+    match at 0 with Some o' -> weaken_pass (drop_pass o') | None -> o
+  in
+  weaken_pass (drop_pass o)
 
 exception Parse of string
 

@@ -221,12 +221,20 @@ type outcome = {
   handles : handles;
 }
 
-val run : ?digest:bool -> ?catch:bool -> t -> outcome
+val run : ?digest:bool -> ?catch:bool -> ?guard:(unit -> unit) -> t -> outcome
 (** Interpret the builder: build the setup, materialize the workload, run
     the stack, evaluate the checkers in order.  Deterministic: equal
     builders give byte-identical runs.  [digest] (default false) records
     the trace digest; [catch] (default false) turns a raising run into an
-    ["exception: ..."] violation instead of propagating. *)
+    ["exception: ..."] violation instead of propagating.  [guard] is
+    called once per engine-observable event ({!Sink.on_every}), before
+    any recording — a soak watchdog raises from it to abort a wedged run
+    (event budget, wall-clock deadline); the guard never changes what a
+    completing run computes (trace, report, digest are unaffected).
+    Under [catch] a raising guard is folded into an ["exception: ..."]
+    violation like any other; run with [catch:false] to pattern-match
+    the guard's own exception (the soak runner does, to tell a stuck
+    run from a crashing one). *)
 
 (** {2 Exploration and shrinking} *)
 

@@ -1,0 +1,34 @@
+(* The one sanctioned wall-clock gateway (see clock.mli).  Everything
+   here is about *observing* real time safely; nothing here may feed a
+   simulation.  detlint D2 still flags any other wall-clock call in
+   lib/ bin/ test/ — the allow below is the carve-out, justified because
+   stuck-run detection is meaningless against simulated time. *)
+
+type t =
+  | Monotonic of { mutable last : int }
+  | Manual of { mutable now : int }
+
+let monotonic () = Monotonic { last = 0 }
+
+let manual ?(start = 0) () = Manual { now = start }
+
+let advance t ms =
+  match t with
+  | Manual m -> if ms > 0 then m.now <- m.now + ms
+  | Monotonic _ -> invalid_arg "Clock.advance: monotonic clock"
+
+let sample_ms () =
+  (* detlint: allow D2 soak deadline clock: the single sanctioned wall-clock site; readings gate campaign waiting only, never run results (DESIGN.md S15) *)
+  int_of_float (Unix.gettimeofday () *. 1000.)
+
+let now_ms t =
+  match t with
+  | Manual m -> m.now
+  | Monotonic m ->
+    let v = sample_ms () in
+    (* Clamp: a system-clock step backwards must not produce a decreasing
+       reading (elapsed times stay >= 0; deadlines fire late, not early). *)
+    if v > m.last then m.last <- v;
+    m.last
+
+let elapsed_ms t ~since = max 0 (now_ms t - since)

@@ -1,0 +1,37 @@
+(** Monotonic wall-clock shim for stuck-run deadlines.
+
+    The determinism contract (detlint rule D2) bans wall clocks from the
+    simulator and protocol layers: simulated time is the only time a run
+    may observe.  Soak campaigns, however, need a *real* clock for exactly
+    one job — detecting that a run wedged and will never finish on its
+    own.  This module is the single sanctioned gateway: one allowlisted
+    [Unix.gettimeofday] call site, clamped to be non-decreasing, plus a
+    manual clock so deadline logic stays unit-testable without sleeping.
+
+    Clock readings must never influence what a run computes — only
+    whether the campaign keeps waiting for it.  Resume-equivalence of
+    soak journals (DESIGN.md §15) depends on this separation. *)
+
+type t
+(** A millisecond clock.  Readings are non-decreasing. *)
+
+val monotonic : unit -> t
+(** Real wall clock.  Readings are [Unix.gettimeofday]-based milliseconds,
+    clamped so a system-clock step backwards never yields a decreasing
+    reading (deadlines may fire late under clock steps, never spuriously
+    from a negative elapsed time). *)
+
+val manual : ?start:int -> unit -> t
+(** A test clock that only moves when {!advance} is called.  [start]
+    defaults to [0]. *)
+
+val advance : t -> int -> unit
+(** [advance t ms] moves a {!manual} clock forward by [ms] (negative
+    deltas are ignored).  Raises [Invalid_argument] on a {!monotonic}
+    clock. *)
+
+val now_ms : t -> int
+(** Current reading in milliseconds.  Non-decreasing across calls. *)
+
+val elapsed_ms : t -> since:int -> int
+(** [elapsed_ms t ~since] is [max 0 (now_ms t - since)]. *)

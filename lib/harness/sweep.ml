@@ -62,12 +62,28 @@ let map ?domains ~seeds (f : seed:int -> 'a) : 'a result list =
    (exploration runs buggy protocol variants on purpose, and a raising run
    is a *finding*, not an infrastructure error): capture it per seed.
    [Printexc.to_string] runs inside the worker domain so backtraces stay
-   attached to the run that raised. *)
-let map_safe ?domains ~seeds f =
+   attached to the run that raised.  The payload names the failing seed
+   and, when the caller supplies [context] (e.g. the builder spec text of
+   the run), appends it — so a quarantined finding is reproducible from
+   the error alone, without re-running the campaign.  [context] runs
+   inside the worker too, and its own failure never masks the original
+   exception. *)
+let map_safe ?domains ?context ~seeds f =
   map ?domains ~seeds (fun ~seed ->
       match f ~seed with
       | value -> Ok value
-      | exception e -> Error (Printexc.to_string e))
+      | exception e ->
+        let base = Printf.sprintf "seed %d: %s" seed (Printexc.to_string e) in
+        Error
+          (match context with
+           | None -> base
+           | Some c ->
+             let ctx =
+               match c ~seed with
+               | s -> s
+               | exception _ -> "<context unavailable>"
+             in
+             if ctx = "" then base else base ^ "\n" ^ ctx))
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)

@@ -22,13 +22,17 @@ val map : ?domains:int -> seeds:int list -> (seed:int -> 'a) -> 'a result list
     mutable state; scenario runs qualify. *)
 
 val map_safe :
-  ?domains:int -> seeds:int list -> (seed:int -> 'a) ->
-  ('a, string) Result.t result list
-(** Like {!map}, but a run that raises yields [Error (Printexc.to_string e)]
-    for its seed instead of aborting the sweep.  Combine with {!verdicts}
-    ([ok:Result.is_ok] or stricter) so a crashing run counts as a failed
-    verdict — adversarial exploration runs deliberately broken protocol
-    variants, where an exception is a finding. *)
+  ?domains:int -> ?context:(seed:int -> string) -> seeds:int list ->
+  (seed:int -> 'a) -> ('a, string) Result.t result list
+(** Like {!map}, but a run that raises yields
+    [Error "seed N: <exception>"] for its seed instead of aborting the
+    sweep.  [context ~seed] (run inside the worker, its own exceptions
+    swallowed) appends a reproduction payload — typically the builder
+    spec text of the failing run — so a finding is replayable without
+    re-running the sweep.  Combine with {!verdicts} ([ok:Result.is_ok]
+    or stricter) so a crashing run counts as a failed verdict —
+    adversarial exploration runs deliberately broken protocol variants,
+    where an exception is a finding. *)
 
 (** {2 Aggregation} *)
 

@@ -1,0 +1,72 @@
+(* Append-only framed journal (see journal.mli).  Reuses the bare
+   CRC-32 frame of [Frame] — the same wire format the WAL and trace
+   files use — under its own 8-byte magic so a journal is never mistaken
+   for a trace.  The durability contract is flush-per-append: a record
+   handed to [append] survives any subsequent crash of this process
+   (modulo OS/page-cache loss, which the torn-tail reader absorbs). *)
+
+let magic = "ECSOAKJ\x01"
+
+type writer = { oc : Out_channel.t; mutable closed : bool }
+
+let create path =
+  let oc = Out_channel.open_bin path in
+  Out_channel.output_string oc magic;
+  Out_channel.flush oc;
+  { oc; closed = false }
+
+let append w payload =
+  Out_channel.output_string w.oc (Frame.frame payload);
+  Out_channel.flush w.oc
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    (try Out_channel.flush w.oc with Sys_error _ -> ());
+    Out_channel.close_noerr w.oc
+  end
+
+type contents = { records : string list; torn : bool }
+
+let read path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | s ->
+    let mlen = String.length magic in
+    if String.length s < mlen || String.sub s 0 mlen <> magic then
+      Error (path ^ ": not a campaign journal (bad magic)")
+    else begin
+      (* Collect whole frames; the first torn or corrupt one ends the
+         clean prefix — everything after it is unreachable anyway (frame
+         boundaries are only discoverable left to right). *)
+      let len = String.length s in
+      let rec go pos acc =
+        if pos >= len then (List.rev acc, false)
+        else
+          match Frame.read_frame s pos with
+          | Ok (payload, next) -> go next (payload :: acc)
+          | Error _ -> (List.rev acc, true)
+      in
+      let records, torn = go mlen [] in
+      Ok { records; torn }
+    end
+
+let resume path =
+  match read path with
+  | Error e -> Error e
+  | Ok contents ->
+    let tmp = path ^ ".tmp" in
+    (match
+       let w = create tmp in
+       List.iter (append w) contents.records;
+       close w;
+       Sys.rename tmp path;
+       (* Reopen for append without truncating: open_gen with Append. *)
+       let oc =
+         Out_channel.open_gen
+           [ Open_wronly; Open_append; Open_binary ] 0o644 path
+       in
+       { oc; closed = false }
+     with
+     | w -> Ok (contents, w)
+     | exception Sys_error e -> Error e)

@@ -1,0 +1,52 @@
+(** Append-only framed journal with torn-tail-tolerant recovery.
+
+    A journal file is an 8-byte header ("ECSOAKJ" + version byte)
+    followed by a sequence of bare CRC-32 {!Frame} records, one per
+    appended entry, flushed after every append — so a process killed at
+    any instant (SIGKILL, power loss) leaves a decodable prefix whose
+    last frame is either whole or detectably torn.
+
+    {!read} stops at the first torn or corrupt frame and reports how
+    many clean records precede it; {!resume} compacts that clean prefix
+    into a fresh file (atomic rename) and reopens it for append, so a
+    campaign can continue writing after a crash without ever appending
+    past damaged bytes.
+
+    Record payloads are opaque strings; the soak layer (Soak.Journal)
+    defines the campaign entry vocabulary on top. *)
+
+type writer
+(** An open journal being appended to. *)
+
+val magic : string
+(** The 8-byte file header (magic + version). *)
+
+val create : string -> writer
+(** [create path] truncates/creates [path], writes the header, and
+    returns a writer.  Raises [Sys_error] on I/O failure. *)
+
+val append : writer -> string -> unit
+(** Append one framed record and flush, so the entry is on its way to
+    the OS before the caller proceeds (checkpoint durability). *)
+
+val close : writer -> unit
+(** Flush and close.  Safe to call twice. *)
+
+type contents = {
+  records : string list;  (** clean-prefix payloads, in append order *)
+  torn : bool;
+      (** [true] when trailing bytes after the clean prefix were
+          unreadable (torn or corrupt frame) and were ignored *)
+}
+
+val read : string -> (contents, string) result
+(** Decode a journal file.  [Error] only on a missing/unopenable file or
+    a bad header — damage {e after} the header degrades to a shorter
+    clean prefix with [torn = true], never to an error. *)
+
+val resume : string -> (contents * writer, string) result
+(** [resume path] reads the clean prefix, rewrites it compacted to a
+    temporary file, atomically renames over [path], and reopens for
+    append.  After a torn tail this is the only safe way to continue
+    the journal: appending in place would bury readable frames behind
+    damaged bytes. *)

@@ -46,6 +46,21 @@ let tee a b =
     on_crash = (fun ~at ~proc -> a.on_crash ~at ~proc; b.on_crash ~at ~proc);
     on_recover = (fun ~at ~proc -> a.on_recover ~at ~proc; b.on_recover ~at ~proc) }
 
+(* A sink that calls [f] once per observed event, ignoring the payload.
+   This is the soak runner's guard hook: teed in front of a recorder it
+   turns every engine-observable event into a chance to check an event
+   budget or a wall-clock deadline (Harness.Clock) and raise out of a
+   wedged run.  Zero allocation per event. *)
+let on_every f =
+  { on_input = (fun ~at:_ ~proc:_ _ -> f ());
+    on_output = (fun ~at:_ ~proc:_ _ -> f ());
+    on_send = (fun _ -> f ());
+    on_deliver = (fun ~at:_ _ -> f ());
+    on_drop = (fun ~at:_ _ -> f ());
+    on_step = (fun ~at:_ ~proc:_ -> f ());
+    on_crash = (fun ~at:_ ~proc:_ -> f ());
+    on_recover = (fun ~at:_ ~proc:_ -> f ()) }
+
 (* ------------------------------------------------------------------ *)
 (* Full recorder: the historical Trace.t behaviour                     *)
 (* ------------------------------------------------------------------ *)

@@ -28,6 +28,12 @@ val null : t
 val tee : t -> t -> t
 (** [tee a b] forwards every event to [a] then [b]. *)
 
+val on_every : (unit -> unit) -> t
+(** [on_every f] calls [f ()] once per observed event, ignoring payloads.
+    Tee it in front of a recorder to give a watchdog (event budget,
+    wall-clock deadline) a chance to raise out of a wedged run at every
+    engine-observable event. *)
+
 val recorder : Trace.t -> t
 (** The historical behaviour: record entries and counters into [trace].
     Crash/recover marks are ignored, so traces of crash-stop runs are

@@ -1,0 +1,287 @@
+(* Campaign journal entries (see journal.mli).  The codec is line-based
+   text inside a checksummed frame: the frame layer already guarantees
+   integrity, so the payload optimizes for greppability and a stable
+   coverage digest, not compactness.  Every embedded free-form string is
+   JSON-escaped per line, so record structure survives arbitrary
+   violation messages (including the multi-line spec contexts Sweep
+   attaches to worker errors). *)
+
+type config = {
+  legs : string list;
+  budget : int;
+  seed : int;
+  max_adversities : int;
+  event_budget : int;
+  deadline_ms : int;
+  max_findings : int;
+  max_poisoned : int;
+  artifacts : string;
+}
+
+type entry =
+  | Config of config
+  | Run of { job : int; digest : string }
+  | Finding of {
+      job : int;
+      violations : string list;
+      spec : string list;
+      shrunk_ok : bool;
+      artifact : string;
+    }
+  | Poisoned of { job : int; kind : string; detail : string }
+  | Degrade of { domains : int; reason : string }
+  | Checkpoint of { next : int }
+
+(* One escaped, newline-free line per input string: multi-line inputs
+   are flattened through the escape (\n -> \\n), so counted line blocks
+   below always parse back. *)
+let esc s = Persist.Frame.json_escape s
+
+let encode = function
+  | Config c ->
+    String.concat "\n"
+      [ "config v1";
+        "legs " ^ String.concat "," (List.map esc c.legs);
+        Printf.sprintf "budget %d" c.budget;
+        Printf.sprintf "seed %d" c.seed;
+        Printf.sprintf "max-adversities %d" c.max_adversities;
+        Printf.sprintf "event-budget %d" c.event_budget;
+        Printf.sprintf "deadline-ms %d" c.deadline_ms;
+        Printf.sprintf "max-findings %d" c.max_findings;
+        Printf.sprintf "max-poisoned %d" c.max_poisoned;
+        "artifacts " ^ esc c.artifacts ]
+  | Run { job; digest } -> Printf.sprintf "run %d %s" job digest
+  | Finding { job; violations; spec; shrunk_ok; artifact } ->
+    String.concat "\n"
+      ([ Printf.sprintf "finding %d shrunk=%b artifact=%s" job shrunk_ok
+           (esc artifact);
+         Printf.sprintf "violations %d" (List.length violations) ]
+       @ List.map esc violations
+       @ [ Printf.sprintf "spec %d" (List.length spec) ]
+       @ List.map esc spec)
+  | Poisoned { job; kind; detail } ->
+    Printf.sprintf "poisoned %d %s %s" job (esc kind) (esc detail)
+  | Degrade { domains; reason } ->
+    Printf.sprintf "degrade %d %s" domains (esc reason)
+  | Checkpoint { next } -> Printf.sprintf "checkpoint %d" next
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Inverse of {!esc} (Frame.json_escape), so decode is a left inverse
+   of encode: resumed entries re-encode (and digest) byte-identically to
+   the live run that journaled them — double-escaping on resume would
+   silently fork the coverage digest.  Total: a malformed escape is kept
+   literally rather than rejected. *)
+let unesc s =
+  match String.index_opt s '\\' with
+  | None -> s
+  | Some _ ->
+    let n = String.length s in
+    let b = Buffer.create n in
+    let rec go i =
+      if i >= n then ()
+      else if s.[i] <> '\\' || i = n - 1 then begin
+        Buffer.add_char b s.[i];
+        go (i + 1)
+      end
+      else
+        match s.[i + 1] with
+        | '"' ->
+          Buffer.add_char b '"';
+          go (i + 2)
+        | '\\' ->
+          Buffer.add_char b '\\';
+          go (i + 2)
+        | 'n' ->
+          Buffer.add_char b '\n';
+          go (i + 2)
+        | 't' ->
+          Buffer.add_char b '\t';
+          go (i + 2)
+        | 'u' when i + 5 < n ->
+          (match int_of_string_opt ("0x" ^ String.sub s (i + 2) 4) with
+           | Some code when code >= 0 && code < 0x20 ->
+             Buffer.add_char b (Char.chr code);
+             go (i + 6)
+           | _ ->
+             Buffer.add_char b '\\';
+             go (i + 1))
+        | _ ->
+          Buffer.add_char b '\\';
+          go (i + 1)
+    in
+    go 0;
+    Buffer.contents b
+
+let int_of s = int_of_string_opt s
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let req_int what s =
+  match int_of s with Some i -> Ok i | None -> fail "%s: not an int: %s" what s
+
+(* "key rest-of-line" split; rest may be empty. *)
+let cut line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+    (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+
+let take what n lines =
+  let rec go n acc = function
+    | rest when n = 0 -> Ok (List.rev acc, rest)
+    | [] -> fail "%s: truncated block (%d lines missing)" what n
+    | l :: rest -> go (n - 1) (l :: acc) rest
+  in
+  go n [] lines
+
+let decode_config lines =
+  let field key = function
+    | [] -> fail "config: missing %s" key
+    | line :: rest ->
+      let k, v = cut line in
+      if k <> key then fail "config: expected %s, got %s" key k else Ok (v, rest)
+  in
+  let int_field key lines =
+    let* v, rest = field key lines in
+    let* i = req_int key v in
+    Ok (i, rest)
+  in
+  let* legs, lines = field "legs" lines in
+  let* budget, lines = int_field "budget" lines in
+  let* seed, lines = int_field "seed" lines in
+  let* max_adversities, lines = int_field "max-adversities" lines in
+  let* event_budget, lines = int_field "event-budget" lines in
+  let* deadline_ms, lines = int_field "deadline-ms" lines in
+  let* max_findings, lines = int_field "max-findings" lines in
+  let* max_poisoned, lines = int_field "max-poisoned" lines in
+  let* artifacts, lines = field "artifacts" lines in
+  match lines with
+  | [] ->
+    Ok
+      (Config
+         { legs =
+             (if legs = "" then []
+              else List.map unesc (String.split_on_char ',' legs));
+           budget;
+           seed;
+           max_adversities;
+           event_budget;
+           deadline_ms;
+           max_findings;
+           max_poisoned;
+           artifacts = unesc artifacts })
+  | l :: _ -> fail "config: trailing line: %s" l
+
+let decode_finding head lines =
+  match String.split_on_char ' ' head with
+  | [ job; shrunk; artifact ] ->
+    let* job = req_int "finding job" job in
+    let* shrunk_ok =
+      match shrunk with
+      | "shrunk=true" -> Ok true
+      | "shrunk=false" -> Ok false
+      | s -> fail "finding: bad shrunk field: %s" s
+    in
+    let* artifact =
+      match String.length artifact >= 9 && String.sub artifact 0 9 = "artifact=" with
+      | true -> Ok (unesc (String.sub artifact 9 (String.length artifact - 9)))
+      | false -> fail "finding: bad artifact field: %s" artifact
+    in
+    let* violations, lines =
+      match lines with
+      | [] -> fail "finding: missing violations block"
+      | l :: rest ->
+        let k, v = cut l in
+        if k <> "violations" then fail "finding: expected violations, got %s" k
+        else
+          let* n = req_int "violations count" v in
+          take "violations" n rest
+    in
+    let* spec, lines =
+      match lines with
+      | [] -> fail "finding: missing spec block"
+      | l :: rest ->
+        let k, v = cut l in
+        if k <> "spec" then fail "finding: expected spec, got %s" k
+        else
+          let* n = req_int "spec count" v in
+          take "spec" n rest
+    in
+    (match lines with
+     | [] ->
+       Ok
+         (Finding
+            { job;
+              violations = List.map unesc violations;
+              spec = List.map unesc spec;
+              shrunk_ok;
+              artifact })
+     | l :: _ -> fail "finding: trailing line: %s" l)
+  | _ -> fail "finding: bad header: %s" head
+
+let decode payload =
+  match String.split_on_char '\n' payload with
+  | [] -> Error "empty payload"
+  | head :: rest ->
+    let kind, tail = cut head in
+    (match kind with
+     | "config" ->
+       if tail <> "v1" then fail "config: unsupported version %s" tail
+       else decode_config rest
+     | "run" ->
+       (match String.split_on_char ' ' tail with
+        | [ job; digest ] ->
+          let* job = req_int "run job" job in
+          if rest <> [] then fail "run: trailing lines"
+          else Ok (Run { job; digest })
+        | _ -> fail "run: bad record: %s" tail)
+     | "finding" -> decode_finding tail rest
+     | "poisoned" ->
+       (match String.split_on_char ' ' tail with
+        | job :: kind :: detail ->
+          let* job = req_int "poisoned job" job in
+          if rest <> [] then fail "poisoned: trailing lines"
+          else
+            Ok
+              (Poisoned
+                 { job;
+                   kind = unesc kind;
+                   detail = unesc (String.concat " " detail) })
+        | _ -> fail "poisoned: bad record: %s" tail)
+     | "degrade" ->
+       let d, reason = cut tail in
+       let* domains = req_int "degrade domains" d in
+       if rest <> [] then fail "degrade: trailing lines"
+       else Ok (Degrade { domains; reason = unesc reason })
+     | "checkpoint" ->
+       let* next = req_int "checkpoint next" tail in
+       if rest <> [] then fail "checkpoint: trailing lines"
+       else Ok (Checkpoint { next })
+     | k -> fail "unknown entry kind: %s" k)
+
+(* ------------------------------------------------------------------ *)
+(* Coverage digest lines                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* What "the same campaign" means across interruptions: the per-job
+   results, nothing about how the runner got there.  Poisoned details
+   (wall-clock diagnostics) and degradation marks (resume restarts the
+   ladder at the journaled rung, but streak phase may differ) are
+   excluded; the poisoned *kind* is kept — a run that was stuck must
+   still be stuck when the campaign is replayed uninterrupted. *)
+let digest_line = function
+  | Config _ | Degrade _ | Checkpoint _ -> None
+  | Run { job; digest } -> Some (Printf.sprintf "run %d %s" job digest)
+  | Finding { job; violations; spec; shrunk_ok; artifact = _ } ->
+    Some
+      (Printf.sprintf "finding %d shrunk=%b violations=%s spec=%s" job
+         shrunk_ok
+         (String.concat "|" (List.map esc violations))
+         (Digest.to_hex (Digest.string (String.concat "\n" spec))))
+  | Poisoned { job; kind; detail = _ } ->
+    Some (Printf.sprintf "poisoned %d %s" job (esc kind))

@@ -1,0 +1,60 @@
+(** Campaign journal entries and their stable text codec.
+
+    One entry per {!Persist.Journal} record.  The vocabulary covers
+    everything a resumed campaign needs: the immutable configuration
+    (first record of every journal), one record per completed job —
+    clean run, quarantined finding, or poisoned seed — plus degradation
+    marks and checkpoints.
+
+    Entries are encoded as plain text payloads (framed and checksummed
+    by the journal layer).  Embedded strings are JSON-escaped line-wise
+    on encode and unescaped on decode, so a violation message containing
+    newlines cannot corrupt the record structure, and {!decode} is a
+    left inverse of {!encode}: a resumed campaign re-encodes (and
+    digests) journaled entries byte-identically to the live run that
+    wrote them. *)
+
+type config = {
+  legs : string list;  (** leg names, in campaign order *)
+  budget : int;  (** plans per leg *)
+  seed : int;  (** base engine seed; plan [i] runs under [seed + i] *)
+  max_adversities : int;
+  event_budget : int;  (** per-run events before the guard declares it stuck *)
+  deadline_ms : int;  (** per-run wall deadline (monotonic, {!Harness.Clock}) *)
+  max_findings : int;  (** stop the campaign after this many findings *)
+  max_poisoned : int;  (** coverage-sacrifice budget: poisoned seeds allowed *)
+  artifacts : string;  (** directory receiving shrunk .spec repros *)
+}
+
+type entry =
+  | Config of config
+  | Run of { job : int; digest : string }  (** clean run *)
+  | Finding of {
+      job : int;
+      violations : string list;
+      spec : string list;  (** shrunk builder spec text, line-wise *)
+      shrunk_ok : bool;  (** the shrunk repro replays to a violation *)
+      artifact : string;  (** repro filename under [artifacts]; [""] if none *)
+    }
+  | Poisoned of { job : int; kind : string; detail : string }
+      (** a seed sacrificed to keep the campaign alive: [kind] is
+          ["stuck"] (deadline or event budget) or ["worker"] (the worker
+          domain itself failed); [detail] is diagnostic only and excluded
+          from the coverage digest *)
+  | Degrade of { domains : int; reason : string }
+      (** ladder step: concurrency halved to [domains]; [domains = 0]
+          records campaign abort (sacrifice budget exhausted) *)
+  | Checkpoint of { next : int }  (** all jobs below [next] are recorded *)
+
+val encode : entry -> string
+(** Stable text payload, ready for [Persist.Journal.append]. *)
+
+val decode : string -> (entry, string) result
+(** Total: malformed payloads yield [Error], never an exception. *)
+
+val digest_line : entry -> string option
+(** The entry's canonical line in the coverage digest, [None] for
+    digest-irrelevant entries (config, degradation marks, checkpoints,
+    and the free-text [detail] of poisoned seeds — everything that may
+    legitimately differ between an interrupted-and-resumed campaign and
+    an uninterrupted one). *)

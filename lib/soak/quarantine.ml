@@ -1,0 +1,60 @@
+(* Quarantine: shrink, verify, write artifact (see quarantine.mli). *)
+
+module Explorer = Explore.Explorer
+module Builder = Harness.Builder
+
+let quarantine ~artifacts ~target ~job ~seed ~plan ~violations ~digest =
+  let outcome =
+    { Explorer.plan; seed; violations; report = None; digest }
+  in
+  (* The shrinker re-runs candidate plans with exceptions folded into
+     violations, so it minimizes crashing runs too; its own failure
+     (e.g. a plan that only violates under the original timing) keeps
+     the unshrunk original — degrade, don't abort. *)
+  let shrunk =
+    match Explorer.shrink target outcome with
+    | s -> s
+    | exception _ -> outcome
+  in
+  (* Replay the shrunk plan from scratch: a repro that does not
+     reproduce is flagged, not shipped silently. *)
+  let check =
+    match
+      Explorer.run_plan target ~seed:shrunk.Explorer.seed shrunk.Explorer.plan
+    with
+    | o -> Some o
+    | exception _ -> None
+  in
+  let shrunk_ok =
+    match check with
+    | Some o -> o.Explorer.violations <> []
+    | None -> false
+  in
+  let builder =
+    Explorer.builder_of target ~seed:shrunk.Explorer.seed shrunk.Explorer.plan
+  in
+  let replay_digest =
+    match check with Some o -> o.Explorer.digest | None -> ""
+  in
+  let spec =
+    Builder.to_lines
+      ?digest:(if replay_digest = "" then None else Some replay_digest)
+      ~violations:shrunk.Explorer.violations builder
+  in
+  let artifact =
+    let file = Printf.sprintf "finding-%d.spec" job in
+    match
+      Builder.write
+        (Filename.concat artifacts file)
+        ?digest:(if replay_digest = "" then None else Some replay_digest)
+        ~violations:shrunk.Explorer.violations builder
+    with
+    | () -> file
+    | exception _ -> ""
+  in
+  Journal.Finding
+    { job;
+      violations = shrunk.Explorer.violations;
+      spec;
+      shrunk_ok;
+      artifact }

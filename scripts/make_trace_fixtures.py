@@ -106,6 +106,56 @@ def main():
     # Unknown version: a future format version this decoder must refuse.
     write("trace_bad_version.bin", header(version=2) + frames[0])
 
+    journal_fixtures()
+
+
+# --- soak campaign journal fixtures (lib/persist/journal.ml +
+# lib/soak/journal.ml) ---------------------------------------------------
+#
+# A journal is the 8-byte "ECSOAKJ"+version magic followed by bare frames
+# whose payloads are the line-based campaign entry texts.  Same frame wire
+# format as traces, different magic — pinned independently here.
+
+JMAGIC = b"ECSOAKJ\x01"
+
+JCONFIG = b"\n".join(
+    [
+        b"config v1",
+        b"legs alg5",
+        b"budget 4",
+        b"seed 1",
+        b"max-adversities 4",
+        b"event-budget 1000",
+        b"deadline-ms 500",
+        b"max-findings 2",
+        b"max-poisoned 1",
+        b"artifacts _artifacts/soak",
+    ]
+)
+
+
+def journal_fixtures():
+    records = [
+        JCONFIG,
+        b"run 0 0123456789abcdef0123456789abcdef",
+        b"poisoned 1 stuck event budget exceeded (1000 events)",
+        b"checkpoint 2",
+    ]
+    jframes = [frame(r) for r in records]
+    ok = JMAGIC + b"".join(jframes)
+    write("journal_v1_ok.bin", ok)
+
+    # Torn tail: the checkpoint frame cut off mid-payload (a crash during
+    # the final append) — readers must keep the three whole records.
+    write("journal_torn_tail.bin", ok[: len(ok) - 7])
+
+    # Corrupt CRC: one payload byte of the run record damaged on disk —
+    # the clean prefix ends after the config record.
+    bad = bytearray(ok)
+    off = len(JMAGIC) + len(jframes[0])
+    bad[off + 8 + 1] ^= 0x5A
+    write("journal_bad_crc.bin", bytes(bad))
+
 
 if __name__ == "__main__":
     main()

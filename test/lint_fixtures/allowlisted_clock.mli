@@ -1,0 +1,1 @@
+val sample_ms : unit -> int

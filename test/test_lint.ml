@@ -56,6 +56,23 @@ let test_allowlisted_fixture_is_clean () =
   Alcotest.(check (list string)) "no findings" [] (rules r);
   Alcotest.(check int) "one allowed" 1 (List.length r.Driver.allowed)
 
+(* The Harness.Clock carve-out pattern: a wall-clock read under a
+   justified D2 allow passes the gate (suppression reported), while the
+   same call without a directive — d2_wallclock.ml, checked alongside —
+   still fails.  The rule stays intact; only the one deadline-clock call
+   site is sanctioned. *)
+let test_clock_allow_pattern () =
+  let r = scan ~strict:true [ "lint_fixtures/allowlisted_clock.ml" ] in
+  Alcotest.(check (list string)) "no findings" [] (rules r);
+  (match r.Driver.allowed with
+   | [ (f, _justification) ] ->
+     Alcotest.(check string) "allowed rule is D2" "D2"
+       (Finding.rule_id f.Finding.rule)
+   | l -> Alcotest.failf "expected one allowed finding, got %d" (List.length l));
+  let raw = scan ~strict:true [ "lint_fixtures/d2_wallclock.ml" ] in
+  Alcotest.(check (list string)) "raw wall clock still fails" [ "D2" ]
+    (rules raw)
+
 (* ------------------------------------------------------------------ *)
 (* The real tree                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -144,7 +161,9 @@ let () =
          Alcotest.test_case "golden JSON report" `Quick
            test_fixtures_match_golden;
          Alcotest.test_case "allowlisted fixture clean" `Quick
-           test_allowlisted_fixture_is_clean ]);
+           test_allowlisted_fixture_is_clean;
+         Alcotest.test_case "clock D2 allow pattern" `Quick
+           test_clock_allow_pattern ]);
       ("tree",
        [ Alcotest.test_case "real tree scans clean" `Quick
            test_real_tree_is_clean;
