@@ -1,7 +1,7 @@
 # Developer entry points.  `make check` is the tier-1 gate used by CI and
 # by every PR: it must stay green.
 
-.PHONY: all check build test lint smoke soak fmt bench clean
+.PHONY: all check build test lint smoke soak service fmt bench clean
 
 all: build
 
@@ -46,6 +46,19 @@ smoke:
 soak:
 	dune exec bin/ecsim.exe -- soak --budget 5000 -j 4 \
 	  --artifacts _artifacts/soak
+
+# Closed-loop service-layer gate (DESIGN.md §16): runs experiment E22 —
+# the full client population (timeouts, capped backoff, retry budgets,
+# admission control, circuit breakers, crash-triggered migration) over
+# ETOB vs the Paxos baseline under a crash+partition schedule — and the
+# generator-driven determinism/retry-amplification smoke.  Hard-fails if
+# ETOB's degraded (speculative) availability does not strictly beat
+# Paxos in the minority partition, if retry amplification exceeds 2x, if
+# replica-side dedup leaks a duplicate apply, or if replay diverges.
+# BENCH_service.json and the latency histograms land in
+# _artifacts/service/.
+service:
+	dune exec bin/ecsim.exe -- service --smoke --artifacts _artifacts/service
 
 # Requires ocamlformat (version pinned in .ocamlformat); a no-op check
 # elsewhere so environments without the formatter can still run `make check`.

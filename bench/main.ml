@@ -1351,12 +1351,73 @@ let e21 () =
   Sys.remove half_journal
 
 (* ------------------------------------------------------------------ *)
+(* E22: closed-loop service availability under a crash+partition       *)
+(* ------------------------------------------------------------------ *)
+
+(* The service layer of DESIGN.md §16: a closed-loop client population
+   (retries, backoff, admission control, breaker degradation) driven
+   against Algorithm 5 with the committed prefix and against the Paxos
+   baseline, under one lossy-partition + majority-crash schedule.  Four
+   gates are enforced, not just printed: a strict minority-partition
+   availability gap in ETOB's favour, retry amplification within budget,
+   zero duplicate applies through the replica-side dedup machine, and a
+   byte-identical replay digest.  Emits machine-readable
+   BENCH_service.json. *)
+let e22 () =
+  section "E22" "closed-loop service: availability under crash + lossy partition";
+  let result = Service.Experiment.run () in
+  let spec = Service.Experiment.spec in
+  row "  %d replicas, %d clients; lossy partition isolates {3,4}; replica 1"
+    result.Service.Experiment.etob.s_outcome.Service.Runner.replicas
+    spec.Harness.Service_spec.clients;
+  row "  crashes after the heal; spec: %s" (Harness.Service_spec.to_string spec);
+  row "  %-6s %-9s %-9s %-12s %-7s %-7s %-7s %-8s" "impl" "requests"
+    "avail" "minority" "amp" "sheds" "migr" "p99/p999";
+  let side (s : Service.Experiment.side) =
+    let o = s.Service.Experiment.s_outcome in
+    let r = o.Service.Runner.report in
+    let started, ok = s.Service.Experiment.s_minority in
+    let p99, p999 =
+      match r.Service.Metrics.latency with
+      | Some l -> (l.Sink.p99, l.Sink.p999)
+      | None -> (-1, -1)
+    in
+    row "  %-6s %-9d %-9.2f %d/%d (%.2f)  %-7.2f %-7d %-7d %d/%d"
+      s.Service.Experiment.s_name r.Service.Metrics.requests
+      (Service.Metrics.availability r) ok started
+      (Service.Metrics.ratio s.Service.Experiment.s_minority)
+      (Service.Metrics.amplification r) r.Service.Metrics.sheds
+      r.Service.Metrics.migrations p99 p999
+  in
+  side result.Service.Experiment.etob;
+  side result.Service.Experiment.paxos;
+  List.iter
+    (fun (g : Service.Experiment.gate) ->
+      row "  gate %-20s %-4s %s" g.g_name
+        (if g.g_pass then "ok" else "FAIL")
+        g.g_detail)
+    result.Service.Experiment.gates;
+  row "  expected: ETOB serves the minority through speculative degradation;";
+  row "  Paxos writes die without a majority.  All four gates are enforced.";
+  let json = Service.Experiment.to_json result in
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench"
+    then Filename.concat "bench" "BENCH_service.json"
+    else "BENCH_service.json"
+  in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc json);
+  row "  wrote %s" path;
+  if not result.Service.Experiment.pass then
+    failwith "E22: a service-layer gate failed (see the table above)"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("E19", e19); ("E20A", e20a); ("E21", e21); ("E10", e10) ]
+    ("E18", e18); ("E19", e19); ("E20A", e20a); ("E21", e21); ("E22", e22);
+    ("E10", e10) ]
 
 (* No arguments runs every experiment; otherwise each argument names one
    (case-insensitive), e.g. `dune exec bench/main.exe -- E18 E17`. *)

@@ -1101,6 +1101,129 @@ let soak_cmd =
                $ event_budget_arg $ deadline_arg $ max_findings_arg
                $ max_poisoned_arg $ domains_arg $ artifacts_arg $ resume_arg))
 
+(* --- service --- *)
+
+(* The closed-loop client service layer (DESIGN.md §16).  Without [--spec]
+   this runs experiment E22 — ETOB vs Paxos under the crash+partition
+   schedule — and enforces its four gates (availability gap, bounded retry
+   amplification, zero duplicate applies, replay determinism), writing
+   BENCH_service.json and the latency artifacts for CI to upload on
+   failure.  [--smoke] additionally replays QCheck-generated client
+   populations and demands byte-identical digests; [--spec FILE] runs the
+   [service ...] population of a builder spec file instead. *)
+let service_cmd =
+  let doc =
+    "Run the closed-loop client service layer: the E22 availability gates, \
+     or the service population of a spec file."
+  in
+  let smoke_arg =
+    let doc =
+      "CI smoke gate: E22 plus determinism checks over generated specs."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Engine seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let spec_arg =
+    let doc =
+      "Run the service population of this builder spec file (needs a \
+       'service ...' line) instead of E22."
+    in
+    Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"FILE" ~doc)
+  in
+  let artifacts_arg =
+    let doc = "Directory for BENCH_service.json and the latency artifacts." in
+    Arg.(value & opt string "_artifacts/service"
+         & info [ "artifacts" ] ~docv:"DIR" ~doc)
+  in
+  let write_artifacts dir result =
+    mkdirs dir;
+    let write name contents =
+      let path = Filename.concat dir name in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc contents);
+      Format.printf "wrote %s@." path
+    in
+    write "BENCH_service.json" (Service.Experiment.to_json result);
+    write "latency_etob.json"
+      (Service.Experiment.histogram_json result.Service.Experiment.etob);
+    write "latency_paxos.json"
+      (Service.Experiment.histogram_json result.Service.Experiment.paxos)
+  in
+  let run_spec_file path =
+    let lines = In_channel.with_open_text path In_channel.input_lines in
+    match Builder.of_lines lines with
+    | Error msg -> `Error (false, msg)
+    | Ok b ->
+      (match Service.Runner.run_builder b with
+       | Error msg -> `Error (false, msg)
+       | Ok o ->
+         Format.printf "%a@.digest %s  dedup %s@." Service.Metrics.pp
+           o.Service.Runner.report o.Service.Runner.digest
+           (if o.Service.Runner.dedup_ok then "ok" else "VIOLATED");
+         if o.Service.Runner.dedup_ok then `Ok ()
+         else `Error (false, "duplicate applies leaked through dedup"))
+  in
+  (* Generated populations: each sampled spec must replay to the same
+     digest on a failure-free stack, never exceed its structural attempt
+     budget, and let no duplicate apply through. *)
+  let generated_failures ~seed =
+    let specs = Service.Experiment.sample_specs ~seed ~count:3 in
+    List.concat_map
+      (fun spec ->
+        let setup =
+          { (Harness.Scenario.default ~n:3 ~deadline:120) with
+            Harness.Scenario.seed = seed }
+        in
+        let go () =
+          Service.Runner.run ~setup ~spec ~impl:Harness.Scenario.Algorithm_5
+        in
+        let a = go () in
+        let b = go () in
+        let budget = 1 + spec.Harness.Service_spec.retries in
+        let tag = Harness.Service_spec.to_string spec in
+        List.filter_map Fun.id
+          [ (if String.equal a.Service.Runner.digest b.Service.Runner.digest
+             then None
+             else Some (Printf.sprintf "generated [%s]: replay digest diverged" tag));
+            (if a.Service.Runner.report.Service.Metrics.max_attempts <= budget
+             then None
+             else
+               Some
+                 (Printf.sprintf "generated [%s]: %d attempts exceed budget %d"
+                    tag a.Service.Runner.report.Service.Metrics.max_attempts
+                    budget));
+            (if a.Service.Runner.dedup_ok then None
+             else Some (Printf.sprintf "generated [%s]: duplicate applies" tag)) ])
+      specs
+  in
+  let run smoke seed spec artifacts =
+    match spec with
+    | Some path -> run_spec_file path
+    | None ->
+      let result = Service.Experiment.run ~seed () in
+      List.iter
+        (fun (g : Service.Experiment.gate) ->
+          Format.printf "gate %-20s %-4s %s@." g.g_name
+            (if g.g_pass then "ok" else "FAIL")
+            g.g_detail)
+        result.Service.Experiment.gates;
+      let failures =
+        if smoke then generated_failures ~seed else []
+      in
+      List.iter (fun f -> Format.printf "FAIL %s@." f) failures;
+      write_artifacts artifacts result;
+      if result.Service.Experiment.pass && failures = [] then begin
+        print_endline "SERVICE GATES PASSED";
+        `Ok ()
+      end
+      else `Error (false, "service gates failed")
+  in
+  Cmd.v (Cmd.info "service" ~doc)
+    Term.(ret (const run $ smoke_arg $ seed_arg $ spec_arg $ artifacts_arg))
+
 (* --- cht --- *)
 
 let cht_cmd =
@@ -1164,4 +1287,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; check_cmd; sweep_cmd; explore_cmd; soak_cmd;
-            cht_cmd ]))
+            service_cmd; cht_cmd ]))

@@ -86,6 +86,7 @@ type t = {
   trace_out : (string * trace_format) option;
   propose : (proc_id -> instance:int -> Value.t) option;
   max_instance : int;
+  service : Service_spec.t option;
 }
 
 let create ?(seed = 42) ?(timer_period = 2) ?(delay = Constant 1) ~n ~deadline
@@ -108,7 +109,8 @@ let create ?(seed = 42) ?(timer_period = 2) ?(delay = Constant 1) ~n ~deadline
     sink = None;
     trace_out = None;
     propose = None;
-    max_instance = 0 }
+    max_instance = 0;
+    service = None }
 
 let of_setup setup stack =
   { (create ~n:setup.Stacks.n ~deadline:setup.Stacks.deadline stack) with
@@ -699,6 +701,9 @@ let to_lines ?digest ?(violations = []) t =
      | Some (Stacks.Elected { initial_timeout }) ->
        [ Printf.sprintf "omega elected timeout=%d" initial_timeout ])
   @ workload_lines t.workload
+  @ (match t.service with
+     | None -> []
+     | Some s -> [ "service " ^ Service_spec.to_string s ])
   @ (match t.mutation with
      | None -> []
      | Some m -> [ "mutant " ^ Etob_omega.mutation_name m ])
@@ -1128,6 +1133,11 @@ let parse_new rest =
        | "post" :: tm :: p :: tag_words when !explicit ->
          posts := (int tm, int p, String.concat " " tag_words) :: !posts;
          headers rest
+       | "service" :: fields ->
+         (match Service_spec.of_fields (kv_fields fields) with
+          | Ok s -> t := { !t with service = Some s }
+          | Error msg -> at lineno "service: %s" msg);
+         headers rest
        | "mutant" :: [ v ] ->
          (if v <> "none" then
             match Etob_omega.mutation_of_string v with
@@ -1456,6 +1466,9 @@ let arbitrary =
           Some (Stacks.Elected { initial_timeout = 6 }) ]
     in
     let* budget = oneofl [ None; Some 100 ] in
+    let* service =
+      oneof [ return None; map Option.some Service_spec.gen ]
+    in
     return
       { (create ~seed ~delay ~n ~deadline stack) with
         workload;
@@ -1464,7 +1477,8 @@ let arbitrary =
         boosts;
         mutation;
         omega;
-        budget }
+        budget;
+        service }
   in
   QCheck.make
     ~print:(fun b -> to_string b)

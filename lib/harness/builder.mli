@@ -125,6 +125,10 @@ type t = {
   propose : (proc_id -> instance:int -> Value.t) option;
       (** EC-stack proposer; [None] = {!default_propose} *)
   max_instance : int;  (** EC-stack instance horizon (0 = drive nothing) *)
+  service : Service_spec.t option;
+      (** closed-loop client population riding this stack — carried and
+          serialized here (one [service ...] spec line), interpreted by
+          [lib/service]; {!run} itself ignores it *)
 }
 
 val create :

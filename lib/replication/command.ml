@@ -13,6 +13,7 @@ type t =
   | Enqueue of string
   | Dequeue
   | Set_reg of string
+  | Wput of { client : int; rid : int; key : string; value : string }
 
 let check_atom what s =
   if String.contains s ':' then
@@ -25,6 +26,17 @@ let enqueue item = check_atom "item" item; Enqueue item
 let dequeue = Dequeue
 let set_reg value = check_atom "value" value; Set_reg value
 
+let wput ~client ~rid key value =
+  if client < 0 || rid < 0 then
+    invalid_arg "Command.wput: client and rid must be non-negative";
+  check_atom "key" key;
+  check_atom "value" value;
+  Wput { client; rid; key; value }
+
+let rid_of = function
+  | Wput { client; rid; _ } -> Some (client, rid)
+  | Incr _ | Put _ | Del _ | Enqueue _ | Dequeue | Set_reg _ -> None
+
 let to_tag = function
   | Incr n -> Printf.sprintf "incr:%d" n
   | Put (k, v) -> Printf.sprintf "put:%s:%s" k v
@@ -32,6 +44,8 @@ let to_tag = function
   | Enqueue x -> Printf.sprintf "enq:%s" x
   | Dequeue -> "deq"
   | Set_reg v -> Printf.sprintf "set:%s" v
+  | Wput { client; rid; key; value } ->
+    Printf.sprintf "wput:%d:%d:%s:%s" client rid key value
 
 let of_tag tag =
   match String.split_on_char ':' tag with
@@ -41,6 +55,11 @@ let of_tag tag =
   | [ "enq"; x ] -> Some (Enqueue x)
   | [ "deq" ] -> Some Dequeue
   | [ "set"; v ] -> Some (Set_reg v)
+  | [ "wput"; c; r; key; value ] ->
+    (match (int_of_string_opt c, int_of_string_opt r) with
+     | Some client, Some rid when client >= 0 && rid >= 0 ->
+       Some (Wput { client; rid; key; value })
+     | _ -> None)
   | _ -> None
 
 let equal a b = a = b

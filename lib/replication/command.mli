@@ -8,6 +8,11 @@ type t =
   | Enqueue of string
   | Dequeue
   | Set_reg of string
+  | Wput of { client : int; rid : int; key : string; value : string }
+      (** A [Put] carrying its provenance: the issuing client and an
+          idempotent per-client request id, so replicas can deduplicate
+          client retries that reach the broadcast layer more than once
+          (e.g. after a crash-triggered session migration). *)
 
 val incr : int -> t
 val put : string -> string -> t
@@ -17,6 +22,13 @@ val del : string -> t
 val enqueue : string -> t
 val dequeue : t
 val set_reg : string -> t
+
+val wput : client:int -> rid:int -> string -> string -> t
+(** Raises [Invalid_argument] if key or value contains [':'] or an id is
+    negative. *)
+
+val rid_of : t -> (int * int) option
+(** [(client, rid)] of a provenance-carrying write; [None] otherwise. *)
 
 val to_tag : t -> string
 val of_tag : string -> t option

@@ -23,7 +23,7 @@ module Counter : MACHINE with type state = int = struct
   let apply state = function
     | Command.Incr n -> state + n
     | Command.Put _ | Command.Del _ | Command.Enqueue _ | Command.Dequeue
-    | Command.Set_reg _ -> state
+    | Command.Set_reg _ | Command.Wput _ -> state
 
   let digest = string_of_int
 end
@@ -37,7 +37,7 @@ module Register : MACHINE with type state = string option = struct
   let apply state = function
     | Command.Set_reg v -> Some v
     | Command.Incr _ | Command.Put _ | Command.Del _ | Command.Enqueue _
-    | Command.Dequeue -> state
+    | Command.Dequeue | Command.Wput _ -> state
 
   let digest = function None -> "<none>" | Some v -> v
 end
@@ -51,7 +51,8 @@ module Kv : MACHINE with type state = string String_map.t = struct
   let init = String_map.empty
 
   let apply state = function
-    | Command.Put (k, v) -> String_map.add k v state
+    | Command.Put (k, v) | Command.Wput { key = k; value = v; _ } ->
+      String_map.add k v state
     | Command.Del k -> String_map.remove k state
     | Command.Incr _ | Command.Enqueue _ | Command.Dequeue | Command.Set_reg _ ->
       state
@@ -78,8 +79,8 @@ module Fifo : MACHINE with type state = string list * string list = struct
          (match List.rev back with
           | _ :: rest -> (rest, [])
           | [] -> ([], [])))
-    | Command.Incr _ | Command.Put _ | Command.Del _ | Command.Set_reg _ ->
-      (front, back)
+    | Command.Incr _ | Command.Put _ | Command.Del _ | Command.Set_reg _
+    | Command.Wput _ -> (front, back)
 
   let digest (front, back) = String.concat "|" (front @ List.rev back)
 end

@@ -20,7 +20,7 @@
 open Simulator
 open Simulator.Types
 
-type Io.input += Session_step
+type Io.input += Session_step | Session_step_for of int
 type Io.output +=
   | Session_write of { session : int; value : int }
   | Session_read of { session : int; view : string; value : int option }
@@ -50,11 +50,19 @@ let step t =
   t.ctx.Engine.output (Session_write { session = t.session; value = t.written });
   t.submit (Command.put t.key (string_of_int t.written))
 
-let create (ctx : Engine.ctx) ~session ~views ~submit =
-  let t = { ctx; session; key = key_of session; views; submit; written = 0 } in
+(* [resume_at] hands a migrated session its pre-crash write counter: a
+   correct migration resumes the monotone value stream, a naive one
+   restarts at 0 and the guarantee checkers flag every re-written value. *)
+let create ?(resume_at = 0) (ctx : Engine.ctx) ~session ~views ~submit =
+  let t =
+    { ctx; session; key = key_of session; views; submit; written = resume_at }
+  in
   let node =
     { Engine.idle_node with
-      on_input = (function Session_step -> step t | _ -> ()) }
+      on_input = (function
+        | Session_step -> step t
+        | Session_step_for s when s = session -> step t
+        | _ -> ()) }
   in
   (t, node)
 
@@ -95,6 +103,7 @@ let pp_tally ppf t =
 let () =
   Io.register_input_pp (fun ppf -> function
     | Session_step -> Fmt.string ppf "session-step"; true
+    | Session_step_for s -> Fmt.pf ppf "session-step(s%d)" s; true
     | _ -> false);
   Io.register_output_pp (fun ppf -> function
     | Session_write { session; value } ->

@@ -5,8 +5,11 @@
 open Simulator
 open Simulator.Types
 
-type Io.input += Session_step
-(** Drive one session step: read every view, then write the next value. *)
+type Io.input += Session_step | Session_step_for of int
+(** Drive one session step: read every view, then write the next value.
+    [Session_step] steps every session node on the process;
+    [Session_step_for s] steps only session [s] — needed when a migrated
+    session coexists with the replica's own session on one process. *)
 
 type Io.output +=
   | Session_write of { session : int; value : int }
@@ -21,11 +24,16 @@ val key_of : int -> string
 (** The per-session key ("s<id>"). *)
 
 val create :
+  ?resume_at:int ->
   Engine.ctx ->
   session:int ->
   views:view list ->
   submit:(Command.t -> unit) ->
   t * Engine.node
+(** [resume_at] (default 0) seeds the write counter — the state a correct
+    session migration must carry over to the new replica.  A migrated
+    session created with the default restarts its value stream at 1 and
+    the guarantee checkers flag the regression. *)
 
 type tally = {
   reads : int;

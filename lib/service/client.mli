@@ -1,0 +1,28 @@
+(** The closed-loop client state machine: seeded arrival processes
+    (closed / open-loop / bursty), per-attempt deadlines, capped
+    exponential backoff with seeded jitter, bounded retry budgets over an
+    idempotent request id, ack-based crash suspicion driving session
+    migration, and the strong-to-speculative degradation breaker
+    (DESIGN.md §16).  All timing comes from the engine's clock and all
+    randomness from the per-process {!Simulator.Rng}. *)
+
+open Simulator
+open Simulator.Types
+
+type t
+
+val create :
+  Engine.ctx ->
+  spec:Harness.Service_spec.t ->
+  replicas:int ->
+  index:int ->
+  t * Engine.node
+(** [index] is the client's rank in the population (pins it to replica
+    [index mod replicas]); [ctx.self] is its process id and request
+    provenance. *)
+
+val pin : t -> proc_id
+(** The replica this client currently sends to. *)
+
+val requests_started : t -> int
+val breaker_open : t -> bool

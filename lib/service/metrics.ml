@@ -1,0 +1,140 @@
+(* Service-level metrics, computed purely from the trace.
+
+   Every number here folds over the Wire outputs recorded by clients and
+   endpoints, so two runs with equal traces get equal reports — the same
+   determinism contract the rest of the harness lives by.  Latency
+   quantiles come from Sink.summarize (nearest-rank, so p999 is an actual
+   sample).  Availability is windowed by request *start* time
+   (completion time minus latency): a request launched into a partition
+   counts against the partition's window even if it limps home later. *)
+
+open Simulator
+open Simulator.Types
+
+type window = { w_from : time; w_until : time; w_started : int; w_ok : int }
+
+type t = {
+  requests : int;
+  ok : int;
+  failed : int;
+  overloaded_failures : int;
+  attempts : int;
+  retries : int;
+  weak_ok : int;
+  strong_ok : int;
+  sheds : int;
+  duplicate_submits : int;
+  migrations : int;
+  breaker_opens : int;
+  breaker_closes : int;
+  max_attempts : int;
+  latency : Sink.latency_summary option;
+  windows : window list;
+}
+
+let availability t =
+  if t.requests = 0 then 1.0 else float_of_int t.ok /. float_of_int t.requests
+
+let amplification t =
+  if t.ok = 0 then infinity
+  else float_of_int t.attempts /. float_of_int t.ok
+
+let goodput_per_kilotick t ~horizon =
+  if horizon <= 0 then 0 else t.ok * 1000 / horizon
+
+let of_trace ~spec ~horizon trace =
+  let window_len = (spec : Harness.Service_spec.t).window in
+  let nwin = max 1 ((horizon + window_len - 1) / window_len) in
+  let w_started = Array.make nwin 0 in
+  let w_ok = Array.make nwin 0 in
+  let requests = ref 0 and ok = ref 0 and failed = ref 0 in
+  let overloaded_failures = ref 0 in
+  let attempts = ref 0 and max_attempts = ref 0 in
+  let weak_ok = ref 0 and strong_ok = ref 0 in
+  let sheds = ref 0 and duplicate_submits = ref 0 in
+  let migrations = ref 0 in
+  let breaker_opens = ref 0 and breaker_closes = ref 0 in
+  let latencies = ref [] in
+  List.iter
+    (fun (time, _proc, output) ->
+      match output with
+      | Wire.Attempt _ -> incr attempts
+      | Wire.Completed { ok = was_ok; overloaded; strong; latency; attempts = a; _ }
+        ->
+        incr requests;
+        if a > !max_attempts then max_attempts := a;
+        let started = time - latency in
+        let w = min (nwin - 1) (max 0 (started / window_len)) in
+        w_started.(w) <- w_started.(w) + 1;
+        if was_ok then begin
+          incr ok;
+          w_ok.(w) <- w_ok.(w) + 1;
+          latencies := latency :: !latencies;
+          if strong then incr strong_ok else incr weak_ok
+        end
+        else begin
+          incr failed;
+          if overloaded then incr overloaded_failures
+        end
+      | Wire.Shed _ -> incr sheds
+      | Wire.Duplicate_submit _ -> incr duplicate_submits
+      | Wire.Migrated _ -> incr migrations
+      | Wire.Breaker { opened; _ } ->
+        if opened then incr breaker_opens else incr breaker_closes
+      | _ -> ())
+    (Trace.outputs trace);
+  let completions = !requests in
+  let windows =
+    List.init nwin (fun i ->
+        { w_from = i * window_len;
+          w_until = min horizon ((i + 1) * window_len);
+          w_started = w_started.(i);
+          w_ok = w_ok.(i) })
+  in
+  { requests = completions;
+    ok = !ok;
+    failed = !failed;
+    overloaded_failures = !overloaded_failures;
+    attempts = !attempts;
+    retries = !attempts - completions;
+    weak_ok = !weak_ok;
+    strong_ok = !strong_ok;
+    sheds = !sheds;
+    duplicate_submits = !duplicate_submits;
+    migrations = !migrations;
+    breaker_opens = !breaker_opens;
+    breaker_closes = !breaker_closes;
+    max_attempts = !max_attempts;
+    latency = Sink.summarize (Array.of_list (List.rev !latencies));
+    windows }
+
+let availability_in trace ~endpoints ~from_time ~until_time =
+  let started = ref 0 and ok = ref 0 in
+  List.iter
+    (fun (time, _proc, output) ->
+      match output with
+      | Wire.Completed { ok = was_ok; latency; endpoint; _ }
+        when List.mem endpoint endpoints ->
+        let t0 = time - latency in
+        if t0 >= from_time && t0 < until_time then begin
+          incr started;
+          if was_ok then incr ok
+        end
+      | _ -> ())
+    (Trace.outputs trace);
+  (!started, !ok)
+
+let ratio (started, ok) =
+  if started = 0 then 1.0 else float_of_int ok /. float_of_int started
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>requests=%d ok=%d failed=%d (overloaded %d)@,\
+     attempts=%d retries=%d max-tries=%d amplification=%.2f@,\
+     strong-ok=%d weak-ok=%d sheds=%d dups=%d migrations=%d breaker=+%d/-%d@,\
+     latency %a@]"
+    t.requests t.ok t.failed t.overloaded_failures t.attempts t.retries
+    t.max_attempts (amplification t) t.strong_ok t.weak_ok t.sheds
+    t.duplicate_submits t.migrations t.breaker_opens t.breaker_closes
+    Fmt.(option ~none:(any "-") Sink.pp_latency_summary)
+    t.latency

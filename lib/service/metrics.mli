@@ -1,0 +1,51 @@
+(** Service-level metrics, computed purely from the trace: goodput,
+    retry amplification, shed/duplicate/migration counters, nearest-rank
+    latency quantiles (p50/p95/p99/p999) and per-window availability keyed
+    by request start time. *)
+
+open Simulator
+open Simulator.Types
+
+type window = { w_from : time; w_until : time; w_started : int; w_ok : int }
+
+type t = {
+  requests : int;  (** completed logical requests, successful or not *)
+  ok : int;
+  failed : int;
+  overloaded_failures : int;  (** gave up on a load-shed final attempt *)
+  attempts : int;
+  retries : int;  (** attempts beyond each request's first *)
+  weak_ok : int;  (** successes served on the speculative path *)
+  strong_ok : int;
+  sheds : int;
+  duplicate_submits : int;
+  migrations : int;
+  breaker_opens : int;
+  breaker_closes : int;
+  max_attempts : int;
+  latency : Sink.latency_summary option;
+  windows : window list;
+}
+
+val of_trace : spec:Harness.Service_spec.t -> horizon:int -> Trace.t -> t
+
+val availability : t -> float
+(** [ok / requests]; 1.0 when no requests completed. *)
+
+val amplification : t -> float
+(** [attempts / ok] — the retry-amplification CI gate; [infinity] when
+    nothing succeeded. *)
+
+val goodput_per_kilotick : t -> horizon:int -> int
+
+val availability_in :
+  Trace.t -> endpoints:proc_id list -> from_time:time -> until_time:time ->
+  int * int
+(** [(started, ok)] over requests whose final attempt landed on one of
+    [endpoints] and whose {e start} time falls in the window — the
+    minority-partition availability probe. *)
+
+val ratio : int * int -> float
+(** [(started, ok)] as a fraction; 1.0 for an empty sample. *)
+
+val pp : Format.formatter -> t -> unit

@@ -141,26 +141,42 @@ let latencies c p = Array.sub c.latency.(p).buf 0 c.latency.(p).len
 let all_latencies c =
   Array.concat (List.map (fun s -> Array.sub s.buf 0 s.len) (Array.to_list c.latency))
 
-type latency_summary = { count : int; p50 : int; p95 : int; max : int }
+type latency_summary =
+  { count : int; p50 : int; p95 : int; p99 : int; p999 : int; max : int }
 
-let summarize_array a =
+(* Nearest-rank selection, all in integers: the value at 1-based rank
+   ceil(permille/1000 * len) of the ascending-sorted sample.  Quantiles of
+   integer samples are themselves sample members, identical on every
+   platform — no float rounding at the p999 tail. *)
+let nearest_rank sorted ~permille =
+  let len = Array.length sorted in
+  if len = 0 then invalid_arg "Sink.nearest_rank: empty sample";
+  if permille < 0 || permille > 1000 then
+    invalid_arg "Sink.nearest_rank: permille out of [0, 1000]";
+  let rank = ((permille * len) + 999) / 1000 in
+  sorted.(max 0 (rank - 1))
+
+let summarize a =
   if Array.length a = 0 then None
   else begin
     let sorted = Array.copy a in
-    Array.sort compare sorted;
-    let len = Array.length sorted in
-    let pct p =
-      let rank = int_of_float (ceil (p *. float_of_int len)) - 1 in
-      sorted.(max 0 (min (len - 1) rank))
-    in
-    Some { count = len; p50 = pct 0.5; p95 = pct 0.95; max = sorted.(len - 1) }
+    Array.sort Int.compare sorted;
+    let pct permille = nearest_rank sorted ~permille in
+    Some
+      { count = Array.length sorted;
+        p50 = pct 500;
+        p95 = pct 950;
+        p99 = pct 990;
+        p999 = pct 999;
+        max = sorted.(Array.length sorted - 1) }
   end
 
-let latency_summary c p = summarize_array (latencies c p)
-let total_latency_summary c = summarize_array (all_latencies c)
+let latency_summary c p = summarize (latencies c p)
+let total_latency_summary c = summarize (all_latencies c)
 
 let pp_latency_summary ppf s =
-  Fmt.pf ppf "n=%d p50=%d p95=%d max=%d" s.count s.p50 s.p95 s.max
+  Fmt.pf ppf "n=%d p50=%d p95=%d p99=%d p999=%d max=%d" s.count s.p50 s.p95
+    s.p99 s.p999 s.max
 
 (* ------------------------------------------------------------------ *)
 (* JSONL streaming sink                                                *)

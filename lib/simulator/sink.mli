@@ -62,7 +62,19 @@ val latencies : counters -> proc_id -> int array
 
 val all_latencies : counters -> int array
 
-type latency_summary = { count : int; p50 : int; p95 : int; max : int }
+type latency_summary =
+  { count : int; p50 : int; p95 : int; p99 : int; p999 : int; max : int }
+
+val nearest_rank : int array -> permille:int -> int
+(** [nearest_rank sorted ~permille] is the deterministic nearest-rank
+    quantile of an ascending-sorted, non-empty sample: the value at 1-based
+    rank [ceil(permille/1000 * len)], computed entirely in integers (p50 =
+    500 permille, p999 = 999 permille).  Raises [Invalid_argument] on an
+    empty sample or a permille outside [0, 1000]. *)
+
+val summarize : int array -> latency_summary option
+(** Nearest-rank summary of an arbitrary (unsorted) sample; [None] when
+    empty.  Every quantile is a member of the sample. *)
 
 val latency_summary : counters -> proc_id -> latency_summary option
 val total_latency_summary : counters -> latency_summary option

@@ -149,3 +149,15 @@ let wal_payloads_arb =
     ~print:QCheck.Print.(list string)
     ~shrink:QCheck.Shrink.(list ~shrink:string)
     wal_payloads_gen
+
+(* ------------------------------------------------------------------ *)
+(* Service-layer client populations                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* These generators live with the spec in [Harness.Service_spec] so the
+   smoke gate (`ecsim service --smoke`) can sample them without the test
+   tree; re-exported here so test arbitraries and the builder roundtrip
+   property draw from the same space. *)
+let service_arrival_gen = Harness.Service_spec.arrival_gen
+let service_spec_gen = Harness.Service_spec.gen
+let service_spec_arb = Harness.Service_spec.arbitrary

@@ -101,3 +101,13 @@ val wal_payload_gen : string QCheck.Gen.t
 
 val wal_payloads_gen : string list QCheck.Gen.t
 val wal_payloads_arb : string list QCheck.arbitrary
+
+(** {1 Service-layer client populations}
+
+    Re-exports of [Harness.Service_spec]'s generators: always-valid specs
+    over the small ranges the smoke gate exercises — the same space
+    [ecsim service --smoke] samples. *)
+
+val service_arrival_gen : Harness.Service_spec.arrival QCheck.Gen.t
+val service_spec_gen : Harness.Service_spec.t QCheck.Gen.t
+val service_spec_arb : Harness.Service_spec.t QCheck.arbitrary

@@ -11,7 +11,8 @@ open Replication
 
 let all_commands =
   [ Command.incr 5; Command.incr (-2); Command.put "k" "v"; Command.del "k";
-    Command.enqueue "x"; Command.dequeue; Command.set_reg "r" ]
+    Command.enqueue "x"; Command.dequeue; Command.set_reg "r";
+    Command.wput ~client:4 ~rid:17 "k" "v" ]
 
 let test_command_roundtrip () =
   List.iter
@@ -387,6 +388,80 @@ let test_sessions_split_across_partition () =
          (tally.Session.last_violation <= heal + 40))
     [ (0, "speculative"); (0, "committed"); (3, "speculative"); (3, "committed") ]
 
+(* --- crash-triggered session migration ------------------------------ *)
+
+(* One session (id 7) lives on replica 0 until it crashes at t=80, then
+   resumes on replica 1.  Both incarnations exist from the start; the
+   [Session_step_for] inputs route the steps — to proc 0 before the crash,
+   to proc 1 after — and [resume_at] decides whether the handoff carries
+   the write counter over.  The guarantee checkers must stay clean for a
+   correct handoff and flag a naive restart, not silently pass. *)
+let run_migrated_session ~resume_at =
+  let setup =
+    { (Harness.Scenario.default ~n:3 ~deadline:220) with
+      omega = oracle 0;
+      pattern = Failures.crash_at (Failures.none ~n:3) 0 80 }
+  in
+  let make_node ctx =
+    let omega, omega_node = Harness.Scenario.omega_module setup ctx in
+    let etob, etob_node = Ec_core.Etob_omega.create ctx ~omega in
+    let service = Ec_core.Etob_omega.service etob in
+    let replica, replica_node =
+      Dual_kv.create ctx ~etob:service ~omega
+        ~promotion:(fun () -> Ec_core.Etob_omega.promotion etob)
+    in
+    let views =
+      [ { Session.v_name = "speculative";
+          v_lookup =
+            (fun () ->
+              Machines.String_map.find_opt (Session.key_of 7)
+                (Dual_kv.speculative_state replica)) } ]
+    in
+    let session_nodes =
+      match ctx.Engine.self with
+      | 0 ->
+        [ snd
+            (Session.create ctx ~session:7 ~views
+               ~submit:(Dual_kv.submit replica)) ]
+      | 1 ->
+        [ snd
+            (Session.create ~resume_at ctx ~session:7 ~views
+               ~submit:(Dual_kv.submit replica)) ]
+      | _ -> []
+    in
+    ( Engine.stack
+        ([ omega_node; etob_node; replica_node ] @ session_nodes),
+      () )
+  in
+  let steps proc ~from_time ~until =
+    List.init ((until - from_time) / 12) (fun i ->
+        (from_time + (i * 12), proc, Session.Session_step_for 7))
+  in
+  let inputs = steps 0 ~from_time:20 ~until:80 @ steps 1 ~from_time:100 ~until:200 in
+  let trace, _ =
+    Engine.run_with (Harness.Scenario.engine_config setup) ~make_node ~inputs
+  in
+  Session.tally_of_trace trace ~session:7 ~view:"speculative"
+
+let test_session_migration_correct_handoff () =
+  (* Proc 0 takes 5 steps before crashing, so the migrated incarnation
+     must resume its value stream at 5. *)
+  let tally = run_migrated_session ~resume_at:5 in
+  Alcotest.(check bool) "reads on both replicas" true (tally.Session.reads >= 10);
+  Alcotest.(check int) "ryw clean" 0 tally.Session.ryw_violations;
+  Alcotest.(check int) "mr clean" 0 tally.Session.mr_violations
+
+let test_session_migration_naive_restart_flagged () =
+  (* A naive migration restarts the value stream at 1: its re-written
+     values regress the session's reads and the monotonic-reads checker
+     must flag it. *)
+  let tally = run_migrated_session ~resume_at:0 in
+  Alcotest.(check bool) "reads on both replicas" true (tally.Session.reads >= 10);
+  Alcotest.(check bool)
+    (Format.asprintf "naive restart flagged (%a)" Session.pp_tally tally)
+    true
+    (tally.Session.mr_violations > 0)
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest
       [ prop_machines_deterministic; prop_command_roundtrip ]
@@ -424,5 +499,9 @@ let () =
        [ Alcotest.test_case "clean in stable period" `Quick
            test_sessions_clean_in_stable_period;
          Alcotest.test_case "split across partition" `Quick
-           test_sessions_split_across_partition ]);
+           test_sessions_split_across_partition;
+         Alcotest.test_case "migration: correct handoff clean" `Quick
+           test_session_migration_correct_handoff;
+         Alcotest.test_case "migration: naive restart flagged" `Quick
+           test_session_migration_naive_restart_flagged ]);
     ]

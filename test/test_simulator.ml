@@ -601,7 +601,61 @@ let test_sink_counters_matches_recorder () =
   | Some s ->
     Alcotest.(check int) "p50" 1 s.Sink.p50;
     Alcotest.(check int) "p95" 1 s.Sink.p95;
+    Alcotest.(check int) "p99" 1 s.Sink.p99;
+    Alcotest.(check int) "p999" 1 s.Sink.p999;
     Alcotest.(check int) "max" 1 s.Sink.max
+
+(* Nearest-rank quantiles are pinned exactly: for a sample of size [len]
+   the q-permille quantile is the value at 1-based rank
+   ceil(q*len/1000), so every quantile is a member of the sample and no
+   float rounding can move the p999 tail. *)
+let test_sink_nearest_rank_exact () =
+  let sorted = Array.init 100 (fun i -> (i + 1) * 10) in  (* 10,20,...,1000 *)
+  let q permille = Sink.nearest_rank sorted ~permille in
+  Alcotest.(check int) "p50 of 1..100*10" 500 (q 500);
+  Alcotest.(check int) "p95" 950 (q 950);
+  Alcotest.(check int) "p99" 990 (q 990);
+  Alcotest.(check int) "p999 rounds up to max" 1000 (q 999);
+  Alcotest.(check int) "p1000 is max" 1000 (q 1000);
+  Alcotest.(check int) "p0 clamps to min" 10 (q 0);
+  (* len = 3: ranks are ceil(1.5)=2, ceil(2.85)=3, ceil(2.97)=3, ceil(2.997)=3 *)
+  let three = [| 7; 11; 42 |] in
+  Alcotest.(check int) "p50 of 3" 11 (Sink.nearest_rank three ~permille:500);
+  Alcotest.(check int) "p95 of 3" 42 (Sink.nearest_rank three ~permille:950);
+  Alcotest.(check int) "p999 of 3" 42 (Sink.nearest_rank three ~permille:999);
+  (* len = 1: everything is the single sample. *)
+  Alcotest.(check int) "singleton p999" 5 (Sink.nearest_rank [| 5 |] ~permille:999);
+  (* summarize sorts internally and agrees with nearest_rank on the
+     sorted sample, whatever the input order. *)
+  let shuffled = [| 42; 7; 11 |] in
+  (match Sink.summarize shuffled with
+   | None -> Alcotest.fail "non-empty sample"
+   | Some s ->
+     Alcotest.(check int) "summarize count" 3 s.Sink.count;
+     Alcotest.(check int) "summarize p50" 11 s.Sink.p50;
+     Alcotest.(check int) "summarize p99" 42 s.Sink.p99;
+     Alcotest.(check int) "summarize p999" 42 s.Sink.p999;
+     Alcotest.(check int) "summarize max" 42 s.Sink.max);
+  Alcotest.(check (option reject)) "empty sample summarizes to None" None
+    (Sink.summarize [||]);
+  (* A long-tailed sample where p99 and p999 genuinely differ: 999 unit
+     latencies and one straggler; rank ceil(0.99*1000)=990 -> 1,
+     ceil(0.999*1000)=999 -> 1, ceil(1.0*1000)=1000 -> straggler. *)
+  let tail = Array.make 1000 1 in
+  tail.(999) <- 500;
+  (match Sink.summarize tail with
+   | None -> Alcotest.fail "non-empty sample"
+   | Some s ->
+     Alcotest.(check int) "tail p99" 1 s.Sink.p99;
+     Alcotest.(check int) "tail p999" 1 s.Sink.p999;
+     Alcotest.(check int) "tail max" 500 s.Sink.max);
+  let tail2 = Array.make 1000 1 in
+  tail2.(999) <- 500; tail2.(998) <- 400;
+  (match Sink.summarize tail2 with
+   | None -> Alcotest.fail "non-empty sample"
+   | Some s ->
+     Alcotest.(check int) "two-straggler p999 hits the tail" 400 s.Sink.p999;
+     Alcotest.(check int) "two-straggler p99 stays in the body" 1 s.Sink.p99)
 
 (* [tee a b] must forward each event to [a] then [b], event by event —
    interleaved, never batched — so the second sink can rely on the first
@@ -868,6 +922,8 @@ let () =
       ("sink",
        [ Alcotest.test_case "counters matches recorder" `Quick
            test_sink_counters_matches_recorder;
+         Alcotest.test_case "nearest-rank quantiles exact" `Quick
+           test_sink_nearest_rank_exact;
          Alcotest.test_case "tee ordering" `Quick test_sink_tee_ordering;
          Alcotest.test_case "tee and jsonl" `Quick test_sink_tee_and_jsonl;
          Alcotest.test_case "with_jsonl closes on raise" `Quick
