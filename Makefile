@@ -13,13 +13,19 @@ test:
 
 check: build test
 
-# Determinism & protocol-hygiene static analysis (DESIGN.md §12): flags
-# unseeded randomness, wall-clock leakage, unordered Hashtbl iteration,
-# polymorphic compare in protocol modules, Marshal/== outside lib/persist
-# and unsealed library modules.  A hard CI gate: exits 1 on any finding
-# that is not covered by a justified `detlint:` allowlist comment.
+# Static analysis, both halves (DESIGN.md §12 and §17).  detlint works
+# on the parsetree alone: unseeded randomness, wall-clock leakage,
+# unordered Hashtbl iteration, polymorphic compare in protocol modules,
+# Marshal/== outside lib/persist, unsealed library modules.  alloclint
+# works on typedtrees (cmt files, hence the `dune build @check`): heap
+# allocation, unknown calls, polymorphic compares, Obj escapes and
+# growable structures reachable from the hot-path registry and from
+# [@alloc.zero] functions.  A hard CI gate either way: exit 1 on any
+# finding not covered by a justified `detlint:` allowlist comment.
 lint:
 	dune exec bin/detlint.exe -- lib bin test
+	dune build @check
+	dune exec bin/alloclint.exe -- lib
 
 # Adversarial smoke: all three faithful targets (crash-stop,
 # crash-recovery, and anti-entropy-under-watchdog with message-losing

@@ -43,6 +43,19 @@ let mean xs =
   | [] -> nan
   | _ -> float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs)
 
+(* Every bench JSON records how much GC work its run cost (DESIGN.md
+   §17), so allocation regressions show up in the committed artifacts —
+   not only in E23's enforced budget.  [gc_mark] brackets the start of
+   an experiment body; [gc_fields] renders the deltas for its JSON. *)
+let gc_baseline = ref (Gc.quick_stat ())
+let gc_mark () = gc_baseline := Gc.quick_stat ()
+
+let gc_fields () =
+  let s1 = Gc.quick_stat () and s0 = !gc_baseline in
+  Printf.sprintf "\"gc_minor_words\": %.0f,\n  \"gc_major_words\": %.0f"
+    (s1.Gc.minor_words -. s0.Gc.minor_words)
+    (s1.Gc.major_words -. s0.Gc.major_words)
+
 (* ------------------------------------------------------------------ *)
 (* E1: delivery latency in communication steps (2 vs 3)                *)
 (* ------------------------------------------------------------------ *)
@@ -639,6 +652,7 @@ let e14 () =
    machine-readable BENCH_sweep.json for tracking across revisions. *)
 let e15 () =
   section "E15" "multi-seed E1: probe latency, mean +/- stddev over 32 seeds";
+  gc_mark ();
   let n = 3 and seeds = 32 in
   let domains = Harness.Sweep.default_domains () in
   row "  %d seeds per implementation, %d domains" seeds domains;
@@ -678,7 +692,7 @@ let e15 () =
   let json =
     Printf.sprintf
       "{\n  \"experiment\": \"E15\",\n  \"seeds\": %d,\n  \"domains\": %d,\n  \
-       \"results\": [\n%s\n  ]\n}\n"
+       \"results\": [\n%s\n  ],\n  %s\n}\n"
       seeds domains
       (String.concat ",\n"
          (List.map
@@ -688,6 +702,7 @@ let e15 () =
                   \"stddev\": %.4f, \"runs\": %d}"
                  name m sd runs)
             rows))
+      (gc_fields ())
   in
   let path =
     if Sys.file_exists "bench" && Sys.is_directory "bench"
@@ -760,6 +775,7 @@ let e16 () =
    Besides the table, emits machine-readable BENCH_recovery.json. *)
 let e17 () =
   section "E17" "crash-recovery: replay catch-up, disk faults, post-recovery verdicts";
+  gc_mark ();
   let n = 4 and deadline = 300 and proc = 1 and at = 60 in
   let rows_spec =
     [ ("short-window", 80, None, None);
@@ -835,9 +851,10 @@ let e17 () =
   let json =
     Printf.sprintf
       "{\n  \"experiment\": \"E17\",\n  \"n\": %d,\n  \"deadline\": %d,\n  \
-       \"crash_at\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+       \"crash_at\": %d,\n  \"results\": [\n%s\n  ],\n  %s\n}\n"
       n deadline at
       (String.concat ",\n" json_rows)
+      (gc_fields ())
   in
   let path =
     if Sys.file_exists "bench" && Sys.is_directory "bench"
@@ -864,6 +881,7 @@ let e17 () =
    BENCH_partition.json. *)
 let e18 () =
   section "E18" "lossy-partition heal: anti-entropy digest vs flood repair traffic";
+  gc_mark ();
   let n = 4 and deadline = 240 in
   let from_time = 40 and until_time = 120 in
   let spec = { Net.blocks = [ [ 0; 1; 2 ]; [ 3 ] ]; from_time; until_time } in
@@ -936,9 +954,10 @@ let e18 () =
       "{\n  \"experiment\": \"E18\",\n  \"n\": %d,\n  \"deadline\": %d,\n  \
        \"partition\": {\"isolated\": 3, \"from\": %d, \"until\": %d, \
        \"lossy\": true},\n  \"digest_payload_strictly_smaller\": true,\n  \
-       \"results\": [\n%s\n  ]\n}\n"
+       \"results\": [\n%s\n  ],\n  %s\n}\n"
       n deadline from_time until_time
       (String.concat ",\n" [ d_json; f_json ])
+      (gc_fields ())
   in
   let path =
     if Sys.file_exists "bench" && Sys.is_directory "bench"
@@ -960,6 +979,7 @@ let e18 () =
    machine-readable BENCH_lint.json. *)
 let e19 () =
   section "E19" "detlint static-analysis gate: scan speed and cleanliness";
+  gc_mark ();
   let roots = List.filter Sys.file_exists [ "lib"; "bin"; "test" ] in
   if List.length roots < 3 then
     row "  skipped: not run from the repository root (lib/ bin/ test/ missing)"
@@ -995,8 +1015,8 @@ let e19 () =
          \"test\"],\n  \"files_scanned\": %d,\n  \"findings\": %d,\n  \
          \"allowlisted\": %d,\n  \"elapsed_seconds\": %.3f,\n  \
          \"budget_seconds\": %.1f,\n  \"clean\": true,\n  \
-         \"within_budget\": true\n}\n"
-        result.Lint.Driver.files findings allowed elapsed budget
+         \"within_budget\": true,\n  %s\n}\n"
+        result.Lint.Driver.files findings allowed elapsed budget (gc_fields ())
     in
     let path =
       if Sys.file_exists "bench" && Sys.is_directory "bench"
@@ -1098,6 +1118,7 @@ let e10 () =
    Besides the table, emits machine-readable BENCH_trace.json. *)
 let e20a () =
   section "E20a" "framed binary trace + CRC32 WAL vs jsonl + MD5";
+  gc_mark ();
   let module Frame = Persist.Frame in
   let module Store = Persist.Store in
   let quota = 0.4 in
@@ -1213,10 +1234,10 @@ let e20a () =
        \"crc32_wal_records_per_s\": %.0f,\n  \"wal_speedup\": %.3f,\n  \
        \"binary_strictly_smaller\": true,\n  \
        \"binary_strictly_faster\": true,\n  \
-       \"crc32_strictly_faster\": true\n}\n"
+       \"crc32_strictly_faster\": true,\n  %s\n}\n"
       n_events (ev_rate jsonl_rate) (ev_rate bin_rate) (ev_rate decode_rate)
       jsonl_bytes bin_bytes ser_speedup n_records (rec_rate md5_rate)
-      (rec_rate crc_rate) wal_speedup
+      (rec_rate crc_rate) wal_speedup (gc_fields ())
   in
   let path =
     if Sys.file_exists "bench" && Sys.is_directory "bench"
@@ -1245,6 +1266,7 @@ let e20a () =
    campaigns fan out over domains, so CPU time would double-count. *)
 let e21 () =
   section "E21" "crash-safe soak campaign: journal overhead + resume speedup";
+  gc_mark ();
   let module Campaign = Soak.Campaign in
   let module Runner = Soak.Runner in
   let clock = Harness.Clock.monotonic () in
@@ -1336,9 +1358,9 @@ let e21 () =
        \"interrupted_resume_ms\": %d,\n  \"replay_ms\": %d,\n  \
        \"replay_speedup\": %.1f,\n  \
        \"interrupted_digest_identical\": true,\n  \
-       \"replay_digest_identical\": true\n}\n"
+       \"replay_digest_identical\": true,\n  %s\n}\n"
       total run_ms jobs_per_s journal_bytes bytes_per_job resume_ms replay_ms
-      replay_speedup
+      replay_speedup (gc_fields ())
   in
   let path =
     if Sys.file_exists "bench" && Sys.is_directory "bench"
@@ -1411,13 +1433,111 @@ let e22 () =
     failwith "E22: a service-layer gate failed (see the table above)"
 
 (* ------------------------------------------------------------------ *)
+(* E23: per-event allocation on the engine hot path (budget enforced)  *)
+(* ------------------------------------------------------------------ *)
+
+(* alloclint (DESIGN.md §17) proves the engine's hot path free of
+   unjustified allocation sites statically; this leg prices what the
+   static gate deliberately allows — the RNG's Int64 boxing and the
+   protocol/observer callbacks behind the justified A2 allows — and
+   enforces a hard budget in bytes per simulated event.  The two gates
+   cover each other: an allocation smuggled past alloclint through a
+   newly allowed callback trips the budget here, and a budget-friendly
+   but unjustified site trips alloclint.
+
+   The workload is the E15 scenario family (jittered links, oracle
+   Omega, tight timers) so the number is comparable across revisions of
+   the same benchmark.  Bytes are charged per automaton step (deliver,
+   timer or input dispatch, [Trace.steps]), measured as the minor-word
+   delta across whole runs after one warm-up run has paid all one-time
+   module and node construction.  Emits machine-readable
+   BENCH_alloc.json. *)
+let e23 () =
+  section "E23" "per-event allocation: minor-heap bytes per engine step";
+  let n = 3 and seeds = [ 2; 3; 4; 5 ] in
+  (* Measured 2026-08: ~145 B/step (Alg. 5), ~405 B/step (Paxos, fewer
+     steps to amortize over).  The budget gives the worst row ~2.5x
+     headroom; a hot-path allocation regression multiplies the rate. *)
+  let budget_bytes = 1024.0 in
+  let word_bytes = float_of_int (Sys.word_size / 8) in
+  let run_once impl seed =
+    let setup = { (Harness.Scenario.default ~n ~deadline:600) with
+                  seed;
+                  delay = Net.uniform ~min:2 ~max:6; omega = oracle 0;
+                  timer_period = 1 } in
+    let inputs =
+      (10, 0, Harness.Scenario.Post "warmup")
+      :: List.init 8 (fun i ->
+          (60 + (i * 40), (i + 1) mod n,
+           Harness.Scenario.Post (Printf.sprintf "probe%d" i)))
+    in
+    let trace = Harness.Scenario.run_etob ~inputs setup impl in
+    Trace.steps trace
+  in
+  row "  E15 scenario family, %d seeds per implementation, budget %.0f B/step"
+    (List.length seeds) budget_bytes;
+  row "  %-16s %-10s %-16s %-16s %-12s" "implementation" "steps"
+    "minor words" "major words" "bytes/step";
+  let measure impl =
+    ignore (run_once impl 1);  (* warm-up: one-time init is not charged *)
+    let s0 = Gc.quick_stat () in
+    let steps =
+      List.fold_left (fun acc seed -> acc + run_once impl seed) 0 seeds
+    in
+    let s1 = Gc.quick_stat () in
+    let minor = s1.Gc.minor_words -. s0.Gc.minor_words in
+    let major = s1.Gc.major_words -. s0.Gc.major_words in
+    let bytes_per_step = minor *. word_bytes /. float_of_int (max 1 steps) in
+    row "  %-16s %-10d %-16.0f %-16.0f %-12.1f" (impl_name impl) steps minor
+      major bytes_per_step;
+    (impl_name impl, steps, minor, major, bytes_per_step)
+  in
+  let rows =
+    List.map measure
+      [ Harness.Scenario.Algorithm_5; Harness.Scenario.Paxos_baseline ]
+  in
+  row "  expected: every implementation within the %.0f bytes/step budget"
+    budget_bytes;
+  row "  (enforced; the static half of the gate is `make lint`'s alloclint)";
+  List.iter
+    (fun (name, _, _, _, b) ->
+       if b > budget_bytes then
+         failwith
+           (Printf.sprintf "E23: %s allocates %.1f bytes/step (budget %.0f)"
+              name b budget_bytes))
+    rows;
+  let json =
+    Printf.sprintf
+      "{\n  \"experiment\": \"E23\",\n  \"seeds\": %d,\n  \
+       \"budget_bytes_per_step\": %.0f,\n  \"word_bytes\": %.0f,\n  \
+       \"results\": [\n%s\n  ],\n  \"within_budget\": true\n}\n"
+      (List.length seeds) budget_bytes word_bytes
+      (String.concat ",\n"
+         (List.map
+            (fun (name, steps, minor, major, b) ->
+               Printf.sprintf
+                 "    {\"impl\": \"%s\", \"steps\": %d, \
+                  \"gc_minor_words\": %.0f, \"gc_major_words\": %.0f, \
+                  \"bytes_per_step\": %.1f}"
+                 name steps minor major b)
+            rows))
+  in
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench"
+    then Filename.concat "bench" "BENCH_alloc.json"
+    else "BENCH_alloc.json"
+  in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc json);
+  row "  wrote %s" path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
     ("E18", e18); ("E19", e19); ("E20A", e20a); ("E21", e21); ("E22", e22);
-    ("E10", e10) ]
+    ("E23", e23); ("E10", e10) ]
 
 (* No arguments runs every experiment; otherwise each argument names one
    (case-insensitive), e.g. `dune exec bench/main.exe -- E18 E17`. *)

@@ -1,0 +1,53 @@
+(* alloclint — the hot-path allocation gate (DESIGN.md §17).
+
+   Usage: alloclint [--build DIR] [--source-root DIR] [--json FILE]
+                    [--verbose] [PATH...]
+
+   Reads typedtrees from the dune build tree (run `dune build @check`
+   first so every unit has a .cmt), resolves the hot-path roots
+   ([@@alloc.zero] attributes plus the engine registry), and walks the
+   call graph from each root with the A1–A5 rules.  Roots name source
+   directories relative to the project root (default: lib).  Exits 0
+   when no unallowlisted finding remains, 1 when findings stand, 2 on
+   errors (missing build tree, stale registry, malformed allowlist). *)
+
+let () =
+  let build_dir = ref (Filename.concat "_build" "default") in
+  let source_root = ref "." in
+  let json_path = ref "" in
+  let verbose = ref false in
+  let roots = ref [] in
+  let spec =
+    [ ("--build", Arg.Set_string build_dir,
+       "DIR dune build tree holding the .cmt files (default _build/default)");
+      ("--source-root", Arg.Set_string source_root,
+       "DIR directory the cmt source paths are relative to (default .)");
+      ("--json", Arg.Set_string json_path,
+       "FILE also write the machine-readable report to FILE");
+      ("--verbose", Arg.Set verbose,
+       " list allowlisted (suppressed) findings with their justifications") ]
+  in
+  let usage =
+    "alloclint [--build DIR] [--source-root DIR] [--json FILE] [--verbose] \
+     [PATH...]"
+  in
+  Arg.parse (Arg.align spec) (fun p -> roots := p :: !roots) usage;
+  let roots = match List.rev !roots with [] -> [ "lib" ] | rs -> rs in
+  match
+    Lint.Alloc_driver.scan ~build_dir:!build_dir ~source_root:!source_root
+      roots
+  with
+  | Error e ->
+    prerr_endline ("alloclint: error: " ^ e);
+    exit 2
+  | Ok result ->
+    if !json_path <> "" then
+      Out_channel.with_open_text !json_path (fun oc ->
+          Out_channel.output_string oc (Lint.Alloc_report.to_json result));
+    if !verbose then
+      List.iter
+        (fun (f, reason) ->
+           Format.printf "%a  (allowed: %s)@." Lint.Finding.pp_human f reason)
+        result.Lint.Alloc_driver.allowed;
+    Format.printf "%a" Lint.Alloc_report.pp_human result;
+    exit (if result.Lint.Alloc_driver.findings = [] then 0 else 1)

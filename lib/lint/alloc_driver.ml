@@ -1,0 +1,170 @@
+(* alloclint's driver: load cmts, index top-level functions, resolve the
+   hot-path roots (attribute + registry), walk the call graph from each
+   root with the A-rule pass, and apply the per-file allowlists.
+
+   The scan is interprocedural but stays inside the scanned tree: a
+   call into a function whose typedtree we loaded follows the edge; a
+   call that leaves the tree is resolved against Hotpath's tables (or
+   reported A2).  Functions are analyzed at most once, attributed to
+   the first root (in sorted order) that reaches them, so output is
+   deterministic and goldenable. *)
+
+type fn = {
+  f_key : string;   (* "Simulator.Pqueue.insert" *)
+  f_unit : string;  (* "Simulator.Pqueue" *)
+  f_file : string;  (* build-root-relative source *)
+  f_hot_attr : bool;
+  f_is_fun : bool;  (* literal function: body runs per call *)
+  f_expr : Typedtree.expression;
+}
+
+type result_t = {
+  cmts : int;
+  functions : int;
+  hot_roots : string list;
+  findings : Finding.t list;  (* unallowlisted, in Finding.order *)
+  allowed : (Finding.t * string) list;
+}
+
+(* Top-level bindings of one unit, plus any deeper binding that carries
+   [@@alloc.zero] (annotated nested functions opt in; unannotated
+   nested functions are analyzed inline by the rule pass instead). *)
+let index_cmt table (c : Cmt_loader.cmt) =
+  let add ~replace key entry =
+    if replace || not (Hashtbl.mem table key) then
+      Hashtbl.replace table key entry
+  in
+  let add_binding ~replace (vb : Typedtree.value_binding) =
+    match vb.vb_pat.pat_desc with
+    | Typedtree.Tpat_var (id, _) ->
+      let key = c.unit_name ^ "." ^ Ident.name id in
+      add ~replace key
+        { f_key = key;
+          f_unit = c.unit_name;
+          f_file = c.source_file;
+          f_hot_attr = Alloc_rules.has_alloc_attr vb.vb_attributes;
+          f_is_fun =
+            (match vb.vb_expr.exp_desc with
+             | Typedtree.Texp_function _ -> true
+             | _ -> false);
+          f_expr = vb.vb_expr }
+    | _ -> ()
+  in
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+       match item.str_desc with
+       | Typedtree.Tstr_value (_, vbs) ->
+         List.iter (add_binding ~replace:true) vbs
+       | _ -> ())
+    c.structure.str_items;
+  let value_binding sub vb =
+    if Alloc_rules.has_alloc_attr vb.Typedtree.vb_attributes then
+      add_binding ~replace:false vb;
+    Tast_iterator.default_iterator.value_binding sub vb
+  in
+  let it = { Tast_iterator.default_iterator with value_binding } in
+  it.structure it c.structure
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* Allowlists are read from the sources named by the cmts, resolved
+   against [source_root]; cached per file. *)
+let allowlist_for cache ~source_root file =
+  match Hashtbl.find_opt cache file with
+  | Some r -> r
+  | None ->
+    let path = Filename.concat source_root file in
+    let r =
+      match read_file path with
+      | exception Sys_error e ->
+        Error (Printf.sprintf "alloclint: cannot read source %s: %s" path e)
+      | source -> Allow.scan ~file source
+    in
+    Hashtbl.add cache file r;
+    r
+
+let scan ?(registry = Hotpath.default_registry)
+    ?(build_dir = Filename.concat "_build" "default") ?(source_root = ".")
+    roots =
+  match Cmt_loader.load ~build_dir ~roots with
+  | Error _ as e -> e
+  | Ok cmts ->
+    let table = Hashtbl.create 256 in
+    List.iter (index_cmt table) cmts;
+    let missing =
+      List.filter (fun k -> not (Hashtbl.mem table k)) registry
+    in
+    if missing <> [] then
+      Error
+        (Printf.sprintf
+           "alloclint: hot-path registry names %s but no such function was \
+            found in the scanned cmts — stale registry or missing build?"
+           (String.concat ", " missing))
+    else begin
+      let attr_roots =
+        (* detlint: sorted the fold feeds sort_uniq below, so hash order never escapes *)
+        Hashtbl.fold (fun k f acc -> if f.f_hot_attr then k :: acc else acc)
+          table []
+      in
+      let hot_roots =
+        List.sort_uniq String.compare (registry @ attr_roots)
+      in
+      let allow_cache = Hashtbl.create 16 in
+      let visited = Hashtbl.create 64 in
+      let err = ref None in
+      let findings = ref [] in
+      let allowed = ref [] in
+      let record root (fn : fn) =
+        let raw, edges =
+          Alloc_rules.analyze ~unit_name:fn.f_unit ~file:fn.f_file
+            ~in_table:(Hashtbl.mem table) fn.f_expr
+        in
+        let raw =
+          if fn.f_key = root then raw
+          else
+            List.map
+              (fun (f : Finding.t) ->
+                 { f with
+                   Finding.message =
+                     f.Finding.message
+                     ^ Printf.sprintf " — on the hot path of `%s`" root })
+              raw
+        in
+        (match allowlist_for allow_cache ~source_root fn.f_file with
+         | Error e -> if !err = None then err := Some e
+         | Ok allows ->
+           List.iter
+             (fun (f : Finding.t) ->
+                match Allow.permits allows f.Finding.rule ~line:f.Finding.line with
+                | Some reason -> allowed := (f, reason) :: !allowed
+                | None -> findings := f :: !findings)
+             raw);
+        edges
+      in
+      let rec follow root key =
+        if not (Hashtbl.mem visited key) then begin
+          Hashtbl.add visited key ();
+          match Hashtbl.find_opt table key with
+          | None -> ()
+          | Some fn when not fn.f_is_fun ->
+            (* A top-level value (closure record, Int64 constant): its
+               defining expression ran once at module init, so reading
+               it from hot code is a pointer load, not a call. *)
+            ()
+          | Some fn ->
+            let edges = record root fn in
+            List.iter (follow root) edges
+        end
+      in
+      List.iter (fun r -> follow r r) hot_roots;
+      match !err with
+      | Some e -> Error e
+      | None ->
+        Ok
+          { cmts = List.length cmts;
+            functions = Hashtbl.length table;
+            hot_roots;
+            findings = List.sort Finding.order !findings;
+            allowed =
+              List.sort (fun (a, _) (b, _) -> Finding.order a b) !allowed }
+    end

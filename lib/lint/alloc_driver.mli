@@ -1,0 +1,24 @@
+(* alloclint's driver: cmt loading, function indexing, hot-root
+   resolution, call-graph walk, allowlist application. *)
+
+type result_t = {
+  cmts : int;                 (* typedtrees loaded *)
+  functions : int;            (* top-level functions indexed *)
+  hot_roots : string list;    (* sorted: registry + [@@alloc.zero] *)
+  findings : Finding.t list;  (* unallowlisted, in Finding.order *)
+  allowed : (Finding.t * string) list;  (* suppressed + justification *)
+}
+
+(* [scan roots] analyzes every cmt under [build_dir] whose source lives
+   under one of [roots] (build-root-relative source directories).
+   [registry] defaults to {!Hotpath.default_registry}; a registry entry
+   with no matching function is a hard error.  [source_root] locates
+   the sources named by the cmts so allow directives can be read.
+   Errors on missing build dir, unreadable sources, malformed allow
+   directives, or a stale registry. *)
+val scan :
+  ?registry:string list ->
+  ?build_dir:string ->
+  ?source_root:string ->
+  string list ->
+  (result_t, string) result

@@ -1,0 +1,7 @@
+(* Rendering of an alloclint scan result. *)
+
+(* Stable, sorted, trailing-newline JSON — safe to golden. *)
+val to_json : Alloc_driver.result_t -> string
+
+(* file:line:col diagnostics plus a one-line summary. *)
+val pp_human : Format.formatter -> Alloc_driver.result_t -> unit

@@ -1,0 +1,247 @@
+(* The A-rule pass: analyze one function body from the typedtree and
+   report every construct that can heap-allocate (or hide allocation)
+   at dispatch time, plus the set of same-scan functions it calls so
+   the driver can walk the call graph.
+
+   What counts as what (DESIGN.md §17):
+
+   A1 — direct allocation: closures (including `let f x = ...` inside a
+        hot body: each execution of the [let] builds a closure block),
+        tuples, records, non-constant constructors, polymorphic
+        variants with payload, array literals, lazy thunks, partial
+        application (the applied-prefix closure), and calls to builtins
+        the tables name as allocating (string building, Printf, boxed
+        int64/float arithmetic, raise-for-control-flow).
+   A2 — allocation unknown: calls into externals absent from the
+        tables, calls through function parameters or other local
+        function values, and calls through computed function values
+        (record fields, array slots).  Local [let]-bound function
+        literals are NOT A2: their bodies sit in this same expression
+        tree and are analyzed inline.
+   A3 — polymorphic compare/hash: builtins from the Poly table, plus
+        the comparison operators when any operand is not an immediate
+        base type (int/bool/char/unit) — those compile to a
+        polymorphic-compare call that walks and may box.
+   A4 — Obj.* escapes: the analysis is blind past them.
+   A5 — growable structures: Buffer/Hashtbl/Queue/Stack mutation whose
+        amortized resizing allocates unpredictably mid-run.
+
+   The pass is deliberately per-mention conservative: a bare reference
+   to an allocating builtin (passed higher-order) is flagged like a
+   call, and a mention of a same-scan function creates a call edge
+   whether or not it is syntactically applied. *)
+
+open Typedtree
+
+type out = {
+  mutable findings : Finding.t list;
+  mutable edges : string list;  (* same-scan callee keys *)
+}
+
+let finding out rule (loc : Location.t) ~file msg =
+  let p = loc.loc_start in
+  out.findings <-
+    Finding.make ~rule ~file ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol) msg
+    :: out.findings
+
+let edge out key =
+  if not (List.mem key out.edges) then out.edges <- key :: out.edges
+
+(* --- small type helpers ---------------------------------------------- *)
+
+let rec type_repr ty =
+  match Types.get_desc ty with
+  | Types.Tpoly (t, _) -> type_repr t
+  | d -> d
+
+let is_arrow ty = match type_repr ty with Types.Tarrow _ -> true | _ -> false
+
+(* Immediate base types compile comparison operators to direct machine
+   comparisons; everything else goes through polymorphic compare.  The
+   cmt typedtree keeps abbreviations unexpanded, so known int aliases
+   (Types.time, Types.proc_id) are accepted by name. *)
+let is_immediate_base ty =
+  match type_repr ty with
+  | Types.Tconstr (p, _, _) ->
+    Path.same p Predef.path_int || Path.same p Predef.path_bool
+    || Path.same p Predef.path_char
+    || Path.same p Predef.path_unit
+    || Hotpath.is_immediate_alias (Cmt_loader.normalize_unit (Path.name p))
+  | _ -> false
+
+let normalize_name p = Cmt_loader.normalize_unit (Path.name p)
+
+(* --- the pass -------------------------------------------------------- *)
+
+let has_alloc_attr attrs =
+  List.exists
+    (fun (a : Parsetree.attribute) -> a.attr_name.txt = Hotpath.attribute_name)
+    attrs
+
+(* Idents [let]-bound to function literals anywhere under [e]: calls
+   through them are analyzed inline, not A2. *)
+let collect_local_fns e =
+  let acc = ref [] in
+  let value_binding sub vb =
+    (match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+     | (Tpat_var (id, _), Texp_function _) -> acc := id :: !acc
+     | _ -> ());
+    Tast_iterator.default_iterator.value_binding sub vb
+  in
+  let it = { Tast_iterator.default_iterator with value_binding } in
+  it.expr it e;
+  !acc
+
+let analyze ~unit_name ~file ~in_table root_expr =
+  let out = { findings = []; edges = [] } in
+  let local_fns = collect_local_fns root_expr in
+  let is_local_fn id = List.exists (Ident.same id) local_fns in
+  (* A qualified (or table-resolved) mention, head position or not. *)
+  let handle_mention loc path =
+    let name = normalize_name path in
+    match path with
+    | Path.Pident _ ->
+      (* Bare idents are local values or same-unit top-level functions;
+         only the latter matter here.  Calls through local values are
+         handled at the application site. *)
+      if in_table (unit_name ^ "." ^ name) then
+        edge out (unit_name ^ "." ^ name)
+    | _ ->
+      if in_table name then edge out name
+      else if Hotpath.is_comparison_op name then
+        (* Only classifiable with operands; handled at apply sites.  A
+           bare higher-order mention is covered by the partial-
+           application rule when it matters. *)
+        ()
+      else (
+        match Hotpath.classify name with
+        | Some Hotpath.Safe -> ()
+        | Some (Hotpath.Allocates why) ->
+          finding out Finding.A1 loc ~file (Printf.sprintf "`%s`: %s" name why)
+        | Some (Hotpath.Poly why) ->
+          finding out Finding.A3 loc ~file (Printf.sprintf "`%s`: %s" name why)
+        | Some (Hotpath.Unsafe why) -> finding out Finding.A4 loc ~file why
+        | Some (Hotpath.Growable why) ->
+          finding out Finding.A5 loc ~file (Printf.sprintf "`%s`: %s" name why)
+        | None ->
+          finding out Finding.A2 loc ~file
+            (Printf.sprintf
+               "call into `%s` of unknown allocation behavior (not in the \
+                scanned tree, not in the builtin tables)"
+               name))
+  in
+  (* A call whose head is an identifier. *)
+  let handle_call loc path (args : (_ * expression option) list) =
+    let name = normalize_name path in
+    if Hotpath.is_comparison_op name then (
+      let operand =
+        List.find_map (fun (_, a) -> a) args
+      in
+      match operand with
+      | Some a when is_immediate_base a.exp_type -> ()
+      | _ ->
+        finding out Finding.A3 loc ~file
+          (Printf.sprintf
+             "`%s` at a non-immediate type compiles to a polymorphic-compare \
+              call"
+             name))
+    else
+      match path with
+      | Path.Pident id ->
+        if is_local_fn id then ()  (* body analyzed inline below *)
+        else if in_table (unit_name ^ "." ^ name) then
+          edge out (unit_name ^ "." ^ name)
+        else
+          finding out Finding.A2 loc ~file
+            (Printf.sprintf
+               "call through local function value `%s` of unknown allocation \
+                behavior"
+               (Ident.name id))
+      | _ -> handle_mention loc path
+  in
+  (* [check_partial] is off when this apply's arrow-typed result is the
+     head of an enclosing apply: reading a closure out of a structure
+     and calling it at once (t.snapshot.(i) x) builds nothing — the A2
+     computed-call finding already covers that pattern. *)
+  let rec handle_apply sub ~check_partial e fn args =
+    if check_partial && is_arrow e.exp_type then
+      finding out Finding.A1 e.exp_loc ~file
+        "partial application allocates a closure for the applied prefix";
+    (match fn.exp_desc with
+     | Texp_ident (path, _, _) -> handle_call fn.exp_loc path args
+     | Texp_function _ ->
+       (* Immediately-applied literal: the closure finding of the
+          generic walk already covers the allocation. *)
+       sub.Tast_iterator.expr sub fn
+     | Texp_apply (fn', args') ->
+       finding out Finding.A2 fn.exp_loc ~file
+         "call through a computed function value of unknown allocation \
+          behavior";
+       handle_apply sub ~check_partial:false fn fn' args'
+     | _ ->
+       finding out Finding.A2 fn.exp_loc ~file
+         "call through a computed function value of unknown allocation \
+          behavior";
+       sub.Tast_iterator.expr sub fn);
+    List.iter (fun (_, a) -> Option.iter (sub.Tast_iterator.expr sub) a) args
+  in
+  let expr sub e =
+    match e.exp_desc with
+    | Texp_ident (path, _, _) -> handle_mention e.exp_loc path
+    | Texp_apply (fn, args) -> handle_apply sub ~check_partial:true e fn args
+    | Texp_function _ ->
+      finding out Finding.A1 e.exp_loc ~file
+        "closure allocation (building this function value heap-allocates)";
+      Tast_iterator.default_iterator.expr sub e
+    | Texp_tuple _ ->
+      finding out Finding.A1 e.exp_loc ~file "tuple allocation";
+      Tast_iterator.default_iterator.expr sub e
+    | Texp_construct (_, cd, args) ->
+      if args <> [] then
+        finding out Finding.A1 e.exp_loc ~file
+          (Printf.sprintf "constructor `%s` allocates its payload block"
+             cd.Types.cstr_name);
+      Tast_iterator.default_iterator.expr sub e
+    | Texp_variant (_, Some _) ->
+      finding out Finding.A1 e.exp_loc ~file
+        "polymorphic-variant allocation";
+      Tast_iterator.default_iterator.expr sub e
+    | Texp_record _ ->
+      finding out Finding.A1 e.exp_loc ~file "record allocation";
+      Tast_iterator.default_iterator.expr sub e
+    | Texp_array [] -> ()
+    | Texp_array _ ->
+      finding out Finding.A1 e.exp_loc ~file "array-literal allocation";
+      Tast_iterator.default_iterator.expr sub e
+    | Texp_lazy _ ->
+      finding out Finding.A1 e.exp_loc ~file "lazy-thunk allocation";
+      Tast_iterator.default_iterator.expr sub e
+    | Texp_new _ ->
+      finding out Finding.A1 e.exp_loc ~file "object allocation"
+    | Texp_object _ ->
+      finding out Finding.A1 e.exp_loc ~file "object allocation"
+    | Texp_pack _ ->
+      finding out Finding.A1 e.exp_loc ~file "first-class-module allocation";
+      Tast_iterator.default_iterator.expr sub e
+    | Texp_send _ ->
+      finding out Finding.A2 e.exp_loc ~file
+        "method dispatch of unknown allocation behavior";
+      Tast_iterator.default_iterator.expr sub e
+    | _ -> Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  (* The root's own parameter chain is the function under analysis, not
+     a closure it allocates: unwrap it and analyze the bodies. *)
+  let rec bodies e =
+    match e.exp_desc with
+    | Texp_function { cases = [ { c_guard = None; c_rhs; _ } ]; _ } ->
+      bodies c_rhs
+    | Texp_function { cases; _ } ->
+      List.concat_map
+        (fun c ->
+           (match c.c_guard with Some g -> [ g ] | None -> []) @ [ c.c_rhs ])
+        cases
+    | _ -> [ e ]
+  in
+  List.iter (fun b -> it.expr it b) (bodies root_expr);
+  (List.rev out.findings, List.sort String.compare out.edges)

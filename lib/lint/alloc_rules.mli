@@ -1,0 +1,18 @@
+(* The A-rule pass over one function body (see the .ml for the
+   rule-by-rule definition of A1–A5). *)
+
+(* Does an attribute list carry [@@alloc.zero]? *)
+val has_alloc_attr : Parsetree.attributes -> bool
+
+(* [analyze ~unit_name ~file ~in_table expr] scans one top-level
+   binding's expression.  [unit_name] qualifies bare same-unit
+   references ("Simulator.Pqueue"), [file] stamps findings, [in_table]
+   answers whether a dotted key names a function in the current scan
+   (those become call-graph edges instead of findings).  Returns the
+   findings in source order and the sorted, deduplicated callee keys. *)
+val analyze :
+  unit_name:string ->
+  file:string ->
+  in_table:(string -> bool) ->
+  Typedtree.expression ->
+  Finding.t list * string list

@@ -1,0 +1,98 @@
+(* Loading typedtrees from dune's .cmt output.
+
+   detlint's D rules work from the parsetree (no build needed);
+   the A rules need types and resolved paths, which only the cmt files
+   carry.  This module walks a build tree (normally _build/default),
+   reads every .cmt whose source lives under one of the requested
+   source roots, and hands back the typedtree implementations keyed by
+   their compilation-unit name.
+
+   Facts this relies on (all checked against dune 3.x output):
+   - libraries emit cmts under <dir>/.<lib>.objs/byte/ on a normal
+     build; executables only do so under `dune build @check`;
+   - [cmt_modname] is the wrapped unit name, "Simulator__Pqueue" for
+     module Pqueue of library simulator — we normalize "__" to "."
+     so keys read as OCaml paths;
+   - [cmt_sourcefile] is the build-root-relative source path,
+     e.g. "lib/simulator/pqueue.ml". *)
+
+type cmt = {
+  unit_name : string;     (* normalized: "Simulator.Pqueue" *)
+  source_file : string;   (* build-root-relative .ml path *)
+  structure : Typedtree.structure;
+}
+
+let normalize_unit s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && s.[!i] = '_' && s.[!i + 1] = '_' then begin
+      Buffer.add_char b '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left (fun acc name -> walk acc (Filename.concat path name)) acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+(* Does [src] live under one of the root prefixes?  Roots are
+   build-root-relative directories ("lib", "test/alloc_fixtures"). *)
+let under_roots roots src =
+  List.exists
+    (fun root ->
+       let rl = String.length root in
+       String.length src > rl
+       && String.sub src 0 rl = root
+       && (root = "" || src.[rl] = '/'))
+    roots
+
+let read_one path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> None  (* stale or foreign cmt: skip, never fail the scan *)
+  | info ->
+    (match (info.cmt_annots, info.cmt_sourcefile) with
+     | (Cmt_format.Implementation structure, Some src)
+       when Filename.check_suffix src ".ml" ->
+       Some
+         { unit_name = normalize_unit info.cmt_modname;
+           source_file = src;
+           structure }
+     | _ -> None)
+
+let load ~build_dir ~roots =
+  if not (Sys.file_exists build_dir && Sys.is_directory build_dir) then
+    Error
+      (Printf.sprintf
+         "alloclint: build directory %s not found (run `dune build @check` \
+          first)"
+         build_dir)
+  else begin
+    let paths = walk [] build_dir |> List.sort String.compare in
+    let seen = Hashtbl.create 64 in
+    let cmts =
+      List.filter_map
+        (fun p ->
+           match read_one p with
+           | Some c when under_roots roots c.source_file ->
+             if Hashtbl.mem seen c.source_file then None
+             else begin
+               Hashtbl.add seen c.source_file ();
+               Some c
+             end
+           | _ -> None)
+        paths
+    in
+    Ok
+      (List.sort (fun a b -> String.compare a.source_file b.source_file) cmts)
+  end

@@ -1,0 +1,18 @@
+(* Loading typedtree implementations from a dune build tree's .cmt
+   files (see the .ml for the dune layout facts this relies on). *)
+
+(* "Simulator__Pqueue" -> "Simulator.Pqueue": dune's wrapped-module
+   separator rewritten so unit names read as OCaml paths. *)
+val normalize_unit : string -> string
+
+type cmt = {
+  unit_name : string;     (* wrapped unit, normalized: "Simulator.Pqueue" *)
+  source_file : string;   (* build-root-relative, e.g. "lib/simulator/pqueue.ml" *)
+  structure : Typedtree.structure;
+}
+
+(* Walk [build_dir] for .cmt files whose source lives under one of
+   [roots] (build-root-relative directories).  Deduplicates by source
+   file, sorts by source file, skips unreadable cmts.  Errors only if
+   the build directory itself is missing. *)
+val load : build_dir:string -> roots:string list -> (cmt list, string) result

@@ -11,7 +11,9 @@ type result_t = {
 (* Subdirectories never descended into.  [lint_fixtures] is deliberately
    broken (the self-test corpus) and only scanned when named as a root
    explicitly; skips apply to children, not to roots. *)
-let skipped_dirs = [ "_build"; "_opam"; "_artifacts"; "lint_fixtures"; "node_modules" ]
+let skipped_dirs =
+  [ "_build"; "_opam"; "_artifacts"; "lint_fixtures"; "alloc_fixtures";
+    "node_modules" ]
 
 let skip_entry name =
   (String.length name > 0 && name.[0] = '.') || List.mem name skipped_dirs

@@ -6,9 +6,14 @@
    deterministic by construction, and each rule bans one way of breaking
    that property silently. *)
 
-type rule = D1 | D2 | D3 | D4 | D5 | D6
+type rule =
+  | D1 | D2 | D3 | D4 | D5 | D6
+  (* The A family is alloclint's (DESIGN.md §17): typedtree-level
+     allocation and effect analysis of the hot-path registry, scanned
+     from cmt files rather than from the parsetree. *)
+  | A1 | A2 | A3 | A4 | A5
 
-let all_rules = [ D1; D2; D3; D4; D5; D6 ]
+let all_rules = [ D1; D2; D3; D4; D5; D6; A1; A2; A3; A4; A5 ]
 
 let rule_id = function
   | D1 -> "D1"
@@ -17,6 +22,11 @@ let rule_id = function
   | D4 -> "D4"
   | D5 -> "D5"
   | D6 -> "D6"
+  | A1 -> "A1"
+  | A2 -> "A2"
+  | A3 -> "A3"
+  | A4 -> "A4"
+  | A5 -> "A5"
 
 let rule_of_id = function
   | "D1" -> Some D1
@@ -25,6 +35,11 @@ let rule_of_id = function
   | "D4" -> Some D4
   | "D5" -> Some D5
   | "D6" -> Some D6
+  | "A1" -> Some A1
+  | "A2" -> Some A2
+  | "A3" -> Some A3
+  | "A4" -> Some A4
+  | "A5" -> Some A5
   | _ -> None
 
 let rule_summary = function
@@ -34,6 +49,11 @@ let rule_summary = function
   | D4 -> "polymorphic compare/equality/hash at protocol types"
   | D5 -> "Marshal or physical equality (== / !=) outside lib/persist"
   | D6 -> "library module without a sealed .mli interface"
+  | A1 -> "heap allocation reachable from a hot-path function"
+  | A2 -> "call from hot code into a function of unknown allocation behavior"
+  | A3 -> "polymorphic comparison/hash call that forces boxing in hot code"
+  | A4 -> "Obj.* unsafe escape that blinds the allocation analysis"
+  | A5 -> "growable structure (Buffer/Hashtbl/Queue/Stack) mutated in hot code"
 
 type t = { rule : rule; file : string; line : int; col : int; message : string }
 

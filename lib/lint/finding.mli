@@ -7,6 +7,12 @@ type rule =
   | D4  (* polymorphic compare/equality/hash at protocol types *)
   | D5  (* Marshal / physical equality outside lib/persist *)
   | D6  (* library module without a sealed .mli *)
+  (* alloclint's typedtree rule family (DESIGN.md §17): *)
+  | A1  (* heap allocation reachable from a hot-path function *)
+  | A2  (* hot call into a function of unknown allocation behavior *)
+  | A3  (* polymorphic compare/hash forcing boxing in hot code *)
+  | A4  (* Obj.* unsafe escape blinding the analysis *)
+  | A5  (* growable structure mutated in hot code *)
 
 val all_rules : rule list
 val rule_id : rule -> string

@@ -1,0 +1,30 @@
+(* The hot-path contract: which functions must be allocation-free and
+   how external references are classified by the A-rule pass. *)
+
+(* Attribute marking a binding hot in-source: [@@alloc.zero]. *)
+val attribute_name : string
+
+(* Engine-critical functions that are hot regardless of annotation
+   (dotted keys, e.g. "Simulator.Pqueue.insert").  A registry entry
+   with no matching function in the scanned tree is a hard scan error:
+   the gate must not weaken silently when code moves. *)
+val default_registry : string list
+
+type builtin_class =
+  | Safe                  (* known not to allocate *)
+  | Allocates of string   (* A1, with the reason *)
+  | Poly of string        (* A3: polymorphic compare/hash *)
+  | Unsafe of string      (* A4: Obj.* escape *)
+  | Growable of string    (* A5: growable-structure use *)
+
+(* Classify a fully-qualified external reference ("Stdlib.Array.get").
+   [None] means unknown: the caller reports A2. *)
+val classify : string -> builtin_class option
+
+(* Comparison operators (=, <, ...) are classified per call site by
+   operand type rather than by the tables; this recognizes them. *)
+val is_comparison_op : string -> bool
+
+(* Known int abbreviations (Types.time, Types.proc_id) accepted as
+   immediate operand types without environment-based expansion. *)
+val is_immediate_alias : string -> bool

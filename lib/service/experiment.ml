@@ -77,7 +77,15 @@ type side = {
 }
 
 type gate = { g_name : string; g_pass : bool; g_detail : string }
-type t = { etob : side; paxos : side; gates : gate list; pass : bool }
+
+type t = {
+  etob : side;
+  paxos : side;
+  gates : gate list;
+  pass : bool;
+  gc_minor_words : float;
+  gc_major_words : float;
+}
 
 let side ~name ~seed impl =
   let outcome = Runner.run ~setup:(setup ~seed) ~spec ~impl in
@@ -90,6 +98,7 @@ let side ~name ~seed impl =
 let max_amplification = 2.0
 
 let run ?(seed = 42) () =
+  let gc0 = Gc.quick_stat () in
   let etob = side ~name:"etob" ~seed Stacks.Algorithm_5 in
   let paxos = side ~name:"paxos" ~seed Stacks.Paxos_baseline in
   let replay = side ~name:"etob-replay" ~seed Stacks.Algorithm_5 in
@@ -127,7 +136,13 @@ let run ?(seed = 42) () =
                "== first run"
              else "!= " ^ etob.s_outcome.digest) } ]
   in
-  { etob; paxos; gates; pass = List.for_all (fun g -> g.g_pass) gates }
+  let gc1 = Gc.quick_stat () in
+  { etob;
+    paxos;
+    gates;
+    pass = List.for_all (fun g -> g.g_pass) gates;
+    gc_minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+    gc_major_words = gc1.Gc.major_words -. gc0.Gc.major_words }
 
 (* ------------------------------------------------------------------ *)
 (* JSON renderers (callers write the files)                            *)
@@ -185,6 +200,8 @@ let to_json t =
     \  \"spec\": %S,\n\
     \  \"sides\": [\n%s\n  ],\n\
     \  \"gates\": [\n%s\n  ],\n\
+    \  \"gc_minor_words\": %.0f,\n\
+    \  \"gc_major_words\": %.0f,\n\
     \  \"pass\": %b\n\
      }\n"
     replicas spec.clients deadline partition_from partition_until crash_proc
@@ -192,7 +209,7 @@ let to_json t =
     (Service_spec.to_string spec)
     (String.concat ",\n" [ side_json t.etob; side_json t.paxos ])
     (String.concat ",\n" (List.map gate_json t.gates))
-    t.pass
+    t.gc_minor_words t.gc_major_words t.pass
 
 (* The raw per-request latency series, for the CI failure artifact: enough
    to re-derive any histogram offline. *)

@@ -16,7 +16,15 @@ type side = {
 }
 
 type gate = { g_name : string; g_pass : bool; g_detail : string }
-type t = { etob : side; paxos : side; gates : gate list; pass : bool }
+
+type t = {
+  etob : side;
+  paxos : side;
+  gates : gate list;
+  pass : bool;
+  gc_minor_words : float;  (** minor-heap words allocated across the runs *)
+  gc_major_words : float;  (** major-heap words promoted/allocated *)
+}
 
 val spec : Harness.Service_spec.t
 (** The client population both sides run. *)

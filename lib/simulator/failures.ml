@@ -93,8 +93,16 @@ let recovery_events pattern =
 let is_faulty pattern p = crash_time pattern p <> None
 let is_correct pattern p = crash_time pattern p = None
 
-let in_downtime pattern p t =
-  List.exists (fun (a, b) -> a <= t && t < b) pattern.downtime.(p)
+(* Closure-free window test: [is_alive] sits on the engine's per-event
+   hot path, so the walk must not build a predicate closure the way
+   [List.exists] would.  The [time] annotation keeps the comparisons
+   monomorphic — left to inference this function generalizes and the
+   comparisons become polymorphic-compare calls (alloclint rule A3). *)
+let rec in_windows (t : time) = function
+  | [] -> false
+  | ((a : time), b) :: rest -> (a <= t && t < b) || in_windows t rest
+
+let in_downtime pattern p t = in_windows t pattern.downtime.(p)
 
 let is_alive pattern p t =
   (match crash_time pattern p with None -> true | Some tc -> t < tc)

@@ -206,6 +206,7 @@ let fifo_fn ~(base : delay_fn) : delay_fn =
 let fifo ~base = Per_run (fun () -> fifo_fn ~base:(instantiate base))
 
 let delay_of (f : delay_fn) ~src ~dst ~now ~rng =
+  (* detlint: allow A2 the delay model is the experiment's plug-in point; model cost is governed by the E23 bytes-per-event budget *)
   let d = f ~src ~dst ~now ~rng in
   if d < 1 then 1 else d
 
@@ -338,6 +339,7 @@ let compose_faults models =
              Deliver fs)
 
 let fault_of (f : fault_fn) ~src ~dst ~now ~rng =
+  (* detlint: allow A2 the fault model is the experiment's plug-in point; model cost is governed by the E23 bytes-per-event budget *)
   match f ~src ~dst ~now ~rng with
   | Duplicate k when k < 1 -> Deliver
   | v -> v

@@ -39,9 +39,14 @@ let swap t i j =
   let v = t.values.(i) in t.values.(i) <- t.values.(j); t.values.(j) <- v
 
 let grow t filler =
-  let cap = max 16 (2 * Array.length t.values) in
+  let cap =
+    if 2 * Array.length t.values < 16 then 16 else 2 * Array.length t.values
+  in
+  (* detlint: allow A1 amortized doubling: growth copies are off the steady-state insert path *)
   let prios = Array.make cap 0 in
+  (* detlint: allow A1 amortized doubling: growth copies are off the steady-state insert path *)
   let seqs = Array.make cap 0 in
+  (* detlint: allow A1 amortized doubling: growth copies are off the steady-state insert path *)
   let values = Array.make cap filler in
   Array.blit t.prios 0 prios 0 t.size;
   Array.blit t.seqs 0 seqs 0 t.size;
@@ -70,21 +75,46 @@ let insert t ~prio value =
   t.size <- t.size + 1;
   sift_up t i
 
-let pop t =
-  if t.size = 0 then None
+(* Zero-allocation min access: the engine's event loop reads the head
+   with [min_prio]/[min_value] and discards it with [remove_min], so the
+   steady-state pop path builds no option or tuple.  [pop] below remains
+   the convenient interface for non-hot callers. *)
+
+let[@alloc.zero] min_prio t =
+  (* detlint: allow A1 empty-queue misuse raises on the error path only; the engine checks is_empty first *)
+  if t.size = 0 then invalid_arg "Pqueue.min_prio: empty queue"
+  else t.prios.(0)
+
+let[@alloc.zero] min_value t =
+  (* detlint: allow A1 empty-queue misuse raises on the error path only; the engine checks is_empty first *)
+  if t.size = 0 then invalid_arg "Pqueue.min_value: empty queue"
+  else t.values.(0)
+
+let[@alloc.zero] remove_min t =
+  (* detlint: allow A1 empty-queue misuse raises on the error path only; the engine checks is_empty first *)
+  if t.size = 0 then invalid_arg "Pqueue.remove_min: empty queue"
   else begin
-    let prio = t.prios.(0) and value = t.values.(0) in
     let last = t.size - 1 in
     swap t 0 last;
     t.size <- last;
     (* Drop the popped value's reference so the heap never pins dead
        events; slot [last] still holds a live value when size > 0. *)
     if last > 0 then t.values.(last) <- t.values.(0);
-    sift_down t 0;
+    sift_down t 0
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let prio = t.prios.(0) and value = t.values.(0) in
+    remove_min t;
+    (* detlint: allow A1 legacy interface allocates its option-of-pair result; the engine loop uses min_prio/min_value/remove_min instead *)
     Some (prio, value)
   end
 
-let peek_prio t = if t.size = 0 then None else Some t.prios.(0)
+let peek_prio t =
+  (* detlint: allow A1 option result; hot callers read min_prio after is_empty *)
+  if t.size = 0 then None else Some t.prios.(0)
 
 let fold f acc t =
   let acc = ref acc in

@@ -20,7 +20,20 @@ val insert : 'a t -> prio:int -> 'a -> unit
 
 val pop : 'a t -> (int * 'a) option
 (** [pop t] removes and returns the minimum-priority element, FIFO among
-    ties, or [None] if the queue is empty. *)
+    ties, or [None] if the queue is empty.  Allocates the result pair;
+    the engine's event loop uses the zero-allocation triple below. *)
+
+val min_prio : 'a t -> int
+(** Priority of the next element to pop.  Zero-allocation; raises
+    [Invalid_argument] on an empty queue (check {!is_empty} first). *)
+
+val min_value : 'a t -> 'a
+(** The next element to pop, without removing it.  Zero-allocation;
+    raises [Invalid_argument] on an empty queue. *)
+
+val remove_min : 'a t -> unit
+(** Discard the minimum element ([min_prio]/[min_value] read it first).
+    Zero-allocation; raises [Invalid_argument] on an empty queue. *)
 
 val peek_prio : 'a t -> int option
 (** Priority of the next element to pop, if any. *)

@@ -1,0 +1,4 @@
+(* A1 fixture: direct heap allocation in a hot function — the result
+   pair is a fresh two-word block on every call. *)
+
+let[@alloc.zero] hot_pair x = (x, x + 1)

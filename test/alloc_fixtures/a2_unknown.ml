@@ -1,0 +1,5 @@
+(* A2 fixture: a hot function calling through a function parameter —
+   the analyzer cannot see the callee, so its allocation behavior is
+   unknown. *)
+
+let[@alloc.zero] hot_apply f x = f x

@@ -1,0 +1,4 @@
+(* A3 fixture: structural equality at a non-immediate type — compiles
+   to a polymorphic-compare call (String.equal is the fix). *)
+
+let[@alloc.zero] hot_equal (a : string) (b : string) = a = b

@@ -1,0 +1,4 @@
+(* A4 fixture: Obj.magic in a hot function — the escape defeats the
+   allocation analysis for everything it touches. *)
+
+let[@alloc.zero] hot_magic x = (Obj.magic x : int)

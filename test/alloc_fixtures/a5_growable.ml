@@ -1,0 +1,4 @@
+(* A5 fixture: growable-structure mutation in a hot function — the
+   Buffer may double (allocate and copy) on any call. *)
+
+let[@alloc.zero] hot_log buf c = Buffer.add_char buf c

@@ -1,0 +1,7 @@
+(* The justified-allow fixture: same A5 shape as a5_growable.ml, but
+   with a reasoned directive — the gate passes and the suppression is
+   reported with its justification. *)
+
+let[@alloc.zero] hot_grow buf c =
+  (* detlint: allow A5 buffer preallocated to worst-case size at creation; never grows in steady state *)
+  Buffer.add_char buf c

@@ -1,0 +1,144 @@
+(* Self-tests for alloclint, the typedtree allocation analyzer
+   (DESIGN.md §17).  Mirrors test_lint.ml's structure: a one-rule-per-
+   fixture corpus under alloc_fixtures/ is scanned and byte-compared
+   against a committed golden JSON report, the repository's own lib
+   tree must scan clean under the default hot-path registry, and the
+   stale-registry hard error is exercised directly.
+
+   The fixture corpus is built as the [alloc_fixtures] library (cmt
+   files land under its .objs/byte directory inside the build tree),
+   and the fixture sources are copied next to it by dune, so both the
+   typedtrees and the allow directives resolve relative to the test's
+   working directory. *)
+
+open Lint
+
+let fixture_build = "alloc_fixtures/.alloc_fixtures.objs/byte"
+let fixture_roots = [ "test/alloc_fixtures" ]
+
+let scan_fixtures () =
+  match
+    Alloc_driver.scan ~registry:[] ~build_dir:fixture_build ~source_root:".."
+      fixture_roots
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "alloclint fixture scan errored: %s" e
+
+(* Each fixture file violates exactly one A rule; any finding from that
+   file at a different rule is a classification bug. *)
+let fixture_expectations =
+  [
+    ("test/alloc_fixtures/a1_direct.ml", "A1");
+    ("test/alloc_fixtures/a2_unknown.ml", "A2");
+    ("test/alloc_fixtures/a3_poly.ml", "A3");
+    ("test/alloc_fixtures/a4_obj.ml", "A4");
+    ("test/alloc_fixtures/a5_growable.ml", "A5");
+  ]
+
+let test_one_rule_per_fixture () =
+  let r = scan_fixtures () in
+  List.iter
+    (fun (file, rule) ->
+      let in_file =
+        List.filter
+          (fun (f : Finding.t) -> String.equal f.file file)
+          r.Alloc_driver.findings
+      in
+      Alcotest.(check bool) (file ^ ": fixture produced a finding") true
+        (in_file <> []);
+      List.iter
+        (fun (f : Finding.t) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s:%d rule" file f.line)
+            rule (Finding.rule_id f.rule))
+        in_file)
+    fixture_expectations
+
+let test_allowlisted_fixture_suppressed () =
+  let r = scan_fixtures () in
+  List.iter
+    (fun (f : Finding.t) ->
+      if String.equal f.file "test/alloc_fixtures/allowlisted_growable.ml" then
+        Alcotest.failf "allow directive did not suppress %s:%d" f.file f.line)
+    r.Alloc_driver.findings;
+  Alcotest.(check int) "one suppression recorded" 1
+    (List.length r.Alloc_driver.allowed);
+  let f, why = List.hd r.Alloc_driver.allowed in
+  Alcotest.(check string) "suppressed rule" "A5" (Finding.rule_id f.rule);
+  Alcotest.(check bool) "justification preserved" true
+    (String.length why > 10)
+
+let test_attribute_roots_resolved () =
+  let r = scan_fixtures () in
+  Alcotest.(check (list string))
+    "every [@alloc.zero] binding became a hot root"
+    [
+      "Alloc_fixtures.A1_direct.hot_pair";
+      "Alloc_fixtures.A2_unknown.hot_apply";
+      "Alloc_fixtures.A3_poly.hot_equal";
+      "Alloc_fixtures.A4_obj.hot_magic";
+      "Alloc_fixtures.A5_growable.hot_log";
+      "Alloc_fixtures.Allowlisted_growable.hot_grow";
+    ]
+    r.Alloc_driver.hot_roots
+
+let test_fixtures_match_golden () =
+  let r = scan_fixtures () in
+  let golden =
+    In_channel.with_open_bin "alloc_fixtures/golden_report.json"
+      In_channel.input_all
+  in
+  Alcotest.(check string) "golden JSON report" golden (Alloc_report.to_json r)
+
+let test_stale_registry_is_hard_error () =
+  match
+    Alloc_driver.scan
+      ~registry:[ "Alloc_fixtures.No_such_module.no_such_fn" ]
+      ~build_dir:fixture_build ~source_root:".." fixture_roots
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stale registry entry should fail the scan"
+
+(* The repository's own hot path must scan clean: every allocation on
+   it is either eliminated or carries a justified allow.  Runs against
+   the sibling build tree; skipped when the layout is unavailable. *)
+let test_real_tree_scans_clean () =
+  if not (Sys.file_exists "../lib" && Sys.is_directory "../lib") then
+    Alcotest.skip ()
+  else
+    match Alloc_driver.scan ~build_dir:".." ~source_root:".." [ "lib" ] with
+    | Error e -> Alcotest.failf "alloclint real-tree scan errored: %s" e
+    | Ok r ->
+        List.iter
+          (fun (f : Finding.t) ->
+            Format.eprintf "unexpected finding: %a@." Finding.pp_human f)
+          r.Alloc_driver.findings;
+        Alcotest.(check int) "no unjustified hot-path findings" 0
+          (List.length r.Alloc_driver.findings);
+        Alcotest.(check bool) "registry + attribute roots all resolved" true
+          (List.length r.Alloc_driver.hot_roots >= 13);
+        Alcotest.(check bool) "justified allows are in force" true
+          (List.length r.Alloc_driver.allowed >= 20)
+
+let () =
+  Alcotest.run "alloclint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "one rule per fixture" `Quick
+            test_one_rule_per_fixture;
+          Alcotest.test_case "allow directive suppresses" `Quick
+            test_allowlisted_fixture_suppressed;
+          Alcotest.test_case "attribute roots resolved" `Quick
+            test_attribute_roots_resolved;
+          Alcotest.test_case "golden report byte-stable" `Quick
+            test_fixtures_match_golden;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "stale registry hard error" `Quick
+            test_stale_registry_is_hard_error;
+          Alcotest.test_case "repository hot path scans clean" `Quick
+            test_real_tree_scans_clean;
+        ] );
+    ]

@@ -146,6 +146,37 @@ let test_wellformed_directives_parse () =
     Alcotest.(check bool) "does not cover distant lines" true
       (Allow.permits t Finding.D3 ~line:4 = None)
 
+(* Edge cases on the scanner itself: punctuation-heavy justifications,
+   CRLF line endings, and a directive on the file's final line (no
+   trailing newline) must all parse, with justifications preserved
+   verbatim. *)
+let test_directive_edge_cases () =
+  let reason_of source rule ~line =
+    match Allow.scan ~file:"inline.ml" source with
+    | Error e -> Alcotest.failf "scan rejected: %s" e
+    | Ok t ->
+      (match Allow.permits t rule ~line with
+       | None -> Alcotest.failf "no %s entry at line %d" (Finding.rule_id rule) line
+       | Some why -> why)
+  in
+  (* Colons and quotes in the justification survive verbatim. *)
+  let why = "cache key: \"host:port\" pairs; see DESIGN.md \xc2\xa717" in
+  Alcotest.(check string) "punctuation-heavy justification" why
+    (reason_of (directive ("allow D5 " ^ why)) Finding.D5 ~line:1);
+  (* CRLF endings: the trailing \r sits outside the comment closer and
+     must not leak into the justification or shift line numbers. *)
+  let crlf =
+    "let a = 1\r\n"
+    ^ "(" ^ "* detlint: allow A5 bounded by construction *" ^ ")\r\n"
+    ^ "let b = 2\r\n"
+  in
+  Alcotest.(check string) "CRLF justification" "bounded by construction"
+    (reason_of crlf Finding.A5 ~line:3);
+  (* Directive on the very last line, no trailing newline. *)
+  let last = "let a = 1\n(" ^ "* detlint: sorted folded into a sum *" ^ ")" in
+  Alcotest.(check string) "last-line directive" "folded into a sum"
+    (reason_of last Finding.D3 ~line:2)
+
 let test_rule_ids_roundtrip () =
   List.iter
     (fun r ->
@@ -174,6 +205,8 @@ let () =
            test_malformed_directives_are_errors;
          Alcotest.test_case "wellformed directives parse" `Quick
            test_wellformed_directives_parse;
+         Alcotest.test_case "scanner edge cases" `Quick
+           test_directive_edge_cases;
          Alcotest.test_case "rule ids roundtrip" `Quick
            test_rule_ids_roundtrip ]);
     ]
